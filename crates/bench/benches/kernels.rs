@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the hot kernels underlying every experiment:
+//! dense matmul, attention forward, KL divergence scoring and softmax.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edvit_nn::{Layer, MultiHeadSelfAttention};
+use edvit_tensor::{init::TensorRng, stats, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &size in &[32usize, 64, 128] {
+        let a = TensorRng::new(0).rand_uniform(&[size, size], -1.0, 1.0);
+        let b = TensorRng::new(1).rand_uniform(&[size, size], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mhsa_forward");
+    for &(tokens, dim, heads) in &[(16usize, 64usize, 4usize), (64, 64, 8), (196, 96, 6)] {
+        let mut rng = TensorRng::new(2);
+        let mut mhsa = MultiHeadSelfAttention::new(dim, heads, dim / heads, &mut rng).unwrap();
+        let x = rng.randn(&[tokens, dim], 0.0, 1.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tokens}tok_{dim}d_{heads}h")),
+            &tokens,
+            |bench, _| bench.iter(|| mhsa.forward(&x).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_softmax_and_kl(c: &mut Criterion) {
+    let logits = TensorRng::new(3).randn(&[256, 257], 0.0, 2.0);
+    c.bench_function("softmax_256x257", |b| {
+        b.iter(|| logits.softmax_last_axis().unwrap())
+    });
+    let p = TensorRng::new(4).rand_uniform(&[256, 10], 0.01, 1.0);
+    let q = TensorRng::new(5).rand_uniform(&[256, 10], 0.01, 1.0);
+    c.bench_function("batch_kl_256x10", |b| {
+        b.iter(|| stats::batch_kl_divergence(&p, &q).unwrap())
+    });
+}
+
+fn bench_layernorm(c: &mut Criterion) {
+    let x = TensorRng::new(6).randn(&[196, 768], 0.0, 1.0);
+    let gamma = Tensor::ones(&[768]);
+    let beta = Tensor::zeros(&[768]);
+    c.bench_function("layernorm_196x768", |b| {
+        b.iter(|| x.layer_norm_last_axis(&gamma, &beta).unwrap())
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_matmul,
+    bench_attention_forward,
+    bench_softmax_and_kl,
+    bench_layernorm
+);
+criterion_main!(kernels);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the planning / assignment / simulation layer:
+//! these are the pieces that run per deployment decision, so their cost
+//! matters when sweeping many configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edvit_edge::{LatencyModel, NetworkConfig};
+use edvit_partition::{
+    balanced_class_assignment, greedy_assign, DeviceSpec, PlannerConfig, SplitPlanner,
+    SubModelRequirements,
+};
+use edvit_vit::{analysis, PrunedViTConfig, ViTConfig};
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split_planner");
+    let base = ViTConfig::vit_base(10);
+    for &devices in &[2usize, 5, 10] {
+        let cluster = DeviceSpec::raspberry_pi_cluster(devices);
+        let planner = SplitPlanner::new(PlannerConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, _| {
+            b.iter(|| planner.plan(&base, &cluster, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_assignment(c: &mut Criterion) {
+    let devices = DeviceSpec::raspberry_pi_cluster(10);
+    let reqs: Vec<SubModelRequirements> = (0..10)
+        .map(|i| SubModelRequirements {
+            sub_model: i,
+            memory_bytes: 10_000_000 + i as u64 * 100_000,
+            flops_per_sample: 500_000_000 + i as u64 * 10_000_000,
+        })
+        .collect();
+    c.bench_function("greedy_assign_10x10", |b| {
+        b.iter(|| greedy_assign(&reqs, &devices, 1).unwrap())
+    });
+}
+
+fn bench_class_assignment(c: &mut Criterion) {
+    c.bench_function("balanced_class_assignment_257x10", |b| {
+        b.iter(|| balanced_class_assignment(257, 10, 3).unwrap())
+    });
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let devices = DeviceSpec::raspberry_pi_cluster(10);
+    let plan = SplitPlanner::new(PlannerConfig::default())
+        .plan(&ViTConfig::vit_base(10), &devices, 1)
+        .unwrap();
+    let model = LatencyModel::new(NetworkConfig::paper_default());
+    c.bench_function("latency_estimate_10_devices", |b| {
+        b.iter(|| model.estimate(&plan, &devices).unwrap())
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let base = ViTConfig::vit_large(1000);
+    c.bench_function("analytic_cost_vit_large", |b| {
+        b.iter(|| analysis::cost_of_config(&base))
+    });
+    let pruned = PrunedViTConfig::new(ViTConfig::vit_base(10), 6).unwrap();
+    c.bench_function("analytic_cost_pruned", |b| {
+        b.iter(|| analysis::cost_of_pruned(&pruned))
+    });
+}
+
+criterion_group!(
+    pipeline,
+    bench_planner,
+    bench_greedy_assignment,
+    bench_class_assignment,
+    bench_latency_model,
+    bench_cost_model
+);
+criterion_main!(pipeline);

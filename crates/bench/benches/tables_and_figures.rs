@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the table/figure generators themselves: Table I,
+//! Table II and the §V-D communication analysis are pure analytic sweeps and
+//! make good end-to-end benchmarks of the planning stack; the accuracy-bearing
+//! figures are exercised through a single tiny pipeline run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edvit::experiments;
+use edvit::pipeline::{EdVitConfig, EdVitPipeline};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_generation", |b| b.iter(experiments::table1));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_generation", |b| {
+        b.iter(|| experiments::table2().unwrap())
+    });
+}
+
+fn bench_comm_overhead(c: &mut Criterion) {
+    c.bench_function("comm_overhead_generation", |b| {
+        b.iter(|| experiments::comm_overhead().unwrap())
+    });
+}
+
+fn bench_tiny_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_pipeline");
+    group.sample_size(10);
+    group.bench_function("tiny_demo_2_devices", |b| {
+        b.iter(|| EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    tables_and_figures,
+    bench_table1,
+    bench_table2,
+    bench_comm_overhead,
+    bench_tiny_pipeline
+);
+criterion_main!(tables_and_figures);

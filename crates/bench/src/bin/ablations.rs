@@ -1,0 +1,109 @@
+//! Ablation studies on ED-ViT's design choices called out in DESIGN.md:
+//!
+//! 1. importance criterion: KL divergence (the paper's choice) vs. weight
+//!    magnitude, at equal pruning level;
+//! 2. memory budget: how the feasible plan changes as the paper's 180 MB
+//!    budget is tightened and loosened;
+//! 3. bandwidth cap: communication time at 2 Mbps vs. an uncapped gigabit
+//!    switch.
+
+use edvit::datasets::{DatasetKind, SyntheticConfig, SyntheticGenerator};
+use edvit::edge::NetworkConfig;
+use edvit::partition::{DeviceSpec, PlannerConfig, SplitPlanner};
+use edvit::pruning::{ImportanceMethod, PrunerConfig, StructuredPruner};
+use edvit::tensor::init::TensorRng;
+use edvit::vit::training::{evaluate_classifier, train_classifier, TrainConfig};
+use edvit::vit::{analysis, PrunedViTConfig, ViTConfig, VisionTransformer};
+
+fn importance_ablation() {
+    println!("== Ablation 1: KL-divergence vs magnitude importance ==");
+    let mut config = ViTConfig::tiny_test();
+    config.num_classes = 4;
+    let mut dcfg = SyntheticConfig::tiny(DatasetKind::Cifar10Like);
+    dcfg.class_limit = Some(4);
+    dcfg.samples_per_class = 12;
+    let dataset = SyntheticGenerator::new(3).generate(&dcfg).unwrap();
+    let (train, test) = dataset.split(0.75, 1).unwrap();
+    let mut original = VisionTransformer::new(&config, &mut TensorRng::new(0)).unwrap();
+    let tc = TrainConfig {
+        epochs: 6,
+        batch_size: 16,
+        learning_rate: 2e-3,
+        lr_decay: 0.92,
+        seed: 0,
+    };
+    train_classifier(&mut original, train.images(), train.labels(), &tc).unwrap();
+    let plan = PrunedViTConfig::new(config, 2).unwrap();
+    println!("{:<22} {:>14} {:>14}", "Importance", "Sub-model acc", "Params");
+    for (name, method) in [
+        ("KL divergence", ImportanceMethod::KlDivergence { calibration_samples: 8 }),
+        ("weight magnitude", ImportanceMethod::Magnitude),
+    ] {
+        let pruner = StructuredPruner::new(PrunerConfig {
+            method,
+            other_fraction: 0.3,
+            retrain: Some(tc.clone()),
+            seed: 1,
+        });
+        let sub = pruner
+            .prune_sub_model(&original, &train, &[0, 1], &plan)
+            .unwrap();
+        let (sub_test, mapping) = test.resample_for_classes(&[0, 1], 0.3, 9).unwrap();
+        let mut model = sub.model;
+        let acc =
+            evaluate_classifier(&mut model, sub_test.images(), sub_test.labels(), 16).unwrap();
+        println!(
+            "{:<22} {:>13.1}% {:>14}",
+            name,
+            acc * 100.0,
+            model.parameter_count()
+        );
+        let _ = mapping;
+    }
+}
+
+fn budget_ablation() {
+    println!("\n== Ablation 2: memory budget sweep (ViT-Base, 5 devices) ==");
+    println!("{:<14} {:>14} {:>14} {:>12}", "Budget (MB)", "Total mem (MB)", "Latency-max (G)", "Feasible");
+    let base = ViTConfig::vit_base(10);
+    let devices = DeviceSpec::raspberry_pi_cluster(5);
+    for budget_mb in [40u64, 80, 120, 180, 320, 600] {
+        let planner = SplitPlanner::new(PlannerConfig {
+            memory_budget_bytes: budget_mb * 1_000_000,
+            ..PlannerConfig::default()
+        });
+        match planner.plan(&base, &devices, 1) {
+            Ok(plan) => println!(
+                "{:<14} {:>14.1} {:>15.2} {:>12}",
+                budget_mb,
+                plan.total_memory_mb(),
+                plan.max_sub_model_flops() as f64 / 1e9,
+                "yes"
+            ),
+            Err(_) => println!("{:<14} {:>14} {:>15} {:>12}", budget_mb, "-", "-", "no"),
+        }
+    }
+}
+
+fn bandwidth_ablation() {
+    println!("\n== Ablation 3: bandwidth cap ==");
+    let payloads = [512u64, 1536, 150_528];
+    println!("{:<18} {:>14} {:>14}", "Payload (B)", "2 Mbps (ms)", "gigabit (ms)");
+    let capped = NetworkConfig::paper_default();
+    let fast = NetworkConfig::gigabit();
+    for p in payloads {
+        println!(
+            "{:<18} {:>14.2} {:>14.3}",
+            p,
+            capped.transfer_seconds(p) * 1e3,
+            fast.transfer_seconds(p) * 1e3
+        );
+    }
+    let _ = analysis::raw_image_bytes(&ViTConfig::vit_base(10));
+}
+
+fn main() {
+    importance_ablation();
+    budget_ablation();
+    bandwidth_ablation();
+}

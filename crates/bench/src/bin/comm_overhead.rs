@@ -1,0 +1,18 @@
+//! Regenerates the communication-overhead analysis of §V-D: feature payload
+//! size, transfer time at 2 Mbps and reduction versus raw images.
+
+fn main() {
+    let rows = edvit::experiments::comm_overhead().expect("planner failed");
+    println!("Section V-D — communication overhead (ViT-Base, 2 Mbps cap)");
+    println!(
+        "{:<10} {:>14} {:>14} {:>18}",
+        "Devices", "Payload (B)", "Transfer (ms)", "Reduction vs raw"
+    );
+    for row in rows {
+        println!(
+            "{:<10} {:>14} {:>14.2} {:>17.0}x",
+            row.devices, row.payload_bytes, row.transfer_ms, row.reduction_vs_raw_image
+        );
+    }
+    println!("\nPaper reference: payload 1536 B -> 512 B, <= 5.86 ms, up to 294x reduction.");
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 7: accuracy, latency and total memory of the three
+//! methods at 10 edge devices.
+
+use edvit_bench::options_from_env;
+
+fn main() {
+    let options = options_from_env();
+    let rows = edvit::experiments::fig7(&options).expect("experiment failed");
+    println!("Fig. 7 — comparison at 10 edge devices ({} trial(s), fast={})", options.trials, options.fast);
+    println!(
+        "{:<12} {:>12} {:>14} {:>16}",
+        "Method", "Accuracy", "Latency (s)", "Total mem (MB)"
+    );
+    for row in rows {
+        println!(
+            "{:<12} {:>11.1}% {:>14.2} {:>16.1}",
+            row.method,
+            row.accuracy_mean * 100.0,
+            row.latency_seconds,
+            row.total_memory_mb
+        );
+    }
+    println!("\nPaper reference: ED-ViT latency is 2.70x lower than Split-CNN and 4.36x lower than Split-SNN.");
+}

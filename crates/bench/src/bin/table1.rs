@@ -1,0 +1,25 @@
+//! Regenerates Table I: characteristics of ViT-Small/Base/Large on a
+//! Raspberry Pi 4B (parameters, FLOPs, latency, memory).
+
+fn main() {
+    println!("Table I — standard Vision Transformer characteristics (Raspberry Pi 4B)");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>12} {:>10} {:>12} {:>10}",
+        "Model", "Depth", "Width", "Heads", "Params(1e6)", "GFLOPs", "Latency(ms)", "Mem(MB)"
+    );
+    for row in edvit::experiments::table1() {
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>12.1} {:>10.2} {:>12.0} {:>10.0}",
+            row.model,
+            row.depth,
+            row.width,
+            row.heads,
+            row.params_millions,
+            row.gflops,
+            row.latency_ms,
+            row.memory_mb
+        );
+    }
+    println!("\nPaper reference: 22.1/86.6/304.4 M params, 4.25/16.86/59.69 GFLOPs,");
+    println!("9628/36940/118828 ms latency, 83/327/1157 MB memory.");
+}

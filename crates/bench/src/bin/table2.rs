@@ -1,0 +1,16 @@
+//! Regenerates Table II: per-sub-model FLOPs for ViT-Base on CIFAR-10 and
+//! GTZAN as the number of edge devices grows.
+
+fn main() {
+    let rows = edvit::experiments::table2().expect("planner failed");
+    println!("Table II — sub-model FLOPs (ViT-Base)");
+    println!("{:<16} {:>10} {:>10}", "Dataset", "Devices", "GFLOPs");
+    for row in rows {
+        let devices = row
+            .devices
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "original".to_string());
+        println!("{:<16} {:>10} {:>10.2}", row.dataset, devices, row.gflops);
+    }
+    println!("\nPaper reference (CIFAR-10): 16.86 / 4.25 / 1.90 / 1.08 / 0.48 GFLOPs.");
+}

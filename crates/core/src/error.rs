@@ -1,0 +1,107 @@
+use std::fmt;
+
+use edvit_datasets::DatasetError;
+use edvit_edge::EdgeError;
+use edvit_nn::NnError;
+use edvit_partition::PartitionError;
+use edvit_pruning::PruningError;
+use edvit_tensor::TensorError;
+use edvit_vit::ViTError;
+
+/// Error type of the end-to-end ED-ViT pipeline; wraps every substrate error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdVitError {
+    /// Tensor-level failure.
+    Tensor(TensorError),
+    /// Layer-level failure.
+    Nn(NnError),
+    /// Model-level failure.
+    Vit(ViTError),
+    /// Dataset generation/manipulation failure.
+    Dataset(DatasetError),
+    /// Pruning failure.
+    Pruning(PruningError),
+    /// Partitioning/assignment failure.
+    Partition(PartitionError),
+    /// Edge-simulation failure.
+    Edge(EdgeError),
+    /// Pipeline-level configuration problem.
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for EdVitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdVitError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EdVitError::Nn(e) => write!(f, "layer error: {e}"),
+            EdVitError::Vit(e) => write!(f, "model error: {e}"),
+            EdVitError::Dataset(e) => write!(f, "dataset error: {e}"),
+            EdVitError::Pruning(e) => write!(f, "pruning error: {e}"),
+            EdVitError::Partition(e) => write!(f, "partitioning error: {e}"),
+            EdVitError::Edge(e) => write!(f, "edge simulation error: {e}"),
+            EdVitError::InvalidConfig { message } => write!(f, "invalid pipeline configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EdVitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdVitError::Tensor(e) => Some(e),
+            EdVitError::Nn(e) => Some(e),
+            EdVitError::Vit(e) => Some(e),
+            EdVitError::Dataset(e) => Some(e),
+            EdVitError::Pruning(e) => Some(e),
+            EdVitError::Partition(e) => Some(e),
+            EdVitError::Edge(e) => Some(e),
+            EdVitError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($source:ty, $variant:ident) => {
+        impl From<$source> for EdVitError {
+            fn from(e: $source) -> Self {
+                EdVitError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(TensorError, Tensor);
+impl_from!(NnError, Nn);
+impl_from!(ViTError, Vit);
+impl_from!(DatasetError, Dataset);
+impl_from!(PruningError, Pruning);
+impl_from!(PartitionError, Partition);
+impl_from!(EdgeError, Edge);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EdVitError = TensorError::EmptyInput { op: "x" }.into();
+        assert!(e.to_string().contains("tensor"));
+        let e: EdVitError = NnError::MissingForwardCache { layer: "l" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: EdVitError = ViTError::InvalidConfig { message: "m".into() }.into();
+        assert!(e.to_string().contains("m"));
+        let e: EdVitError = DatasetError::Empty { what: "w" }.into();
+        assert!(e.to_string().contains("w"));
+        let e: EdVitError = PruningError::InvalidRequest { message: "p".into() }.into();
+        assert!(e.to_string().contains("p"));
+        let e: EdVitError = PartitionError::Infeasible { reason: "r".into() }.into();
+        assert!(e.to_string().contains("r"));
+        let e: EdVitError = EdgeError::Runtime { message: "t".into() }.into();
+        assert!(e.to_string().contains("t"));
+        let e = EdVitError::InvalidConfig { message: "cfg".into() };
+        assert!(e.to_string().contains("cfg"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

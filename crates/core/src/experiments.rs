@@ -1,0 +1,568 @@
+//! Experiment harness: one function per table / figure of the paper's
+//! evaluation section. The `edvit-bench` binaries are thin wrappers that call
+//! these functions and print the rows.
+//!
+//! Every accuracy-bearing experiment runs at the trainable (CPU) scale on the
+//! synthetic datasets and is averaged over `trials` seeds, mirroring the
+//! paper's five-trial averages; latency / memory / FLOPs numbers come from
+//! the paper-scale analytic cost model and the calibrated Raspberry-Pi
+//! profile, so they are deterministic.
+
+use edvit_baselines::{BaselineKind, SplitBaselineConfig, SplitBaselineRunner};
+use edvit_datasets::{DatasetKind, SyntheticConfig, SyntheticGenerator};
+use edvit_edge::NetworkConfig;
+use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlanner};
+use edvit_tensor::stats;
+use edvit_vit::{analysis, training::TrainConfig, ViTConfig, ViTVariant};
+
+use crate::pipeline::{EdVitConfig, EdVitPipeline};
+use crate::Result;
+
+/// Device counts used throughout the paper's figures.
+pub const PAPER_DEVICE_COUNTS: [usize; 5] = [1, 2, 3, 5, 10];
+
+/// Controls how heavy the accuracy experiments are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Number of independent trials (the paper uses 5).
+    pub trials: usize,
+    /// Fast mode shrinks datasets and training schedules so a full sweep
+    /// finishes in seconds; full mode uses the experiment-grade settings.
+    pub fast: bool,
+}
+
+impl ExperimentOptions {
+    /// Fast single-trial options (used by tests and smoke runs).
+    pub fn fast() -> Self {
+        ExperimentOptions { trials: 1, fast: true }
+    }
+
+    /// Paper-style options: five trials at experiment scale.
+    pub fn full() -> Self {
+        ExperimentOptions { trials: 5, fast: false }
+    }
+}
+
+fn pipeline_config(
+    kind: DatasetKind,
+    variant: ViTVariant,
+    devices: usize,
+    options: &ExperimentOptions,
+    seed: u64,
+) -> EdVitConfig {
+    let mut config = if options.fast {
+        let mut c = EdVitConfig::tiny_demo(devices);
+        c.dataset_kind = kind;
+        c.synthetic = SyntheticConfig {
+            class_limit: Some(kind.num_classes().min(10)),
+            samples_per_class: 6,
+            ..SyntheticConfig::tiny(kind)
+        };
+        c.paper_model =
+            ViTConfig::from_variant(variant, kind.num_classes().min(10)).with_channels(kind.channels());
+        c.planner.memory_budget_bytes = match variant {
+            ViTVariant::Small => 50_000_000,
+            ViTVariant::Large => 600_000_000,
+            _ => 180_000_000,
+        };
+        c.devices = DeviceSpec::raspberry_pi_cluster(devices);
+        c
+    } else {
+        EdVitConfig::experiment(kind, variant, devices)
+    };
+    config = config.with_seed(seed);
+    config
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+/// One row of Table I: characteristics of a standard ViT on a Raspberry Pi 4B.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Model variant name.
+    pub model: String,
+    /// Transformer depth.
+    pub depth: usize,
+    /// Embedding width.
+    pub width: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Parameters in millions.
+    pub params_millions: f64,
+    /// FLOPs (MACs) in units of 10⁹.
+    pub gflops: f64,
+    /// Estimated single-sample latency on a Raspberry Pi 4B, in milliseconds.
+    pub latency_ms: f64,
+    /// Parameter memory in MB.
+    pub memory_mb: f64,
+}
+
+/// Regenerates Table I from the analytic cost model and the calibrated
+/// Raspberry-Pi profile.
+pub fn table1() -> Vec<Table1Row> {
+    let device = DeviceSpec::raspberry_pi_4b(0);
+    [
+        ViTConfig::vit_small(1000),
+        ViTConfig::vit_base(1000),
+        ViTConfig::vit_large(1000),
+    ]
+    .into_iter()
+    .map(|config| {
+        let cost = analysis::cost_of_config(&config);
+        Table1Row {
+            model: config.variant.to_string(),
+            depth: config.depth,
+            width: config.embed_dim,
+            heads: config.heads,
+            params_millions: cost.params_millions(),
+            gflops: cost.gflops(),
+            latency_ms: device.execution_seconds(cost.flops) * 1e3,
+            memory_mb: cost.memory_mb(),
+        }
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 4, 5 and 6: accuracy / latency / memory vs. number of devices
+// ---------------------------------------------------------------------------
+
+/// One point of the split curves (one dataset, one variant, one device count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitCurvePoint {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model variant name.
+    pub variant: String,
+    /// Number of edge devices.
+    pub devices: usize,
+    /// Mean fused accuracy across trials.
+    pub accuracy_mean: f32,
+    /// Sample standard deviation of the accuracy across trials.
+    pub accuracy_std: f32,
+    /// Paper-scale end-to-end latency per sample (seconds).
+    pub latency_seconds: f64,
+    /// Paper-scale latency of the original, unsplit model (seconds).
+    pub original_latency_seconds: f64,
+    /// Paper-scale total sub-model memory (MB).
+    pub total_memory_mb: f64,
+}
+
+/// Runs the split sweep for one dataset and variant over `device_counts`,
+/// producing one curve point per device count (the building block of
+/// Figs. 4, 5 and 6).
+///
+/// # Errors
+///
+/// Propagates pipeline failures (e.g. infeasible memory budgets).
+pub fn split_curve(
+    kind: DatasetKind,
+    variant: ViTVariant,
+    device_counts: &[usize],
+    options: &ExperimentOptions,
+) -> Result<Vec<SplitCurvePoint>> {
+    let mut points = Vec::with_capacity(device_counts.len());
+    for &devices in device_counts {
+        let mut accuracies = Vec::with_capacity(options.trials);
+        let mut latency = 0.0;
+        let mut original_latency = 0.0;
+        let mut memory = 0.0;
+        for trial in 0..options.trials.max(1) {
+            let config = pipeline_config(kind, variant, devices, options, trial as u64 + 1);
+            let deployment = EdVitPipeline::new(config).run()?;
+            accuracies.push(deployment.metrics.fused_accuracy);
+            latency = deployment.metrics.latency_seconds;
+            original_latency = deployment.metrics.original_latency_seconds;
+            memory = deployment.metrics.total_memory_mb;
+        }
+        let (mean, std) = stats::mean_std(&accuracies);
+        points.push(SplitCurvePoint {
+            dataset: kind.paper_name().to_string(),
+            variant: variant.to_string(),
+            devices,
+            accuracy_mean: mean,
+            accuracy_std: std,
+            latency_seconds: latency,
+            original_latency_seconds: original_latency,
+            total_memory_mb: memory,
+        });
+    }
+    Ok(points)
+}
+
+/// Fig. 4: ViT-Base on the three vision datasets.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig4(device_counts: &[usize], options: &ExperimentOptions) -> Result<Vec<SplitCurvePoint>> {
+    let mut rows = Vec::new();
+    for kind in DatasetKind::vision() {
+        rows.extend(split_curve(kind, ViTVariant::Base, device_counts, options)?);
+    }
+    Ok(rows)
+}
+
+/// Fig. 5: ViT-Base on the two audio datasets.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig5(device_counts: &[usize], options: &ExperimentOptions) -> Result<Vec<SplitCurvePoint>> {
+    let mut rows = Vec::new();
+    for kind in DatasetKind::audio() {
+        rows.extend(split_curve(kind, ViTVariant::Base, device_counts, options)?);
+    }
+    Ok(rows)
+}
+
+/// Fig. 6: ViT-Small and ViT-Large on CIFAR-10 and Caltech256.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig6(device_counts: &[usize], options: &ExperimentOptions) -> Result<Vec<SplitCurvePoint>> {
+    let mut rows = Vec::new();
+    for variant in [ViTVariant::Small, ViTVariant::Large] {
+        for kind in [DatasetKind::Cifar10Like, DatasetKind::Caltech256Like] {
+            rows.extend(split_curve(kind, variant, device_counts, options)?);
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Table II and §V-D: FLOPs and communication overhead
+// ---------------------------------------------------------------------------
+
+/// One row of Table II: per-sub-model FLOPs for a dataset and device count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of devices (`None` means the original unsplit model).
+    pub devices: Option<usize>,
+    /// Per-sub-model FLOPs in units of 10⁹.
+    pub gflops: f64,
+}
+
+/// Regenerates Table II (ViT-Base sub-model FLOPs on CIFAR-10 and GTZAN for
+/// 2/3/5/10 devices) from the planner and the analytic cost model.
+///
+/// # Errors
+///
+/// Propagates planner failures.
+pub fn table2() -> Result<Vec<Table2Row>> {
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Cifar10Like, DatasetKind::GtzanLike] {
+        let base = ViTConfig::vit_base(kind.num_classes().min(10)).with_channels(kind.channels());
+        let original = analysis::cost_of_config(&base);
+        rows.push(Table2Row {
+            dataset: kind.paper_name().to_string(),
+            devices: None,
+            gflops: original.gflops(),
+        });
+        for devices in [2usize, 3, 5, 10] {
+            let planner = SplitPlanner::new(PlannerConfig::default());
+            let plan = planner.plan(&base, &DeviceSpec::raspberry_pi_cluster(devices), 1)?;
+            let max_flops = plan.max_sub_model_flops();
+            rows.push(Table2Row {
+                dataset: kind.paper_name().to_string(),
+                devices: Some(devices),
+                gflops: max_flops as f64 / 1e9,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// One row of the communication-overhead analysis of §V-D.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommRow {
+    /// Number of devices.
+    pub devices: usize,
+    /// Feature payload per sub-model in bytes.
+    pub payload_bytes: u64,
+    /// Transfer time of that payload at the paper's 2 Mbps cap, milliseconds.
+    pub transfer_ms: f64,
+    /// Reduction factor versus shipping the raw 224×224×3 image.
+    pub reduction_vs_raw_image: f64,
+}
+
+/// Regenerates the communication-overhead numbers of §V-D.
+///
+/// # Errors
+///
+/// Propagates planner failures.
+pub fn comm_overhead() -> Result<Vec<CommRow>> {
+    let base = ViTConfig::vit_base(10);
+    let raw = analysis::raw_image_bytes(&base) as f64;
+    let network = NetworkConfig::paper_default();
+    let mut rows = Vec::new();
+    for devices in PAPER_DEVICE_COUNTS {
+        let planner = SplitPlanner::new(PlannerConfig::default());
+        let plan = planner.plan(&base, &DeviceSpec::raspberry_pi_cluster(devices), 1)?;
+        let payload = plan
+            .sub_models
+            .iter()
+            .map(|s| analysis::feature_payload_bytes(&s.pruned))
+            .max()
+            .unwrap_or(0);
+        rows.push(CommRow {
+            devices,
+            payload_bytes: payload,
+            transfer_ms: network.transfer_seconds(payload) * 1e3,
+            reduction_vs_raw_image: raw / payload.max(1) as f64,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Table III and Fig. 7: comparison against Split-CNN and Split-SNN
+// ---------------------------------------------------------------------------
+
+/// One row of the method comparison (Table III / Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Method name ("Split-CNN", "Split-SNN", "ED-ViT").
+    pub method: String,
+    /// Number of devices.
+    pub devices: usize,
+    /// Mean accuracy across trials.
+    pub accuracy_mean: f32,
+    /// Standard deviation of the accuracy across trials.
+    pub accuracy_std: f32,
+    /// Paper-scale per-sample latency in seconds.
+    pub latency_seconds: f64,
+    /// Paper-scale total memory in MB.
+    pub total_memory_mb: f64,
+}
+
+fn baseline_datasets(options: &ExperimentOptions, seed: u64) -> Result<(edvit_datasets::Dataset, edvit_datasets::Dataset)> {
+    let mut cfg = if options.fast {
+        SyntheticConfig {
+            class_limit: Some(10),
+            samples_per_class: 6,
+            ..SyntheticConfig::tiny(DatasetKind::Cifar10Like)
+        }
+    } else {
+        SyntheticConfig::experiment(DatasetKind::Cifar10Like)
+    };
+    cfg.class_limit = Some(10);
+    let dataset = SyntheticGenerator::new(seed).generate(&cfg)?;
+    Ok(dataset.split(0.75, seed ^ 0xBB)?)
+}
+
+/// Runs the three-way comparison of Table III on the CIFAR-10-like dataset
+/// for the given device counts.
+///
+/// # Errors
+///
+/// Propagates pipeline and baseline failures.
+pub fn table3(device_counts: &[usize], options: &ExperimentOptions) -> Result<Vec<ComparisonRow>> {
+    let mut rows = Vec::new();
+    for &devices in device_counts {
+        // ED-ViT.
+        let ed_points = split_curve(
+            DatasetKind::Cifar10Like,
+            ViTVariant::Base,
+            &[devices],
+            options,
+        )?;
+        let ed = &ed_points[0];
+        rows.push(ComparisonRow {
+            method: "ED-ViT".to_string(),
+            devices,
+            accuracy_mean: ed.accuracy_mean,
+            accuracy_std: ed.accuracy_std,
+            latency_seconds: ed.latency_seconds,
+            total_memory_mb: ed.total_memory_mb,
+        });
+        // Baselines.
+        for kind in [BaselineKind::SplitCnn, BaselineKind::SplitSnn] {
+            let mut accs = Vec::with_capacity(options.trials);
+            let mut latency = 0.0;
+            let mut memory = 0.0;
+            for trial in 0..options.trials.max(1) {
+                let (train, test) = baseline_datasets(options, trial as u64 + 11)?;
+                let runner = SplitBaselineRunner::new(SplitBaselineConfig {
+                    n_devices: devices,
+                    train: TrainConfig {
+                        epochs: if options.fast { 3 } else { 8 },
+                        batch_size: 16,
+                        learning_rate: 3e-3,
+                        lr_decay: 0.92,
+                        seed: trial as u64,
+                    },
+                    fusion_steps: if options.fast { 60 } else { 200 },
+                    other_fraction: 0.3,
+                    seed: trial as u64 + 5,
+                });
+                let result = runner.run(&train, &test, kind)?;
+                accs.push(result.accuracy);
+                latency = result.latency_seconds;
+                memory = result.total_memory_mb;
+            }
+            let (mean, std) = stats::mean_std(&accs);
+            rows.push(ComparisonRow {
+                method: kind.to_string(),
+                devices,
+                accuracy_mean: mean,
+                accuracy_std: std,
+                latency_seconds: latency,
+                total_memory_mb: memory,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Fig. 7: the same comparison at 10 edge devices.
+///
+/// # Errors
+///
+/// Propagates pipeline and baseline failures.
+pub fn fig7(options: &ExperimentOptions) -> Result<Vec<ComparisonRow>> {
+    table3(&[10], options)
+}
+
+// ---------------------------------------------------------------------------
+// Table IV: retraining ablation
+// ---------------------------------------------------------------------------
+
+/// One row of the retraining ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Ablation variant ("ED-ViT", "(w/o) retrain", "(w/) entire retrain").
+    pub method: String,
+    /// Number of devices.
+    pub devices: usize,
+    /// Fused test accuracy.
+    pub accuracy: f32,
+}
+
+/// Regenerates Table IV: ED-ViT vs. softmax averaging vs. joint retraining,
+/// on the CIFAR-10-like dataset with ViT-Base.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn table4(device_counts: &[usize], options: &ExperimentOptions) -> Result<Vec<Table4Row>> {
+    let mut rows = Vec::new();
+    for &devices in device_counts {
+        let mut config = pipeline_config(
+            DatasetKind::Cifar10Like,
+            ViTVariant::Base,
+            devices,
+            options,
+            7,
+        );
+        config.joint_retrain_epochs = if options.fast { 1 } else { 3 };
+        let deployment = EdVitPipeline::new(config).run()?;
+        rows.push(Table4Row {
+            method: "ED-ViT".to_string(),
+            devices,
+            accuracy: deployment.metrics.fused_accuracy,
+        });
+        rows.push(Table4Row {
+            method: "(w/o) retrain".to_string(),
+            devices,
+            accuracy: deployment.metrics.averaged_accuracy,
+        });
+        rows.push(Table4Row {
+            method: "(w/) entire retrain".to_string(),
+            devices,
+            accuracy: deployment
+                .metrics
+                .joint_retrain_accuracy
+                .unwrap_or(deployment.metrics.fused_accuracy),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_shape() {
+        let rows = table1();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].model, "ViT-Small");
+        assert!(rows[0].params_millions < rows[1].params_millions);
+        assert!(rows[1].params_millions < rows[2].params_millions);
+        assert!(rows[0].latency_ms < rows[1].latency_ms);
+        assert!(rows[1].latency_ms < rows[2].latency_ms);
+        // Table I values: 9 628 ms / 36 940 ms / 118 828 ms within ~15%.
+        assert!((rows[1].latency_ms - 36_940.0).abs() / 36_940.0 < 0.15);
+        assert!((rows[1].memory_mb - 327.0).abs() < 25.0);
+    }
+
+    #[test]
+    fn table2_flops_decrease_with_devices() {
+        let rows = table2().unwrap();
+        assert_eq!(rows.len(), 10);
+        let cifar: Vec<&Table2Row> = rows.iter().filter(|r| r.dataset == "CIFAR-10").collect();
+        assert!(cifar[0].devices.is_none());
+        assert!((cifar[0].gflops - 16.86).abs() < 1.0);
+        for pair in cifar.windows(2) {
+            assert!(pair[1].gflops < pair[0].gflops);
+        }
+        // 2-device sub-models land near the paper's 4.25 GFLOPs.
+        assert!((cifar[1].gflops - 4.25).abs() < 0.8, "{}", cifar[1].gflops);
+    }
+
+    #[test]
+    fn comm_overhead_matches_section_vd() {
+        let rows = comm_overhead().unwrap();
+        assert_eq!(rows.len(), PAPER_DEVICE_COUNTS.len());
+        // Payloads shrink with more devices, from 1536 B (2 devices) down to
+        // 512 B (10 devices); transfer stays in the milliseconds.
+        let two = rows.iter().find(|r| r.devices == 2).unwrap();
+        assert_eq!(two.payload_bytes, 1536);
+        let ten = rows.iter().find(|r| r.devices == 10).unwrap();
+        assert_eq!(ten.payload_bytes, 512);
+        assert!((ten.reduction_vs_raw_image - 294.0).abs() < 1.0);
+        assert!(rows.iter().all(|r| r.transfer_ms < 10.0));
+    }
+
+    #[test]
+    fn fast_split_curve_has_expected_shape() {
+        let options = ExperimentOptions::fast();
+        let points = split_curve(
+            DatasetKind::Cifar10Like,
+            ViTVariant::Base,
+            &[2, 5],
+            &options,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points[0].latency_seconds > points[1].latency_seconds);
+        assert!(points
+            .iter()
+            .all(|p| p.total_memory_mb <= 180.0 && p.total_memory_mb > 0.0));
+        assert!(points
+            .iter()
+            .all(|p| p.original_latency_seconds > p.latency_seconds));
+        assert!(points.iter().all(|p| p.accuracy_mean >= 0.0));
+    }
+
+    #[test]
+    fn options_constructors() {
+        assert!(ExperimentOptions::fast().fast);
+        assert_eq!(ExperimentOptions::full().trials, 5);
+    }
+
+    #[test]
+    fn table4_fast_has_three_methods() {
+        let rows = table4(&[2], &ExperimentOptions::fast()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().any(|r| r.method == "ED-ViT"));
+        assert!(rows.iter().any(|r| r.method.contains("entire retrain")));
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.accuracy)));
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+use edvit_tensor::TensorError;
+
+/// Error type for dataset generation and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A requested configuration is invalid (zero samples, zero classes, ...).
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A class index was out of range for the dataset.
+    ClassOutOfRange {
+        /// Offending class index.
+        class: usize,
+        /// Number of classes in the dataset.
+        num_classes: usize,
+    },
+    /// An operation needed a non-empty dataset or subset.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DatasetError::InvalidConfig { message } => write!(f, "invalid dataset config: {message}"),
+            DatasetError::ClassOutOfRange { class, num_classes } => {
+                write!(f, "class {class} out of range for {num_classes} classes")
+            }
+            DatasetError::Empty { what } => write!(f, "empty {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DatasetError {
+    fn from(e: TensorError) -> Self {
+        DatasetError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DatasetError::InvalidConfig { message: "zero".into() }
+            .to_string()
+            .contains("zero"));
+        assert!(DatasetError::ClassOutOfRange { class: 12, num_classes: 10 }
+            .to_string()
+            .contains("12"));
+        assert!(DatasetError::Empty { what: "subset" }.to_string().contains("subset"));
+        let e: DatasetError = TensorError::EmptyInput { op: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

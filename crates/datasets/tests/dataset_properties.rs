@@ -1,0 +1,103 @@
+//! Property-based tests of dataset invariants: splits partition the data,
+//! resampling preserves class correspondence, generation is deterministic.
+
+use edvit_datasets::{DatasetKind, SyntheticConfig, SyntheticGenerator};
+use proptest::prelude::*;
+
+fn any_kind(index: usize) -> DatasetKind {
+    DatasetKind::all()[index % DatasetKind::all().len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn split_partitions_every_sample(
+        kind_index in 0usize..5,
+        samples in 2usize..8,
+        frac in 0.3f32..0.9,
+        seed in 0u64..300,
+    ) {
+        let mut cfg = SyntheticConfig::tiny(any_kind(kind_index));
+        cfg.samples_per_class = samples;
+        cfg.class_limit = Some(4);
+        let dataset = SyntheticGenerator::new(seed).generate(&cfg).unwrap();
+        let (train, test) = dataset.split(frac, seed ^ 0xA).unwrap();
+        prop_assert_eq!(train.len() + test.len(), dataset.len());
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+        // Class counts add up per class.
+        let full = dataset.class_counts();
+        let tr = train.class_counts();
+        let te = test.class_counts();
+        for c in 0..dataset.num_classes() {
+            prop_assert_eq!(tr[c] + te[c], full[c]);
+        }
+    }
+
+    #[test]
+    fn resampling_maps_labels_consistently(
+        samples in 2usize..6,
+        other_fraction in 0.0f32..0.8,
+        seed in 0u64..300,
+    ) {
+        let mut cfg = SyntheticConfig::tiny(DatasetKind::Cifar10Like);
+        cfg.samples_per_class = samples;
+        cfg.class_limit = Some(6);
+        let dataset = SyntheticGenerator::new(seed).generate(&cfg).unwrap();
+        let subset = vec![1usize, 4];
+        let (sub, mapping) = dataset.resample_for_classes(&subset, other_fraction, seed).unwrap();
+        // Own-class samples are all present.
+        let own: usize = dataset
+            .labels()
+            .iter()
+            .filter(|l| subset.contains(l))
+            .count();
+        let kept_own = sub
+            .labels()
+            .iter()
+            .filter(|&&l| mapping.global_class(l).is_some())
+            .count();
+        prop_assert_eq!(own, kept_own);
+        // Every local label is within the local label space.
+        prop_assert!(sub.labels().iter().all(|&l| l < mapping.num_local_labels()));
+        // The "other" label exists iff requested.
+        prop_assert_eq!(mapping.other_label.is_some(), other_fraction > 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive(
+        kind_index in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let cfg = SyntheticConfig::tiny(any_kind(kind_index));
+        let a = SyntheticGenerator::new(seed).generate(&cfg).unwrap();
+        let b = SyntheticGenerator::new(seed).generate(&cfg).unwrap();
+        prop_assert_eq!(a.images().data(), b.images().data());
+        let c = SyntheticGenerator::new(seed + 1).generate(&cfg).unwrap();
+        prop_assert_ne!(a.images().data(), c.images().data());
+    }
+
+    #[test]
+    fn batches_cover_dataset_without_duplication(
+        samples in 2usize..6,
+        batch in 1usize..16,
+        seed in 0u64..200,
+    ) {
+        let mut cfg = SyntheticConfig::tiny(DatasetKind::MnistLike);
+        cfg.samples_per_class = samples;
+        cfg.class_limit = Some(5);
+        let dataset = SyntheticGenerator::new(seed).generate(&cfg).unwrap();
+        let batches = dataset.shuffled_batches(batch, seed).unwrap();
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        prop_assert_eq!(total, dataset.len());
+        // Label histogram preserved.
+        let mut counts = vec![0usize; dataset.num_classes()];
+        for (_, labels) in &batches {
+            for &l in labels {
+                counts[l] += 1;
+            }
+        }
+        prop_assert_eq!(counts, dataset.class_counts());
+    }
+}

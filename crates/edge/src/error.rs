@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Error type for the edge-cluster simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeError {
+    /// The simulation was configured inconsistently (unknown device ids,
+    /// empty plans, zero bandwidth, ...).
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A worker thread failed or a channel was closed unexpectedly.
+    Runtime {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A wire message could not be decoded.
+    Decode {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeError::InvalidConfig { message } => write!(f, "invalid edge configuration: {message}"),
+            EdgeError::Runtime { message } => write!(f, "cluster runtime failure: {message}"),
+            EdgeError::Decode { message } => write!(f, "wire decode failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EdgeError::InvalidConfig { message: "no devices".into() }
+            .to_string()
+            .contains("no devices"));
+        assert!(EdgeError::Runtime { message: "panic".into() }.to_string().contains("panic"));
+        assert!(EdgeError::Decode { message: "short".into() }.to_string().contains("short"));
+    }
+}

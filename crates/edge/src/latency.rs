@@ -1,0 +1,276 @@
+//! Analytic end-to-end latency model for a deployed split plan.
+
+use serde::{Deserialize, Serialize};
+
+use edvit_partition::{DeviceSpec, SplitPlan};
+use edvit_vit::analysis;
+
+use crate::{EdgeError, NetworkConfig, Result};
+
+/// Latency contribution of one edge device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerDeviceLatency {
+    /// Device identifier.
+    pub device_id: usize,
+    /// Seconds spent computing all sub-models hosted on this device
+    /// (sequentially, as a single Pi runs them one after another).
+    pub compute_seconds: f64,
+    /// Seconds spent transmitting this device's feature payloads to the
+    /// fusion device.
+    pub communication_seconds: f64,
+}
+
+impl PerDeviceLatency {
+    /// Total busy time of this device for one input sample.
+    pub fn total_seconds(&self) -> f64 {
+        self.compute_seconds + self.communication_seconds
+    }
+}
+
+/// End-to-end latency breakdown for one inference sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Per-device compute + communication times.
+    pub per_device: Vec<PerDeviceLatency>,
+    /// Seconds the fusion device spends running the fusion MLP.
+    pub fusion_seconds: f64,
+    /// End-to-end latency: the slowest device (devices work in parallel on
+    /// the same sample) plus fusion.
+    pub total_seconds: f64,
+}
+
+impl LatencyBreakdown {
+    /// The device that dominates the end-to-end latency.
+    pub fn bottleneck_device(&self) -> Option<usize> {
+        self.per_device
+            .iter()
+            .max_by(|a, b| a.total_seconds().partial_cmp(&b.total_seconds()).expect("finite"))
+            .map(|d| d.device_id)
+    }
+
+    /// Fraction of the end-to-end latency spent on communication (the paper
+    /// argues this is negligible: ≤ 5.86 ms against seconds of compute).
+    pub fn communication_fraction(&self) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
+        let comm: f64 = self
+            .per_device
+            .iter()
+            .map(|d| d.communication_seconds)
+            .fold(0.0, f64::max);
+        comm / self.total_seconds
+    }
+}
+
+/// Analytic latency model: FLOPs ÷ device throughput for compute, payload ÷
+/// bandwidth for communication, plus a fusion-MLP term.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    network: NetworkConfig,
+    /// FLOPs attributed to the fusion MLP per sample; derived from the fusion
+    /// layer sizes (`N·d·s → λ·N·d·s → classes`, λ = 0.5).
+    fusion_flops_override: Option<u64>,
+}
+
+impl LatencyModel {
+    /// Creates a latency model with the given network configuration.
+    pub fn new(network: NetworkConfig) -> Self {
+        LatencyModel {
+            network,
+            fusion_flops_override: None,
+        }
+    }
+
+    /// Overrides the fusion-MLP FLOPs (useful when the caller has the actual
+    /// fusion model and wants measured sizes instead of the default formula).
+    pub fn with_fusion_flops(mut self, flops: u64) -> Self {
+        self.fusion_flops_override = Some(flops);
+        self
+    }
+
+    /// The network configuration in use.
+    pub fn network(&self) -> &NetworkConfig {
+        &self.network
+    }
+
+    /// Estimates the end-to-end latency of one inference sample under `plan`
+    /// on `devices`. The fusion device is assumed to be an additional device
+    /// of the same profile as `devices[0]`, matching the paper's setup of one
+    /// dedicated fusion Pi.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidConfig`] when the plan references devices
+    /// that are not in `devices` or the plan is empty.
+    pub fn estimate(&self, plan: &SplitPlan, devices: &[DeviceSpec]) -> Result<LatencyBreakdown> {
+        if plan.sub_models.is_empty() || devices.is_empty() {
+            return Err(EdgeError::InvalidConfig {
+                message: "empty plan or device list".to_string(),
+            });
+        }
+        let mut per_device: Vec<PerDeviceLatency> = devices
+            .iter()
+            .map(|d| PerDeviceLatency {
+                device_id: d.id,
+                compute_seconds: 0.0,
+                communication_seconds: 0.0,
+            })
+            .collect();
+
+        let mut total_feature_dim = 0usize;
+        for sub in &plan.sub_models {
+            let device_id = plan.assignment.device_for(sub.index).ok_or_else(|| {
+                EdgeError::InvalidConfig {
+                    message: format!("sub-model {} has no assigned device", sub.index),
+                }
+            })?;
+            let device = devices.iter().find(|d| d.id == device_id).ok_or_else(|| {
+                EdgeError::InvalidConfig {
+                    message: format!("device {device_id} not present in the device list"),
+                }
+            })?;
+            let slot = per_device
+                .iter_mut()
+                .find(|p| p.device_id == device_id)
+                .expect("devices enumerated above");
+            slot.compute_seconds += device.execution_seconds(sub.cost.flops);
+            let payload = analysis::feature_payload_bytes(&sub.pruned);
+            slot.communication_seconds += self.network.transfer_seconds(payload);
+            total_feature_dim += sub.pruned.feature_dim();
+        }
+
+        // Fusion MLP: concat(N features) -> λ·total -> classes, λ = 0.5.
+        let classes = plan
+            .sub_models
+            .first()
+            .map(|s| s.pruned.base().num_classes)
+            .unwrap_or(0);
+        let hidden = (total_feature_dim as f64 * 0.5).ceil() as u64;
+        let fusion_flops = self.fusion_flops_override.unwrap_or(
+            total_feature_dim as u64 * hidden + hidden * classes as u64,
+        );
+        let fusion_device = &devices[0];
+        let fusion_seconds = fusion_device.execution_seconds(fusion_flops);
+
+        let slowest = per_device
+            .iter()
+            .map(|d| d.total_seconds())
+            .fold(0.0, f64::max);
+        Ok(LatencyBreakdown {
+            per_device,
+            fusion_seconds,
+            total_seconds: slowest + fusion_seconds,
+        })
+    }
+
+    /// Latency of running the *original* (unsplit) model of `flops` MACs on a
+    /// single device — the dotted baseline lines in Fig. 4/5.
+    pub fn original_model_latency(&self, flops: u64, device: &DeviceSpec) -> f64 {
+        device.execution_seconds(flops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edvit_partition::{PlannerConfig, SplitPlanner};
+    use edvit_vit::ViTConfig;
+
+    fn plan_for(n: usize) -> (SplitPlan, Vec<DeviceSpec>) {
+        let devices = DeviceSpec::raspberry_pi_cluster(n);
+        let plan = SplitPlanner::new(PlannerConfig::default())
+            .plan(&ViTConfig::vit_base(10), &devices, 1)
+            .unwrap();
+        (plan, devices)
+    }
+
+    #[test]
+    fn latency_decreases_with_more_devices() {
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let mut last = f64::INFINITY;
+        for n in [2usize, 3, 5, 10] {
+            let (plan, devices) = plan_for(n);
+            let latency = model.estimate(&plan, &devices).unwrap();
+            assert!(
+                latency.total_seconds < last,
+                "latency should fall with more devices: {} !< {last}",
+                latency.total_seconds
+            );
+            last = latency.total_seconds;
+        }
+    }
+
+    #[test]
+    fn paper_scale_latency_band() {
+        // Fig. 4(b): ViT-Base split over 2 devices ~9.6 s per sample, over 10
+        // devices ~1.3 s, against an original-model latency of 36.94 s.
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let (plan2, devices2) = plan_for(2);
+        let l2 = model.estimate(&plan2, &devices2).unwrap();
+        assert!(l2.total_seconds > 5.0 && l2.total_seconds < 14.0, "{}", l2.total_seconds);
+        let (plan10, devices10) = plan_for(10);
+        let l10 = model.estimate(&plan10, &devices10).unwrap();
+        assert!(l10.total_seconds > 0.4 && l10.total_seconds < 3.0, "{}", l10.total_seconds);
+        let original = model.original_model_latency(16_860_000_000, &devices2[0]);
+        assert!((original - 36.94).abs() < 1.0);
+        assert!(original / l10.total_seconds > 10.0, "speedup should be >10x");
+    }
+
+    #[test]
+    fn communication_is_negligible_fraction() {
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let (plan, devices) = plan_for(5);
+        let latency = model.estimate(&plan, &devices).unwrap();
+        assert!(latency.communication_fraction() < 0.05);
+        assert!(latency.fusion_seconds >= 0.0);
+        assert!(latency.bottleneck_device().is_some());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let (plan, devices) = plan_for(3);
+        assert!(model.estimate(&plan, &[]).is_err());
+        // Device list that does not contain the assigned device ids.
+        let wrong: Vec<DeviceSpec> = (100..103).map(DeviceSpec::raspberry_pi_4b).collect();
+        assert!(model.estimate(&plan, &wrong).is_err());
+        let _ = devices;
+    }
+
+    #[test]
+    fn fusion_flops_override_is_used() {
+        let (plan, devices) = plan_for(2);
+        let base = LatencyModel::new(NetworkConfig::paper_default())
+            .estimate(&plan, &devices)
+            .unwrap();
+        let slow_fusion = LatencyModel::new(NetworkConfig::paper_default())
+            .with_fusion_flops(10_000_000_000)
+            .estimate(&plan, &devices)
+            .unwrap();
+        assert!(slow_fusion.fusion_seconds > base.fusion_seconds);
+        assert!(slow_fusion.total_seconds > base.total_seconds);
+    }
+
+    #[test]
+    fn accessors() {
+        let model = LatencyModel::new(NetworkConfig::gigabit());
+        assert_eq!(
+            model.network().bandwidth_bits_per_second,
+            NetworkConfig::gigabit().bandwidth_bits_per_second
+        );
+        let d = PerDeviceLatency {
+            device_id: 0,
+            compute_seconds: 1.0,
+            communication_seconds: 0.5,
+        };
+        assert_eq!(d.total_seconds(), 1.5);
+        let empty = LatencyBreakdown {
+            per_device: vec![],
+            fusion_seconds: 0.0,
+            total_seconds: 0.0,
+        };
+        assert_eq!(empty.bottleneck_device(), None);
+        assert_eq!(empty.communication_fraction(), 0.0);
+    }
+}

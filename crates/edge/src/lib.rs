@@ -1,0 +1,50 @@
+//! # edvit-edge
+//!
+//! Edge-device cluster, network and distributed-inference simulation.
+//!
+//! The paper's testbed is a rack of Raspberry Pi 4B devices behind a gigabit
+//! switch, with `tc` capping the inter-device bandwidth at 2 Mbps. This crate
+//! replaces that hardware with two cooperating pieces:
+//!
+//! * an **analytic latency model** ([`LatencyModel`]) calibrated on the
+//!   paper's own Table I (FLOPs ÷ effective throughput + payload ÷ bandwidth),
+//!   which regenerates the latency curves of Figs. 4–7 deterministically, and
+//! * a **threaded cluster runtime** ([`ClusterRuntime`]) built on crossbeam
+//!   channels, which actually executes sub-model closures on worker threads,
+//!   ships serialized feature messages to a fusion worker and returns fused
+//!   outputs — exercising the real concurrency structure of the deployment.
+//!
+//! # Example
+//!
+//! ```
+//! use edvit_edge::{LatencyModel, NetworkConfig};
+//! use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlanner};
+//! use edvit_vit::ViTConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let devices = DeviceSpec::raspberry_pi_cluster(5);
+//! let plan = SplitPlanner::new(PlannerConfig::default())
+//!     .plan(&ViTConfig::vit_base(10), &devices, 0)?;
+//! let latency = LatencyModel::new(NetworkConfig::paper_default())
+//!     .estimate(&plan, &devices)?;
+//! assert!(latency.total_seconds > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod latency;
+mod network;
+mod runtime;
+mod wire;
+
+pub use error::EdgeError;
+pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency};
+pub use network::NetworkConfig;
+pub use runtime::{ClusterRuntime, FusionFn, RuntimeReport, SubModelFn};
+pub use wire::FeatureMessage;
+
+/// Convenience result alias for edge-simulation operations.
+pub type Result<T> = std::result::Result<T, EdgeError>;

@@ -1,0 +1,285 @@
+//! Threaded distributed-inference runtime.
+//!
+//! Each sub-model runs on its own worker thread ("edge device"), extracts a
+//! feature vector per input sample, serializes it into a [`FeatureMessage`]
+//! and ships it over a channel ("the switch") to the fusion worker, which
+//! concatenates the per-sample features in sub-model order and applies the
+//! fusion function. This mirrors the deployment in Fig. 3 of the paper while
+//! staying deterministic: the *timing* numbers come from the analytic
+//! [`crate::LatencyModel`], not from wall-clock measurements.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+use edvit_tensor::Tensor;
+
+use crate::{EdgeError, FeatureMessage, NetworkConfig, Result};
+
+/// A sub-model executor: maps one input sample to a feature vector.
+///
+/// The `String` error type keeps the closure signature independent of the
+/// model crates; the runtime wraps failures into [`EdgeError::Runtime`].
+pub type SubModelFn = Box<dyn FnMut(&Tensor) -> std::result::Result<Tensor, String> + Send>;
+
+/// The fusion function: maps the concatenated feature vector of one sample to
+/// the fused output (e.g. class logits).
+pub type FusionFn = Box<dyn FnMut(&Tensor) -> std::result::Result<Tensor, String> + Send>;
+
+/// Result of running a batch of samples through the cluster.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Fused output per input sample, in input order.
+    pub outputs: Vec<Tensor>,
+    /// Number of feature messages exchanged.
+    pub messages: usize,
+    /// Total bytes of feature payload transferred to the fusion device.
+    pub payload_bytes: u64,
+    /// Communication time those payloads would take on the configured
+    /// network (per sample, the slowest single message; summed over samples).
+    pub simulated_communication_seconds: f64,
+    /// Wall-clock time of the threaded execution (informational only; the
+    /// reproducible latency numbers come from the analytic model).
+    pub wall_clock_seconds: f64,
+}
+
+impl RuntimeReport {
+    /// Argmax prediction per sample, for classification-style fusion outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any output is empty.
+    pub fn predictions(&self) -> Result<Vec<usize>> {
+        self.outputs
+            .iter()
+            .map(|o| {
+                o.argmax().map_err(|e| EdgeError::Runtime {
+                    message: format!("empty fusion output: {e}"),
+                })
+            })
+            .collect()
+    }
+}
+
+/// A simulated cluster of edge devices plus one fusion device.
+#[derive(Debug, Clone)]
+pub struct ClusterRuntime {
+    network: NetworkConfig,
+}
+
+impl ClusterRuntime {
+    /// Creates a runtime with the given network model.
+    pub fn new(network: NetworkConfig) -> Self {
+        ClusterRuntime { network }
+    }
+
+    /// Runs every input sample through every sub-model executor concurrently,
+    /// fusing the per-sample features with `fusion`.
+    ///
+    /// `inputs` holds one tensor per sample (e.g. a `[c, h, w]` image or a
+    /// `[1, c, h, w]` batch of one — the executors decide how to interpret
+    /// it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidConfig`] for empty inputs or executor
+    /// lists, and [`EdgeError::Runtime`] when an executor or the fusion
+    /// function fails.
+    pub fn run(
+        &self,
+        inputs: &[Tensor],
+        executors: Vec<SubModelFn>,
+        mut fusion: FusionFn,
+    ) -> Result<RuntimeReport> {
+        if inputs.is_empty() {
+            return Err(EdgeError::InvalidConfig {
+                message: "no input samples".to_string(),
+            });
+        }
+        if executors.is_empty() {
+            return Err(EdgeError::InvalidConfig {
+                message: "no sub-model executors".to_string(),
+            });
+        }
+        let started = Instant::now();
+        let num_sub_models = executors.len();
+        let shared_inputs: Arc<Vec<Tensor>> = Arc::new(inputs.to_vec());
+        let (tx, rx) = channel::unbounded::<std::result::Result<bytes::Bytes, String>>();
+
+        crossbeam::scope(|scope| -> Result<()> {
+            for (sub_model_index, mut executor) in executors.into_iter().enumerate() {
+                let tx = tx.clone();
+                let inputs = Arc::clone(&shared_inputs);
+                scope.spawn(move |_| {
+                    for (sample_index, sample) in inputs.iter().enumerate() {
+                        let result = executor(sample).map(|feature| {
+                            FeatureMessage::from_tensor(sub_model_index, sample_index, &feature)
+                                .encode()
+                        });
+                        // A closed channel means the collector already failed;
+                        // stop quietly.
+                        if tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            Ok(())
+        })
+        .map_err(|_| EdgeError::Runtime {
+            message: "a device worker thread panicked".to_string(),
+        })??;
+
+        // Collect all messages (the scope above joins all workers first, so
+        // the channel is fully populated and closed).
+        let mut per_sample: BTreeMap<u32, BTreeMap<u32, FeatureMessage>> = BTreeMap::new();
+        let mut messages = 0usize;
+        let mut payload_bytes = 0u64;
+        let mut comm_seconds = 0.0f64;
+        let mut per_sample_slowest: BTreeMap<u32, f64> = BTreeMap::new();
+        for encoded in rx.iter() {
+            let encoded = encoded.map_err(|message| EdgeError::Runtime { message })?;
+            let msg = FeatureMessage::decode(encoded)?;
+            messages += 1;
+            payload_bytes += msg.payload_bytes() as u64;
+            let t = self.network.transfer_seconds(msg.payload_bytes() as u64);
+            let slot = per_sample_slowest.entry(msg.sample_index).or_insert(0.0);
+            if t > *slot {
+                *slot = t;
+            }
+            per_sample
+                .entry(msg.sample_index)
+                .or_default()
+                .insert(msg.sub_model, msg);
+        }
+        comm_seconds += per_sample_slowest.values().sum::<f64>();
+
+        // Fuse each sample's features in sub-model order.
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for sample_index in 0..inputs.len() as u32 {
+            let features = per_sample.get(&sample_index).ok_or_else(|| EdgeError::Runtime {
+                message: format!("no features received for sample {sample_index}"),
+            })?;
+            if features.len() != num_sub_models {
+                return Err(EdgeError::Runtime {
+                    message: format!(
+                        "sample {sample_index} received {} of {num_sub_models} features",
+                        features.len()
+                    ),
+                });
+            }
+            let tensors: Vec<Tensor> = features.values().map(|m| m.to_tensor()).collect();
+            let refs: Vec<&Tensor> = tensors.iter().collect();
+            let concatenated = Tensor::concat_last_axis(&refs).map_err(|e| EdgeError::Runtime {
+                message: format!("feature concatenation failed: {e}"),
+            })?;
+            let fused = fusion(&concatenated).map_err(|message| EdgeError::Runtime { message })?;
+            outputs.push(fused);
+        }
+
+        Ok(RuntimeReport {
+            outputs,
+            messages,
+            payload_bytes,
+            simulated_communication_seconds: comm_seconds,
+            wall_clock_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_executor(value: f32, dim: usize) -> SubModelFn {
+        Box::new(move |_input: &Tensor| Ok(Tensor::full(&[dim], value)))
+    }
+
+    #[test]
+    fn features_are_fused_in_sub_model_order() {
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let inputs = vec![Tensor::zeros(&[2]), Tensor::ones(&[2])];
+        let executors = vec![constant_executor(1.0, 2), constant_executor(2.0, 3)];
+        let fusion: FusionFn = Box::new(|concat: &Tensor| Ok(concat.clone()));
+        let report = runtime.run(&inputs, executors, fusion).unwrap();
+        assert_eq!(report.outputs.len(), 2);
+        assert_eq!(report.outputs[0].data(), &[1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(report.messages, 4);
+        assert_eq!(report.payload_bytes, 2 * (2 * 4 + 3 * 4));
+        assert!(report.simulated_communication_seconds > 0.0);
+        assert!(report.wall_clock_seconds >= 0.0);
+    }
+
+    #[test]
+    fn executor_that_uses_input_sees_the_right_sample() {
+        let runtime = ClusterRuntime::new(NetworkConfig::gigabit());
+        let inputs = vec![Tensor::full(&[3], 1.0), Tensor::full(&[3], 5.0)];
+        let sum_executor: SubModelFn =
+            Box::new(|input: &Tensor| Ok(Tensor::from_vec(vec![input.sum()], &[1]).unwrap()));
+        let fusion: FusionFn = Box::new(|concat: &Tensor| Ok(concat.clone()));
+        let report = runtime.run(&inputs, vec![sum_executor], fusion).unwrap();
+        assert_eq!(report.outputs[0].data(), &[3.0]);
+        assert_eq!(report.outputs[1].data(), &[15.0]);
+    }
+
+    #[test]
+    fn predictions_take_argmax() {
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let inputs = vec![Tensor::zeros(&[1])];
+        let executors = vec![constant_executor(0.1, 2)];
+        let fusion: FusionFn =
+            Box::new(|_| Ok(Tensor::from_vec(vec![0.1, 0.9, 0.0], &[3]).unwrap()));
+        let report = runtime.run(&inputs, executors, fusion).unwrap();
+        assert_eq!(report.predictions().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn empty_inputs_and_executors_error() {
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let fusion: FusionFn = Box::new(|c: &Tensor| Ok(c.clone()));
+        assert!(runtime
+            .run(&[], vec![constant_executor(1.0, 1)], fusion)
+            .is_err());
+        let fusion: FusionFn = Box::new(|c: &Tensor| Ok(c.clone()));
+        assert!(runtime.run(&[Tensor::zeros(&[1])], vec![], fusion).is_err());
+    }
+
+    #[test]
+    fn executor_failures_propagate() {
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let failing: SubModelFn = Box::new(|_| Err("device out of memory".to_string()));
+        let fusion: FusionFn = Box::new(|c: &Tensor| Ok(c.clone()));
+        let err = runtime
+            .run(&[Tensor::zeros(&[1])], vec![failing], fusion)
+            .unwrap_err();
+        assert!(matches!(err, EdgeError::Runtime { .. }));
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn fusion_failures_propagate() {
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let fusion: FusionFn = Box::new(|_| Err("fusion MLP not trained".to_string()));
+        let err = runtime
+            .run(&[Tensor::zeros(&[1])], vec![constant_executor(1.0, 2)], fusion)
+            .unwrap_err();
+        assert!(err.to_string().contains("fusion MLP"));
+    }
+
+    #[test]
+    fn many_devices_many_samples() {
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let inputs: Vec<Tensor> = (0..8).map(|i| Tensor::full(&[4], i as f32)).collect();
+        let executors: Vec<SubModelFn> = (0..10).map(|i| constant_executor(i as f32, 8)).collect();
+        let fusion: FusionFn = Box::new(|concat: &Tensor| {
+            Ok(Tensor::from_vec(vec![concat.sum()], &[1]).unwrap())
+        });
+        let report = runtime.run(&inputs, executors, fusion).unwrap();
+        assert_eq!(report.outputs.len(), 8);
+        assert_eq!(report.messages, 80);
+        // Sum of constants 0..10 each repeated 8 times = 8 * 45 = 360.
+        assert_eq!(report.outputs[0].data(), &[360.0]);
+    }
+}

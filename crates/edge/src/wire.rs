@@ -1,0 +1,147 @@
+//! Wire format for feature messages between edge devices and the fusion
+//! device.
+//!
+//! A message carries the pooled feature vector one sub-model extracted for one
+//! input sample. The encoding is a fixed little-endian layout so the payload
+//! size is exactly `4 × feature_dim` bytes plus a 12-byte header — matching
+//! the 1536-byte / 512-byte payloads discussed in §V-D of the paper.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use edvit_tensor::Tensor;
+
+use crate::{EdgeError, Result};
+
+/// A serialized feature vector sent from an edge device to the fusion device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMessage {
+    /// Index of the sub-model that produced the feature.
+    pub sub_model: u32,
+    /// Index of the input sample within the batch/stream.
+    pub sample_index: u32,
+    /// The pooled feature values.
+    pub feature: Vec<f32>,
+}
+
+impl FeatureMessage {
+    /// Creates a message from a rank-1 feature tensor.
+    pub fn from_tensor(sub_model: usize, sample_index: usize, feature: &Tensor) -> Self {
+        FeatureMessage {
+            sub_model: sub_model as u32,
+            sample_index: sample_index as u32,
+            feature: feature.data().to_vec(),
+        }
+    }
+
+    /// The feature as a tensor of shape `[dim]`.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.feature.clone(), &[self.feature.len()])
+            .expect("length always matches")
+    }
+
+    /// Size of the encoded message in bytes (12-byte header + payload).
+    pub fn encoded_len(&self) -> usize {
+        12 + self.feature.len() * 4
+    }
+
+    /// Size in bytes of just the feature payload (what the paper reports).
+    pub fn payload_bytes(&self) -> usize {
+        self.feature.len() * 4
+    }
+
+    /// Encodes the message into a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u32_le(self.sub_model);
+        buf.put_u32_le(self.sample_index);
+        buf.put_u32_le(self.feature.len() as u32);
+        for &v in &self.feature {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message previously produced by [`FeatureMessage::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::Decode`] for truncated or inconsistent buffers.
+    pub fn decode(mut bytes: Bytes) -> Result<Self> {
+        if bytes.len() < 12 {
+            return Err(EdgeError::Decode {
+                message: format!("buffer of {} bytes is shorter than the header", bytes.len()),
+            });
+        }
+        let sub_model = bytes.get_u32_le();
+        let sample_index = bytes.get_u32_le();
+        let len = bytes.get_u32_le() as usize;
+        if bytes.remaining() != len * 4 {
+            return Err(EdgeError::Decode {
+                message: format!(
+                    "expected {} payload bytes for {len} values, found {}",
+                    len * 4,
+                    bytes.remaining()
+                ),
+            });
+        }
+        let mut feature = Vec::with_capacity(len);
+        for _ in 0..len {
+            feature.push(bytes.get_f32_le());
+        }
+        Ok(FeatureMessage {
+            sub_model,
+            sample_index,
+            feature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = Tensor::from_vec(vec![1.0, -2.5, 3.25], &[3]).unwrap();
+        let msg = FeatureMessage::from_tensor(2, 17, &t);
+        let decoded = FeatureMessage::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.to_tensor().data(), t.data());
+        assert_eq!(msg.encoded_len(), 12 + 12);
+        assert_eq!(msg.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn payload_matches_paper_sizes() {
+        // 384-dimensional feature (ViT-Base at s=1/2) -> 1536-byte payload.
+        let t = Tensor::zeros(&[384]);
+        let msg = FeatureMessage::from_tensor(0, 0, &t);
+        assert_eq!(msg.payload_bytes(), 1536);
+        // 128-dimensional feature (s=1/6) -> 512 bytes.
+        let t = Tensor::zeros(&[128]);
+        assert_eq!(FeatureMessage::from_tensor(0, 0, &t).payload_bytes(), 512);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(FeatureMessage::decode(Bytes::from_static(&[1, 2, 3])).is_err());
+        // Header claims 5 values but payload holds only 1.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(5);
+        buf.put_f32_le(1.0);
+        assert!(FeatureMessage::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn empty_feature_is_legal() {
+        let msg = FeatureMessage {
+            sub_model: 0,
+            sample_index: 0,
+            feature: vec![],
+        };
+        let decoded = FeatureMessage::decode(msg.encode()).unwrap();
+        assert!(decoded.feature.is_empty());
+    }
+}

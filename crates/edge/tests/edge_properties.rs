@@ -1,0 +1,65 @@
+//! Property-based tests of the edge simulation invariants: transfer time is
+//! monotone, wire messages round-trip, and latency estimates respect the
+//! structure of the plan.
+
+use edvit_edge::{FeatureMessage, LatencyModel, NetworkConfig};
+use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlanner};
+use edvit_tensor::{init::TensorRng, Tensor};
+use edvit_vit::ViTConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes_and_bandwidth(
+        bytes_a in 1u64..1_000_000,
+        bytes_b in 1u64..1_000_000,
+        bandwidth in 1_000.0f64..1e9,
+    ) {
+        let net = NetworkConfig { bandwidth_bits_per_second: bandwidth, per_message_overhead_seconds: 0.0 };
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(net.transfer_seconds(lo) <= net.transfer_seconds(hi));
+        let faster = NetworkConfig { bandwidth_bits_per_second: bandwidth * 2.0, per_message_overhead_seconds: 0.0 };
+        prop_assert!(faster.transfer_seconds(hi) <= net.transfer_seconds(hi));
+    }
+
+    #[test]
+    fn feature_messages_round_trip(dim in 0usize..256, sub_model in 0usize..16, sample in 0usize..1000, seed in 0u64..500) {
+        let feature = if dim == 0 {
+            Tensor::zeros(&[0])
+        } else {
+            TensorRng::new(seed).randn(&[dim], 0.0, 1.0)
+        };
+        let msg = FeatureMessage::from_tensor(sub_model, sample, &feature);
+        let decoded = FeatureMessage::decode(msg.encode()).unwrap();
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(decoded.payload_bytes(), dim * 4);
+    }
+
+    #[test]
+    fn latency_estimates_are_positive_and_bounded_by_serial_execution(
+        devices in 2usize..10,
+        seed in 0u64..100,
+    ) {
+        let cluster = DeviceSpec::raspberry_pi_cluster(devices);
+        let plan = SplitPlanner::new(PlannerConfig::default())
+            .plan(&ViTConfig::vit_base(10), &cluster, seed)
+            .unwrap();
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let latency = model.estimate(&plan, &cluster).unwrap();
+        prop_assert!(latency.total_seconds > 0.0);
+        // Parallel execution can never be slower than running every sub-model
+        // on a single device back to back (plus fusion and slack).
+        let serial: f64 = plan
+            .sub_models
+            .iter()
+            .map(|s| cluster[0].execution_seconds(s.cost.flops))
+            .sum::<f64>()
+            + latency.fusion_seconds
+            + 1.0;
+        prop_assert!(latency.total_seconds <= serial);
+        // Communication is a small fraction of the total.
+        prop_assert!(latency.communication_fraction() < 0.2);
+    }
+}

@@ -1,0 +1,249 @@
+use edvit_tensor::{ops::NORM_EPS, Tensor};
+
+use crate::{Layer, NnError, Parameter, Result};
+
+/// Layer normalization over the last axis with learnable scale and shift,
+/// matching `nn.LayerNorm(d)` in the reference PyTorch implementation.
+///
+/// # Example
+///
+/// ```
+/// use edvit_nn::{Layer, LayerNorm};
+/// use edvit_tensor::Tensor;
+///
+/// # fn main() -> Result<(), edvit_nn::NnError> {
+/// let mut ln = LayerNorm::new(4);
+/// let y = ln.forward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4])?)?;
+/// assert!(y.mean().abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Parameter,
+    beta: Parameter,
+    dim: usize,
+    cache: Option<LayerNormCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LayerNormCache {
+    /// Normalized input `(x - mean) / sqrt(var + eps)` per row.
+    x_hat: Tensor,
+    /// `1 / sqrt(var + eps)` per row.
+    inv_std: Vec<f32>,
+    lead_dims: Vec<usize>,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over vectors of length `dim` (γ=1, β=0).
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Parameter::new("layernorm.gamma", Tensor::ones(&[dim])),
+            beta: Parameter::new("layernorm.beta", Tensor::zeros(&[dim])),
+            dim,
+            cache: None,
+        }
+    }
+
+    /// Creates a layer norm from existing affine parameters — used when
+    /// slicing pruned sub-models out of a trained model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when the two vectors disagree in
+    /// length.
+    pub fn from_weights(gamma: Tensor, beta: Tensor) -> Result<Self> {
+        if gamma.numel() != beta.numel() || gamma.rank() != 1 {
+            return Err(NnError::InvalidConfig {
+                message: format!(
+                    "layernorm gamma {:?} and beta {:?} must be equal-length vectors",
+                    gamma.dims(),
+                    beta.dims()
+                ),
+            });
+        }
+        let dim = gamma.numel();
+        Ok(LayerNorm {
+            gamma: Parameter::new("layernorm.gamma", gamma),
+            beta: Parameter::new("layernorm.beta", beta),
+            dim,
+            cache: None,
+        })
+    }
+
+    /// Normalized dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Immutable view of the scale parameter γ.
+    pub fn gamma(&self) -> &Parameter {
+        &self.gamma
+    }
+
+    /// Immutable view of the shift parameter β.
+    pub fn beta(&self) -> &Parameter {
+        &self.beta
+    }
+
+    /// Returns a new `LayerNorm` keeping only the listed features, used by
+    /// residual-channel pruning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when an index is out of range.
+    pub fn select_features(&self, keep: &[usize]) -> Result<LayerNorm> {
+        let gamma = self.gamma.value().select_last_axis(keep)?;
+        let beta = self.beta.value().select_last_axis(keep)?;
+        LayerNorm::from_weights(gamma, beta)
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() == 0 || *input.dims().last().unwrap_or(&0) != self.dim {
+            return Err(NnError::InvalidConfig {
+                message: format!(
+                    "layernorm expected last dim {}, got shape {:?}",
+                    self.dim,
+                    input.dims()
+                ),
+            });
+        }
+        let rows = input.numel() / self.dim;
+        let mut x_hat = vec![0.0f32; input.numel()];
+        let mut inv_std = vec![0.0f32; rows];
+        let mut out = vec![0.0f32; input.numel()];
+        for r in 0..rows {
+            let row = &input.data()[r * self.dim..(r + 1) * self.dim];
+            let mean: f32 = row.iter().sum::<f32>() / self.dim as f32;
+            let var: f32 =
+                row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
+            let istd = 1.0 / (var + NORM_EPS).sqrt();
+            inv_std[r] = istd;
+            for (i, &v) in row.iter().enumerate() {
+                let xh = (v - mean) * istd;
+                x_hat[r * self.dim + i] = xh;
+                out[r * self.dim + i] = xh * self.gamma.value().data()[i] + self.beta.value().data()[i];
+            }
+        }
+        let lead_dims: Vec<usize> = input.dims()[..input.rank() - 1].to_vec();
+        self.cache = Some(LayerNormCache {
+            x_hat: Tensor::from_vec(x_hat, &[rows, self.dim])?,
+            inv_std,
+            lead_dims,
+        });
+        Ok(Tensor::from_vec(out, input.dims())?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "LayerNorm" })?;
+        let rows = cache.inv_std.len();
+        let d = self.dim;
+        let g = grad_output.reshape(&[rows, d])?;
+        let mut grad_gamma = vec![0.0f32; d];
+        let mut grad_beta = vec![0.0f32; d];
+        let mut grad_x = vec![0.0f32; rows * d];
+        for r in 0..rows {
+            let grow = &g.data()[r * d..(r + 1) * d];
+            let xrow = &cache.x_hat.data()[r * d..(r + 1) * d];
+            // Accumulate parameter gradients.
+            for i in 0..d {
+                grad_gamma[i] += grow[i] * xrow[i];
+                grad_beta[i] += grow[i];
+            }
+            // dL/dx_hat = g * gamma
+            let dxhat: Vec<f32> = (0..d)
+                .map(|i| grow[i] * self.gamma.value().data()[i])
+                .collect();
+            let sum_dxhat: f32 = dxhat.iter().sum();
+            let sum_dxhat_xhat: f32 = dxhat.iter().zip(xrow).map(|(a, b)| a * b).sum();
+            let istd = cache.inv_std[r];
+            for i in 0..d {
+                grad_x[r * d + i] = istd / d as f32
+                    * (d as f32 * dxhat[i] - sum_dxhat - xrow[i] * sum_dxhat_xhat);
+            }
+        }
+        self.gamma
+            .accumulate_grad(&Tensor::from_vec(grad_gamma, &[d])?)?;
+        self.beta
+            .accumulate_grad(&Tensor::from_vec(grad_beta, &[d])?)?;
+        let mut dims = cache.lead_dims.clone();
+        dims.push(d);
+        Ok(Tensor::from_vec(grad_x, &dims)?)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.gamma, &self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::finite_difference_check;
+    use edvit_tensor::init::TensorRng;
+
+    #[test]
+    fn forward_normalizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -2.0, 0.0, 2.0, 4.0], &[2, 4]).unwrap();
+        let y = ln.forward(&x).unwrap();
+        for row in y.data().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_rejects_wrong_dim() {
+        let mut ln = LayerNorm::new(4);
+        assert!(ln.forward(&Tensor::zeros(&[2, 3])).is_err());
+        assert!(ln.backward(&Tensor::zeros(&[2, 4])).is_err());
+    }
+
+    #[test]
+    fn from_weights_and_select_features() {
+        let gamma = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let beta = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap();
+        let ln = LayerNorm::from_weights(gamma, beta).unwrap();
+        assert_eq!(ln.dim(), 3);
+        let pruned = ln.select_features(&[0, 2]).unwrap();
+        assert_eq!(pruned.dim(), 2);
+        assert_eq!(pruned.gamma().value().data(), &[1.0, 3.0]);
+        assert_eq!(pruned.beta().value().data(), &[0.1, 0.3]);
+        assert!(LayerNorm::from_weights(Tensor::zeros(&[2]), Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn three_dim_input_round_trip() {
+        let mut ln = LayerNorm::new(5);
+        let mut rng = TensorRng::new(3);
+        let x = rng.randn(&[2, 3, 5], 0.0, 2.0);
+        let y = ln.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 5]);
+        let g = ln.backward(&Tensor::ones(&[2, 3, 5])).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 5]);
+    }
+
+    #[test]
+    fn gradcheck() {
+        finite_difference_check(Box::new(LayerNorm::new(6)), &[3, 6], 3e-2, 21);
+    }
+
+    #[test]
+    fn gradcheck_nontrivial_gamma() {
+        let gamma = Tensor::from_vec(vec![0.5, 1.5, -1.0, 2.0], &[4]).unwrap();
+        let beta = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.0], &[4]).unwrap();
+        let ln = LayerNorm::from_weights(gamma, beta).unwrap();
+        finite_difference_check(Box::new(ln), &[2, 4], 3e-2, 22);
+    }
+}

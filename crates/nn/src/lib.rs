@@ -1,0 +1,74 @@
+//! # edvit-nn
+//!
+//! Neural-network building blocks with hand-derived backward passes, used to
+//! construct the Vision Transformer (`edvit-vit`), the CNN/SNN baselines
+//! (`edvit-baselines`) and the fusion MLP (`edvit-fusion`) of the ED-ViT
+//! reproduction.
+//!
+//! The crate intentionally avoids a tape-based autograd: every layer caches
+//! exactly what its backward pass needs and exposes
+//! [`Layer::forward`] / [`Layer::backward`]. This keeps the memory profile
+//! predictable (important when simulating memory-constrained edge devices) and
+//! makes each gradient auditable against finite differences, which the test
+//! suite does for every layer.
+//!
+//! # Example
+//!
+//! ```
+//! use edvit_nn::{Layer, Linear, Sequential, Relu, CrossEntropyLoss, Sgd, Optimizer};
+//! use edvit_tensor::{init::TensorRng, Tensor};
+//!
+//! # fn main() -> Result<(), edvit_nn::NnError> {
+//! let mut rng = TensorRng::new(0);
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Linear::new(4, 8, &mut rng)) as Box<dyn Layer>,
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(8, 3, &mut rng)),
+//! ]);
+//! let x = rng.randn(&[2, 4], 0.0, 1.0);
+//! let logits = net.forward(&x)?;
+//! let mut loss = CrossEntropyLoss::new();
+//! let value = loss.forward(&logits, &[0, 2])?;
+//! let grad = loss.backward()?;
+//! net.backward(&grad)?;
+//! Sgd::new(0.1).step(&mut net.parameters_mut())?;
+//! assert!(value > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod activation;
+mod attention;
+mod conv;
+mod dropout;
+mod error;
+mod layernorm;
+mod linear;
+mod loss;
+mod mlp;
+mod module;
+mod optimizer;
+mod param;
+mod pool;
+
+#[cfg(test)]
+pub(crate) mod testing;
+
+pub use activation::{Gelu, Relu};
+pub use attention::MultiHeadSelfAttention;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use error::NnError;
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use loss::{CrossEntropyLoss, MseLoss};
+pub use mlp::{Mlp, MlpActivation};
+pub use module::{Layer, Sequential};
+pub use optimizer::{Adam, LrSchedule, Optimizer, Sgd};
+pub use param::{total_parameters, Parameter};
+pub use pool::{AvgPool2d, Flatten, MaxPool2d};
+
+/// Convenience result alias for fallible layer operations.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,126 @@
+//! Property-based tests of layer-level invariants: shape preservation,
+//! gradient shape agreement, optimizer convergence and parameter accounting.
+
+use edvit_nn::{
+    Adam, Gelu, Layer, LayerNorm, Linear, Mlp, MlpActivation, Optimizer, Parameter, Relu, Sgd,
+};
+use edvit_tensor::{init::TensorRng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_output_and_gradient_shapes_agree(
+        rows in 1usize..8,
+        inf in 1usize..10,
+        outf in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let mut layer = Linear::new(inf, outf, &mut rng);
+        let x = rng.randn(&[rows, inf], 0.0, 1.0);
+        let y = layer.forward(&x).unwrap();
+        prop_assert_eq!(y.dims(), &[rows, outf]);
+        let gin = layer.backward(&Tensor::ones(&[rows, outf])).unwrap();
+        prop_assert_eq!(gin.dims(), x.dims());
+        // Parameter gradients have the same shapes as the parameters.
+        for p in layer.parameters() {
+            prop_assert_eq!(p.grad().dims(), p.value().dims());
+        }
+    }
+
+    #[test]
+    fn activations_preserve_shape_and_bound_outputs(
+        rows in 1usize..6,
+        cols in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let x = rng.randn(&[rows, cols], 0.0, 2.0);
+        let mut relu = Relu::new();
+        let y = relu.forward(&x).unwrap();
+        prop_assert_eq!(y.dims(), x.dims());
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        prop_assert!(y.data().iter().zip(x.data()).all(|(&o, &i)| o <= i.max(0.0) + 1e-6));
+        let mut gelu = Gelu::new();
+        let y = gelu.forward(&x).unwrap();
+        prop_assert_eq!(y.dims(), x.dims());
+        // GELU is bounded below by a small negative constant (~ -0.17 * max).
+        prop_assert!(y.data().iter().all(|&v| v > -0.5));
+    }
+
+    #[test]
+    fn layernorm_output_rows_are_standardized(
+        rows in 1usize..6,
+        cols in 2usize..16,
+        scale in 0.5f32..5.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let mut ln = LayerNorm::new(cols);
+        let x = rng.randn(&[rows, cols], 3.0, scale);
+        let y = ln.forward(&x).unwrap();
+        for row in y.data().chunks(cols) {
+            let mean: f32 = row.iter().sum::<f32>() / cols as f32;
+            prop_assert!(mean.abs() < 1e-3, "row mean {}", mean);
+        }
+    }
+
+    #[test]
+    fn mlp_parameter_count_matches_closed_form(
+        inf in 1usize..8,
+        hidden in 1usize..12,
+        outf in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let mlp = Mlp::with_activation(&[inf, hidden, outf], MlpActivation::Gelu, &mut rng).unwrap();
+        let expected = inf * hidden + hidden + hidden * outf + outf;
+        prop_assert_eq!(mlp.parameter_count(), expected);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient(start in -5.0f32..5.0, lr in 0.001f32..0.1) {
+        // One step on f(x) = x^2 must not increase |x|.
+        let mut p = Parameter::new("x", Tensor::from_vec(vec![start], &[1]).unwrap());
+        p.accumulate_grad(&Tensor::from_vec(vec![2.0 * start], &[1]).unwrap()).unwrap();
+        let mut opt = Sgd::new(lr);
+        opt.step(&mut [&mut p]).unwrap();
+        prop_assert!(p.value().data()[0].abs() <= start.abs() + 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_random_quadratics(target in -3.0f32..3.0, seed in 0u64..100) {
+        // Minimize (x - target)^2 from a random start.
+        let mut rng = TensorRng::new(seed);
+        let start = rng.uniform(-3.0, 3.0);
+        let mut p = Parameter::new("x", Tensor::from_vec(vec![start], &[1]).unwrap());
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            p.zero_grad();
+            let x = p.value().data()[0];
+            p.accumulate_grad(&Tensor::from_vec(vec![2.0 * (x - target)], &[1]).unwrap()).unwrap();
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        prop_assert!((p.value().data()[0] - target).abs() < 0.05);
+    }
+
+    #[test]
+    fn linear_pruning_selects_consistent_shapes(
+        inf in 2usize..10,
+        outf in 2usize..10,
+        seed in 0u64..200,
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let layer = Linear::new(inf, outf, &mut rng);
+        let keep_out: Vec<usize> = (0..outf).step_by(2).collect();
+        let pruned = layer.select_outputs(&keep_out).unwrap();
+        prop_assert_eq!(pruned.out_features(), keep_out.len());
+        prop_assert_eq!(pruned.in_features(), inf);
+        let keep_in: Vec<usize> = (0..inf).step_by(2).collect();
+        let pruned = layer.select_inputs(&keep_in).unwrap();
+        prop_assert_eq!(pruned.in_features(), keep_in.len());
+        prop_assert_eq!(pruned.out_features(), outf);
+    }
+}

@@ -1,0 +1,66 @@
+use std::fmt;
+
+use edvit_vit::ViTError;
+
+/// Error type for partitioning, assignment and planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// An underlying ViT configuration or cost-model operation failed.
+    Vit(ViTError),
+    /// The requested configuration is invalid (no devices, no classes, ...).
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+    /// No feasible assignment exists even at the maximum pruning level.
+    Infeasible {
+        /// Human-readable explanation of which constraint cannot be met.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Vit(e) => write!(f, "model error: {e}"),
+            PartitionError::InvalidConfig { message } => {
+                write!(f, "invalid partitioning configuration: {message}")
+            }
+            PartitionError::Infeasible { reason } => {
+                write!(f, "no feasible deployment plan: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartitionError::Vit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ViTError> for PartitionError {
+    fn from(e: ViTError) -> Self {
+        PartitionError::Vit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PartitionError::InvalidConfig { message: "no devices".into() }
+            .to_string()
+            .contains("no devices"));
+        assert!(PartitionError::Infeasible { reason: "budget".into() }
+            .to_string()
+            .contains("budget"));
+        let e: PartitionError = ViTError::InvalidConfig { message: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,350 @@
+//! The model-splitting planner (Algorithm 1): decides class subsets, a
+//! pruning level for every sub-model, and a device assignment that satisfies
+//! the memory budget, re-pruning iteratively when the plan does not fit.
+
+use serde::{Deserialize, Serialize};
+
+use edvit_vit::{analysis, analysis::ModelCost, PrunedViTConfig, ViTConfig};
+
+use crate::{
+    balanced_class_assignment, greedy_assign, validate_class_assignment, DeviceSpec,
+    ModelAssignment, PartitionError, Result, SubModelRequirements,
+};
+
+/// Tunable knobs of the splitting planner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Total memory budget `bu` across all sub-models, in bytes (the paper
+    /// uses 180 MB for ViT-Base, 50 MB for ViT-Small, 600 MB for ViT-Large).
+    pub memory_budget_bytes: u64,
+    /// Number of inference samples `L` processed per energy-budget window.
+    pub samples_per_round: u64,
+    /// Initial number of pruned heads per sub-model; `None` starts at the
+    /// paper's workload-balanced default `h − ⌈h / N⌉`.
+    pub initial_pruned_heads: Option<usize>,
+    /// Safety cap on re-pruning iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            memory_budget_bytes: 180_000_000,
+            samples_per_round: 1,
+            initial_pruned_heads: None,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// The plan for one sub-model: its class subset, pruning level and analytic
+/// cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubModelPlan {
+    /// Index of the sub-model (0-based).
+    pub index: usize,
+    /// Global class indices this sub-model is responsible for.
+    pub classes: Vec<usize>,
+    /// Pruning plan (retention factor, kept widths).
+    pub pruned: PrunedViTConfig,
+    /// Analytic parameter / FLOPs / memory cost.
+    pub cost: ModelCost,
+}
+
+/// A complete, feasible split-and-deployment plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitPlan {
+    /// Per-sub-model plans, indexed by sub-model id.
+    pub sub_models: Vec<SubModelPlan>,
+    /// Device assignment produced by the greedy search.
+    pub assignment: ModelAssignment,
+    /// Total memory across sub-models in bytes.
+    pub total_memory_bytes: u64,
+    /// Number of re-pruning iterations Algorithm 1 needed.
+    pub iterations: usize,
+}
+
+impl SplitPlan {
+    /// Total memory in (decimal) megabytes, the unit of the paper's figures.
+    pub fn total_memory_mb(&self) -> f64 {
+        self.total_memory_bytes as f64 / 1e6
+    }
+
+    /// The largest per-sample FLOP count across sub-models — the compute that
+    /// determines the parallel inference latency lower bound.
+    pub fn max_sub_model_flops(&self) -> u64 {
+        self.sub_models.iter().map(|s| s.cost.flops).max().unwrap_or(0)
+    }
+
+    /// The class subset handled by sub-model `index`.
+    pub fn classes_of(&self, index: usize) -> Option<&[usize]> {
+        self.sub_models.get(index).map(|s| s.classes.as_slice())
+    }
+}
+
+/// Algorithm 1: split a Vision Transformer into one sub-model per edge device,
+/// prune each sub-model until the set fits the memory budget and admits a
+/// greedy device assignment.
+#[derive(Debug, Clone)]
+pub struct SplitPlanner {
+    config: PlannerConfig,
+}
+
+impl SplitPlanner {
+    /// Creates a planner with the given configuration.
+    pub fn new(config: PlannerConfig) -> Self {
+        SplitPlanner { config }
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Produces a feasible [`SplitPlan`] for deploying `base` across
+    /// `devices`, or an error when no amount of pruning makes it fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidConfig`] for empty device lists or
+    /// invalid base configurations, and [`PartitionError::Infeasible`] when
+    /// even maximal pruning cannot satisfy the budget and assignment.
+    pub fn plan(&self, base: &ViTConfig, devices: &[DeviceSpec], seed: u64) -> Result<SplitPlan> {
+        if devices.is_empty() {
+            return Err(PartitionError::InvalidConfig {
+                message: "cannot plan a deployment onto zero devices".to_string(),
+            });
+        }
+        base.validate()?;
+        let n = devices.len();
+        let class_subsets = balanced_class_assignment(base.num_classes, n, seed)?;
+        validate_class_assignment(&class_subsets, base.num_classes)?;
+
+        // Initial pruning level: retain roughly 1/N of the width per
+        // sub-model so the N sub-models together cost about as much as the
+        // original model, which is the paper's starting point.
+        let default_hp = base.heads - base.heads.div_ceil(n);
+        let initial_hp = self
+            .config
+            .initial_pruned_heads
+            .unwrap_or(default_hp)
+            .min(base.heads - 1);
+        let mut pruned_heads = vec![initial_hp; n];
+
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            if iterations > self.config.max_iterations {
+                return Err(PartitionError::Infeasible {
+                    reason: format!(
+                        "no feasible plan within {} iterations",
+                        self.config.max_iterations
+                    ),
+                });
+            }
+
+            let pruned_configs: Vec<PrunedViTConfig> = pruned_heads
+                .iter()
+                .map(|&hp| PrunedViTConfig::new(base.clone(), hp))
+                .collect::<std::result::Result<_, _>>()?;
+            let costs: Vec<ModelCost> = pruned_configs.iter().map(analysis::cost_of_pruned).collect();
+            let total_memory: u64 = costs.iter().map(|c| c.memory_bytes).sum();
+
+            // Line 12: only try to assign when the total budget is respected.
+            let assignment = if total_memory <= self.config.memory_budget_bytes {
+                let requirements: Vec<SubModelRequirements> = costs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| SubModelRequirements {
+                        sub_model: i,
+                        memory_bytes: c.memory_bytes,
+                        flops_per_sample: c.flops,
+                    })
+                    .collect();
+                greedy_assign(&requirements, devices, self.config.samples_per_round)?
+            } else {
+                None
+            };
+
+            if let Some(assignment) = assignment {
+                let sub_models = pruned_configs
+                    .into_iter()
+                    .zip(costs)
+                    .enumerate()
+                    .map(|(index, (pruned, cost))| SubModelPlan {
+                        index,
+                        classes: class_subsets[index].clone(),
+                        pruned,
+                        cost,
+                    })
+                    .collect();
+                return Ok(SplitPlan {
+                    sub_models,
+                    assignment,
+                    total_memory_bytes: total_memory,
+                    iterations,
+                });
+            }
+
+            // Line 18: prune one more head's worth of width from the
+            // sub-model with the largest memory footprint.
+            let (largest, _) = costs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| c.memory_bytes)
+                .expect("at least one sub-model");
+            if pruned_heads[largest] + 1 >= base.heads {
+                return Err(PartitionError::Infeasible {
+                    reason: format!(
+                        "memory budget of {} bytes cannot be met even at maximum pruning",
+                        self.config.memory_budget_bytes
+                    ),
+                });
+            }
+            pruned_heads[largest] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner_with_budget(mb: u64) -> SplitPlanner {
+        SplitPlanner::new(PlannerConfig {
+            memory_budget_bytes: mb * 1_000_000,
+            ..PlannerConfig::default()
+        })
+    }
+
+    #[test]
+    fn plan_fits_budget_and_covers_classes() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        for n in [1usize, 2, 3, 5, 10] {
+            let devices = DeviceSpec::raspberry_pi_cluster(n);
+            let plan = planner.plan(&base, &devices, 1).unwrap();
+            assert_eq!(plan.sub_models.len(), n);
+            assert!(plan.total_memory_bytes <= 180_000_000, "n={n}: {}", plan.total_memory_mb());
+            // Every class covered exactly once.
+            let mut all: Vec<usize> = plan.sub_models.iter().flat_map(|s| s.classes.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..10).collect::<Vec<_>>());
+            // Assignment covers every sub-model.
+            for s in &plan.sub_models {
+                assert!(plan.assignment.device_for(s.index).is_some());
+            }
+            assert!(plan.max_sub_model_flops() > 0);
+            assert!(plan.classes_of(0).is_some());
+            assert!(plan.classes_of(n).is_none());
+        }
+    }
+
+    #[test]
+    fn more_devices_means_smaller_sub_models() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let flops_2 = planner
+            .plan(&base, &DeviceSpec::raspberry_pi_cluster(2), 2)
+            .unwrap()
+            .max_sub_model_flops();
+        let flops_5 = planner
+            .plan(&base, &DeviceSpec::raspberry_pi_cluster(5), 2)
+            .unwrap()
+            .max_sub_model_flops();
+        let flops_10 = planner
+            .plan(&base, &DeviceSpec::raspberry_pi_cluster(10), 2)
+            .unwrap()
+            .max_sub_model_flops();
+        assert!(flops_2 > flops_5, "{flops_2} vs {flops_5}");
+        assert!(flops_5 > flops_10, "{flops_5} vs {flops_10}");
+    }
+
+    #[test]
+    fn single_device_prunes_to_fit_budget() {
+        // ViT-Base is ~330 MB; one device with a 180 MB budget forces pruning
+        // (this is the paper's 1-device compression-only configuration).
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let plan = planner.plan(&base, &DeviceSpec::raspberry_pi_cluster(1), 3).unwrap();
+        assert_eq!(plan.sub_models.len(), 1);
+        assert!(plan.sub_models[0].pruned.pruned_heads() > 0);
+        assert!(plan.total_memory_bytes <= 180_000_000);
+        assert!(plan.iterations >= 1);
+    }
+
+    #[test]
+    fn vit_small_and_large_budgets_from_the_paper() {
+        // Fig. 6 settings: 50 MB for ViT-Small, 600 MB for ViT-Large.
+        let base_small = ViTConfig::vit_small(10);
+        let plan = planner_with_budget(50)
+            .plan(&base_small, &DeviceSpec::raspberry_pi_cluster(5), 4)
+            .unwrap();
+        assert!(plan.total_memory_mb() <= 50.0);
+        let base_large = ViTConfig::vit_large(10);
+        let plan = planner_with_budget(600)
+            .plan(&base_large, &DeviceSpec::raspberry_pi_cluster(5), 4)
+            .unwrap();
+        assert!(plan.total_memory_mb() <= 600.0);
+    }
+
+    #[test]
+    fn infeasible_budget_is_reported() {
+        let planner = planner_with_budget(1); // 1 MB is hopeless for ViT-Base
+        let base = ViTConfig::vit_base(10);
+        let err = planner
+            .plan(&base, &DeviceSpec::raspberry_pi_cluster(2), 5)
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_devices_and_bad_config() {
+        let planner = planner_with_budget(180);
+        assert!(planner.plan(&ViTConfig::vit_base(10), &[], 0).is_err());
+        let mut bad = ViTConfig::vit_base(10);
+        bad.embed_dim = 7;
+        assert!(planner
+            .plan(&bad, &DeviceSpec::raspberry_pi_cluster(2), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let devices = DeviceSpec::raspberry_pi_cluster(3);
+        let a = planner.plan(&base, &devices, 11).unwrap();
+        let b = planner.plan(&base, &devices, 11).unwrap();
+        assert_eq!(a, b);
+        let c = planner.plan(&base, &devices, 12).unwrap();
+        assert_ne!(
+            a.sub_models.iter().map(|s| s.classes.clone()).collect::<Vec<_>>(),
+            c.sub_models.iter().map(|s| s.classes.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_cluster_still_plans() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let devices = DeviceSpec::heterogeneous_cluster(4);
+        let plan = planner.plan(&base, &devices, 6).unwrap();
+        assert_eq!(plan.sub_models.len(), 4);
+        // The strongest devices should end up hosting at least one sub-model.
+        assert!(!plan.assignment.sub_models_on(0).is_empty());
+    }
+
+    #[test]
+    fn explicit_initial_pruning_is_respected() {
+        let planner = SplitPlanner::new(PlannerConfig {
+            memory_budget_bytes: 600_000_000,
+            initial_pruned_heads: Some(11),
+            ..PlannerConfig::default()
+        });
+        assert_eq!(planner.config().initial_pruned_heads, Some(11));
+        let base = ViTConfig::vit_base(10);
+        let plan = planner.plan(&base, &DeviceSpec::raspberry_pi_cluster(2), 7).unwrap();
+        assert!(plan.sub_models.iter().all(|s| s.pruned.pruned_heads() == 11));
+    }
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+use edvit_datasets::DatasetError;
+use edvit_nn::NnError;
+use edvit_tensor::TensorError;
+use edvit_vit::ViTError;
+
+/// Error type for the structured-pruning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruningError {
+    /// A model-level operation failed.
+    Vit(ViTError),
+    /// A layer-level operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A dataset operation failed.
+    Dataset(DatasetError),
+    /// The pruning request itself is invalid (keep nothing, keep more than
+    /// exists, ...).
+    InvalidRequest {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for PruningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruningError::Vit(e) => write!(f, "model error: {e}"),
+            PruningError::Nn(e) => write!(f, "layer error: {e}"),
+            PruningError::Tensor(e) => write!(f, "tensor error: {e}"),
+            PruningError::Dataset(e) => write!(f, "dataset error: {e}"),
+            PruningError::InvalidRequest { message } => write!(f, "invalid pruning request: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PruningError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PruningError::Vit(e) => Some(e),
+            PruningError::Nn(e) => Some(e),
+            PruningError::Tensor(e) => Some(e),
+            PruningError::Dataset(e) => Some(e),
+            PruningError::InvalidRequest { .. } => None,
+        }
+    }
+}
+
+impl From<ViTError> for PruningError {
+    fn from(e: ViTError) -> Self {
+        PruningError::Vit(e)
+    }
+}
+
+impl From<NnError> for PruningError {
+    fn from(e: NnError) -> Self {
+        PruningError::Nn(e)
+    }
+}
+
+impl From<TensorError> for PruningError {
+    fn from(e: TensorError) -> Self {
+        PruningError::Tensor(e)
+    }
+}
+
+impl From<DatasetError> for PruningError {
+    fn from(e: DatasetError) -> Self {
+        PruningError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PruningError = ViTError::InvalidConfig { message: "x".into() }.into();
+        assert!(e.to_string().contains("x"));
+        let e: PruningError = NnError::MissingForwardCache { layer: "l" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: PruningError = TensorError::EmptyInput { op: "o" }.into();
+        assert!(e.to_string().contains("o"));
+        let e: PruningError = DatasetError::Empty { what: "subset" }.into();
+        assert!(e.to_string().contains("subset"));
+        let e = PruningError::InvalidRequest { message: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

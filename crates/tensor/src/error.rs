@@ -1,0 +1,146 @@
+use std::fmt;
+
+/// Error type returned by fallible tensor operations.
+///
+/// The error carries enough context (offending shapes, axes, lengths) to make
+/// shape bugs in higher layers diagnosable without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    LengthMismatch {
+        /// Number of elements expected from the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that must match (element-wise ops, reshape) do not.
+    ShapeMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// The inner dimensions of a matrix multiplication disagree.
+    MatmulDimMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index is out of range for the tensor rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// An element or slice index is out of range.
+    IndexOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Length of the dimension indexed into.
+        len: usize,
+    },
+    /// The operation requires a tensor of a particular rank.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// The operation received an empty input where a non-empty one is needed.
+    EmptyInput {
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// A numeric argument was invalid (e.g. zero-size dimension for eye).
+    InvalidArgument {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length mismatch: shape requires {expected} elements, got {actual}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::MatmulDimMismatch { lhs, rhs } => {
+                write!(f, "matmul inner dimension mismatch: {lhs:?} x {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "rank mismatch in {op}: expected {expected}, got {actual}"),
+            TensorError::EmptyInput { op } => write!(f, "empty input to {op}"),
+            TensorError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![3, 2],
+            op: "add",
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn display_matmul_mismatch() {
+        let e = TensorError::MatmulDimMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4, 2],
+        };
+        assert!(e.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn display_axis_out_of_range() {
+        let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
+        assert!(e.to_string().contains("axis 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

@@ -1,0 +1,340 @@
+//! Dense linear algebra: 2-D and batched matrix multiplication.
+//!
+//! The matrix multiply is the single hottest kernel in the reproduction (all
+//! transformer projections, attention score computation and the CNN baselines'
+//! im2col path funnel through it), so it is written as a cache-friendly
+//! i-k-j loop over contiguous rows rather than the naive triple loop.
+
+use crate::{Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-2-D inputs and
+    /// [`TensorError::MatmulDimMismatch`] when the inner dimensions disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use edvit_tensor::Tensor;
+    /// # fn main() -> Result<(), edvit_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+    /// let c = a.matmul(&b)?;
+    /// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        matmul_kernel(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix multiplication with the second operand transposed:
+    /// `[m, k] x [n, k]^T -> [m, n]`.
+    ///
+    /// Avoids materializing the transpose; used for attention `Q K^T` and for
+    /// weight-gradient computations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Tensor::matmul`].
+    pub fn matmul_transposed(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+                op: "matmul_transposed",
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += arow[p] * brow[p];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix multiplication of two rank-3 tensors:
+    /// `[b, m, k] x [b, k, n] -> [b, m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-3-D inputs,
+    /// [`TensorError::ShapeMismatch`] when batch sizes differ and
+    /// [`TensorError::MatmulDimMismatch`] when inner dimensions disagree.
+    pub fn batch_matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 3 || other.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: if self.rank() != 3 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+                op: "batch_matmul",
+            });
+        }
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        if b != b2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "batch_matmul",
+            });
+        }
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; b * m * n];
+        for bi in 0..b {
+            let a_off = bi * m * k;
+            let b_off = bi * k * n;
+            let o_off = bi * m * n;
+            matmul_kernel(
+                &self.data()[a_off..a_off + m * k],
+                &other.data()[b_off..b_off + k * n],
+                &mut out[o_off..o_off + m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Matrix-vector product `[m, k] x [k] -> [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] or
+    /// [`TensorError::MatmulDimMismatch`] on shape problems.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 || v.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matvec",
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if v.numel() != k {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: v.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.data()[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(v.data()).map(|(a, b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Outer product of two vectors: `[m] x [n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-vector inputs.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rank() != 1 || other.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: self.rank().max(other.rank()),
+                op: "outer",
+            });
+        }
+        let m = self.numel();
+        let n = other.numel();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = self.data()[i] * other.data()[j];
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Dot product of two equally-sized vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when lengths differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.numel() != other.numel() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "dot",
+            });
+        }
+        Ok(self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+}
+
+/// Cache-friendly `C += A * B` kernel over contiguous row-major buffers.
+///
+/// `out` must be zero-initialized by the caller; panics are avoided by
+/// construction because callers size the slices exactly.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (j, &b_pj) in b_row.iter().enumerate() {
+                out_row[j] += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let i4 = Tensor::eye(4);
+        let c = a.matmul(&i4).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(a.matmul(&v).is_err());
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), &[4, 3]).unwrap();
+        let c1 = a.matmul_transposed(&b).unwrap();
+        let c2 = a.matmul(&b.transpose().unwrap()).unwrap();
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_matmul_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let b = Tensor::from_vec((0..18).map(|x| x as f32 * 0.1).collect(), &[2, 3, 3]).unwrap();
+        let c = a.batch_matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 3]);
+        for bi in 0..2 {
+            let ab = a.row(bi).unwrap();
+            let bb = b.row(bi).unwrap();
+            let expected = ab.matmul(&bb).unwrap();
+            let got = c.row(bi).unwrap();
+            for (x, y) in got.data().iter().zip(expected.data()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matmul_rejects_mismatched_batches() {
+        let a = Tensor::zeros(&[2, 2, 3]);
+        let b = Tensor::zeros(&[3, 3, 2]);
+        assert!(a.batch_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let out = a.matvec(&v).unwrap();
+        assert_eq!(out.data(), &[-1.0, -1.0]);
+        assert_eq!(v.dot(&v).unwrap(), 2.0);
+        assert!(v.dot(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn outer_product() {
+        let u = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let v = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = u.outer(&v).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn matmul_zero_rows_and_cols() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[0, 2]);
+        assert_eq!(c.numel(), 0);
+    }
+}

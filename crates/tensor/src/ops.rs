@@ -1,0 +1,562 @@
+//! Neural-network kernels and axis-wise operations.
+//!
+//! These free functions and `Tensor` methods implement the activation
+//! functions, normalizations and reductions required by the Vision
+//! Transformer, the CNN/SNN baselines and the fusion MLP.
+
+use crate::{Tensor, TensorError};
+
+/// Numerical epsilon used by normalization kernels.
+pub const NORM_EPS: f32 = 1e-5;
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Activations
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit applied elementwise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Gaussian Error Linear Unit (tanh approximation), the activation used
+    /// inside ViT feed-forward blocks.
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu_scalar)
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh_elem(&self) -> Tensor {
+        self.map(|x| x.tanh())
+    }
+
+    // ------------------------------------------------------------------
+    // Row-wise (last-axis) softmax family
+    // ------------------------------------------------------------------
+
+    /// Softmax over the last axis, computed in a numerically stable way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for rank-0 or empty tensors.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use edvit_tensor::Tensor;
+    /// # fn main() -> Result<(), edvit_tensor::TensorError> {
+    /// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3])?;
+    /// let p = x.softmax_last_axis()?;
+    /// assert!((p.data().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn softmax_last_axis(&self) -> Result<Tensor, TensorError> {
+        let last = self.last_axis_len("softmax_last_axis")?;
+        let mut out = self.clone();
+        for chunk in out.data_mut().chunks_mut(last) {
+            softmax_slice(chunk);
+        }
+        Ok(out)
+    }
+
+    /// Log-softmax over the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for rank-0 or empty tensors.
+    pub fn log_softmax_last_axis(&self) -> Result<Tensor, TensorError> {
+        let last = self.last_axis_len("log_softmax_last_axis")?;
+        let mut out = self.clone();
+        for chunk in out.data_mut().chunks_mut(last) {
+            let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum: f32 = chunk.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+            for v in chunk.iter_mut() {
+                *v = *v - max - log_sum;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Layer normalization over the last axis with learnable `gamma`/`beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `gamma`/`beta` are not rank-1 vectors of the
+    /// last-axis length.
+    pub fn layer_norm_last_axis(
+        &self,
+        gamma: &Tensor,
+        beta: &Tensor,
+    ) -> Result<Tensor, TensorError> {
+        let last = self.last_axis_len("layer_norm_last_axis")?;
+        if gamma.numel() != last || beta.numel() != last {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: gamma.dims().to_vec(),
+                op: "layer_norm_last_axis",
+            });
+        }
+        let mut out = self.clone();
+        for chunk in out.data_mut().chunks_mut(last) {
+            let mean: f32 = chunk.iter().sum::<f32>() / last as f32;
+            let var: f32 = chunk.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / last as f32;
+            let denom = (var + NORM_EPS).sqrt();
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = ((*v - mean) / denom) * gamma.data()[i] + beta.data()[i];
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Axis reductions
+    // ------------------------------------------------------------------
+
+    /// Sum along the last axis, removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for rank-0 or empty tensors.
+    pub fn sum_last_axis(&self) -> Result<Tensor, TensorError> {
+        let last = self.last_axis_len("sum_last_axis")?;
+        let out_len = self.numel() / last;
+        let mut out = Vec::with_capacity(out_len);
+        for chunk in self.data().chunks(last) {
+            out.push(chunk.iter().sum());
+        }
+        let dims: Vec<usize> = self.dims()[..self.rank() - 1].to_vec();
+        let dims = if dims.is_empty() { vec![1] } else { dims };
+        Tensor::from_vec(out, &dims)
+    }
+
+    /// Mean along the last axis, removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for rank-0 or empty tensors.
+    pub fn mean_last_axis(&self) -> Result<Tensor, TensorError> {
+        let last = self.last_axis_len("mean_last_axis")?;
+        Ok(self.sum_last_axis()?.scale(1.0 / last as f32))
+    }
+
+    /// Argmax along the last axis, removing it; returns indices as a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for rank-0 or empty tensors.
+    pub fn argmax_last_axis(&self) -> Result<Vec<usize>, TensorError> {
+        let last = self.last_axis_len("argmax_last_axis")?;
+        let mut out = Vec::with_capacity(self.numel() / last);
+        for chunk in self.data().chunks(last) {
+            let mut best = 0usize;
+            for (i, &v) in chunk.iter().enumerate() {
+                if v > chunk[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Mean over the first axis (e.g. averaging token embeddings or a batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors or an empty leading axis.
+    pub fn mean_first_axis(&self) -> Result<Tensor, TensorError> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "mean_first_axis",
+            });
+        }
+        let n = self.dims()[0];
+        if n == 0 {
+            return Err(TensorError::EmptyInput {
+                op: "mean_first_axis",
+            });
+        }
+        let row_len = self.numel() / n;
+        let mut acc = vec![0.0f32; row_len];
+        for chunk in self.data().chunks(row_len) {
+            for (a, &v) in acc.iter_mut().zip(chunk) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= n as f32;
+        }
+        let dims: Vec<usize> = self.dims()[1..].to_vec();
+        let dims = if dims.is_empty() { vec![1] } else { dims };
+        Tensor::from_vec(acc, &dims)
+    }
+
+    /// Sum over the first axis (used for bias gradients).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors.
+    pub fn sum_first_axis(&self) -> Result<Tensor, TensorError> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "sum_first_axis",
+            });
+        }
+        let n = self.dims()[0];
+        let row_len = if n == 0 { 0 } else { self.numel() / n };
+        let mut acc = vec![0.0f32; row_len];
+        for chunk in self.data().chunks(row_len.max(1)) {
+            for (a, &v) in acc.iter_mut().zip(chunk) {
+                *a += v;
+            }
+        }
+        let dims: Vec<usize> = self.dims()[1..].to_vec();
+        let dims = if dims.is_empty() { vec![1] } else { dims };
+        Tensor::from_vec(acc, &dims)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural operations
+    // ------------------------------------------------------------------
+
+    /// Concatenates tensors along the last axis. All inputs must agree on all
+    /// other dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] for incompatible shapes.
+    pub fn concat_last_axis(tensors: &[&Tensor]) -> Result<Tensor, TensorError> {
+        if tensors.is_empty() {
+            return Err(TensorError::EmptyInput {
+                op: "concat_last_axis",
+            });
+        }
+        let first = tensors[0];
+        let rank = first.rank();
+        if rank == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "concat_last_axis",
+            });
+        }
+        let lead_dims = &first.dims()[..rank - 1];
+        let rows: usize = lead_dims.iter().product::<usize>().max(1);
+        let mut total_last = 0usize;
+        for t in tensors {
+            if t.rank() != rank || &t.dims()[..rank - 1] != lead_dims {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                    op: "concat_last_axis",
+                });
+            }
+            total_last += t.dims()[rank - 1];
+        }
+        let mut out = Vec::with_capacity(rows * total_last);
+        for r in 0..rows {
+            for t in tensors {
+                let last = t.dims()[rank - 1];
+                out.extend_from_slice(&t.data()[r * last..(r + 1) * last]);
+            }
+        }
+        let mut dims = lead_dims.to_vec();
+        dims.push(total_last);
+        Tensor::from_vec(out, &dims)
+    }
+
+    /// Concatenates tensors along the first axis (stacking batches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] for an empty list and
+    /// [`TensorError::ShapeMismatch`] when trailing dimensions differ.
+    pub fn concat_first_axis(tensors: &[&Tensor]) -> Result<Tensor, TensorError> {
+        if tensors.is_empty() {
+            return Err(TensorError::EmptyInput {
+                op: "concat_first_axis",
+            });
+        }
+        let first = tensors[0];
+        if first.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "concat_first_axis",
+            });
+        }
+        let trailing = &first.dims()[1..];
+        let mut total_rows = 0usize;
+        for t in tensors {
+            if t.rank() != first.rank() || &t.dims()[1..] != trailing {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                    op: "concat_first_axis",
+                });
+            }
+            total_rows += t.dims()[0];
+        }
+        let mut out = Vec::with_capacity(total_rows * trailing.iter().product::<usize>().max(1));
+        for t in tensors {
+            out.extend_from_slice(t.data());
+        }
+        let mut dims = vec![total_rows];
+        dims.extend_from_slice(trailing);
+        Tensor::from_vec(out, &dims)
+    }
+
+    /// Selects columns (indices along the last axis), producing a tensor whose
+    /// last dimension equals `indices.len()`.
+    ///
+    /// This is the core primitive behind structured pruning: keeping a subset
+    /// of channels is exactly a column selection on the weight matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors or out-of-range indices.
+    pub fn select_last_axis(&self, indices: &[usize]) -> Result<Tensor, TensorError> {
+        let last = self.last_axis_len("select_last_axis")?;
+        for &i in indices {
+            if i >= last {
+                return Err(TensorError::IndexOutOfRange { index: i, len: last });
+            }
+        }
+        let rows = self.numel() / last;
+        let mut out = Vec::with_capacity(rows * indices.len());
+        for r in 0..rows {
+            let base = r * last;
+            for &i in indices {
+                out.push(self.data()[base + i]);
+            }
+        }
+        let mut dims = self.dims().to_vec();
+        *dims.last_mut().expect("rank checked above") = indices.len();
+        Tensor::from_vec(out, &dims)
+    }
+
+    /// Splits the last axis into equally-sized contiguous chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when the last axis is not
+    /// divisible by `parts`.
+    pub fn chunk_last_axis(&self, parts: usize) -> Result<Vec<Tensor>, TensorError> {
+        let last = self.last_axis_len("chunk_last_axis")?;
+        if parts == 0 || last % parts != 0 {
+            return Err(TensorError::InvalidArgument {
+                message: format!("cannot split last axis of {last} into {parts} equal parts"),
+            });
+        }
+        let chunk = last / parts;
+        let mut out = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let indices: Vec<usize> = (p * chunk..(p + 1) * chunk).collect();
+            out.push(self.select_last_axis(&indices)?);
+        }
+        Ok(out)
+    }
+
+    fn last_axis_len(&self, op: &'static str) -> Result<usize, TensorError> {
+        if self.rank() == 0 || self.numel() == 0 {
+            return Err(TensorError::EmptyInput { op });
+        }
+        Ok(*self.dims().last().expect("rank checked above"))
+    }
+}
+
+/// Scalar GELU using the tanh approximation from the original paper
+/// (Hendrycks & Gimpel, 2016), matching PyTorch's `gelu(approximate="tanh")`.
+pub fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU, used by the backward passes.
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x3);
+    let tanh_inner = inner.tanh();
+    let sech2 = 1.0 - tanh_inner * tanh_inner;
+    0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+/// In-place numerically stable softmax over a mutable slice.
+pub fn softmax_slice(chunk: &mut [f32]) {
+    if chunk.is_empty() {
+        return;
+    }
+    let max = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in chunk.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in chunk.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn approx(a: f32, b: f32, eps: f32) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(x.relu().data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0, GELU is odd-ish around 0, GELU(large) ~ identity.
+        assert!(approx(gelu_scalar(0.0), 0.0, 1e-6));
+        assert!(approx(gelu_scalar(3.0), 3.0, 0.01));
+        assert!(approx(gelu_scalar(-3.0), 0.0, 0.01));
+        // Reference value for x=1.0 (PyTorch tanh approx): ~0.8412.
+        assert!(approx(gelu_scalar(1.0), 0.8412, 1e-3));
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.5, 2.5] {
+            let h = 1e-3;
+            let fd = (gelu_scalar(x + h) - gelu_scalar(x - h)) / (2.0 * h);
+            assert!(
+                approx(gelu_grad_scalar(x), fd, 1e-2),
+                "grad mismatch at {x}: {} vs {}",
+                gelu_grad_scalar(x),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_and_tanh() {
+        let x = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        assert!(approx(x.sigmoid().data()[0], 0.5, 1e-6));
+        assert!(approx(x.tanh_elem().data()[0], 0.0, 1e-6));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = x.softmax_last_axis().unwrap();
+        for chunk in p.data().chunks(3) {
+            let s: f32 = chunk.iter().sum();
+            assert!(approx(s, 1.0, 1e-6));
+            assert!(chunk.iter().all(|&v| v >= 0.0));
+        }
+        // Monotone: larger logits -> larger probabilities.
+        assert!(p.data()[2] > p.data()[1]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1000.0, 999.0], &[1, 3]).unwrap();
+        let p = x.softmax_last_axis().unwrap();
+        assert!(p.all_finite());
+        assert!(approx(p.data().iter().sum::<f32>(), 1.0, 1e-5));
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let x = Tensor::from_vec(vec![0.5, -0.5, 2.0, 1.0], &[2, 2]).unwrap();
+        let p = x.softmax_last_axis().unwrap();
+        let lp = x.log_softmax_last_axis().unwrap();
+        for (a, b) in p.data().iter().zip(lp.data()) {
+            assert!(approx(a.ln(), *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap();
+        let gamma = Tensor::ones(&[4]);
+        let beta = Tensor::zeros(&[4]);
+        let y = x.layer_norm_last_axis(&gamma, &beta).unwrap();
+        assert!(approx(y.mean(), 0.0, 1e-5));
+        let var = y.data().iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!(approx(var, 1.0, 1e-2));
+    }
+
+    #[test]
+    fn layer_norm_applies_gamma_beta() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let gamma = Tensor::from_vec(vec![2.0, 2.0], &[2]).unwrap();
+        let beta = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let y = x.layer_norm_last_axis(&gamma, &beta).unwrap();
+        assert!(approx(y.data()[0] + y.data()[1], 2.0, 1e-5));
+        assert!(x.layer_norm_last_axis(&Tensor::ones(&[3]), &beta).is_err());
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(x.sum_last_axis().unwrap().data(), &[6.0, 15.0]);
+        assert_eq!(x.mean_last_axis().unwrap().data(), &[2.0, 5.0]);
+        assert_eq!(x.argmax_last_axis().unwrap(), vec![2, 2]);
+        assert_eq!(x.mean_first_axis().unwrap().data(), &[2.5, 3.5, 4.5]);
+        assert_eq!(x.sum_first_axis().unwrap().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn concat_last_axis_works() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0], &[2, 1]).unwrap();
+        let c = Tensor::concat_last_axis(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+        assert!(Tensor::concat_last_axis(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_first_axis_works() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = Tensor::concat_first_axis(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bad = Tensor::zeros(&[1, 3]);
+        assert!(Tensor::concat_first_axis(&[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn select_last_axis_picks_columns() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let y = x.select_last_axis(&[2, 0]).unwrap();
+        assert_eq!(y.dims(), &[2, 2]);
+        assert_eq!(y.data(), &[3.0, 1.0, 6.0, 4.0]);
+        assert!(x.select_last_axis(&[3]).is_err());
+    }
+
+    #[test]
+    fn chunk_last_axis_splits_evenly() {
+        let x = Tensor::arange(8).reshape(&[2, 4]).unwrap();
+        let chunks = x.chunk_last_axis(2).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].dims(), &[2, 2]);
+        assert_eq!(chunks[0].data(), &[0.0, 1.0, 4.0, 5.0]);
+        assert_eq!(chunks[1].data(), &[2.0, 3.0, 6.0, 7.0]);
+        assert!(x.chunk_last_axis(3).is_err());
+    }
+}

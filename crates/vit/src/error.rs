@@ -1,0 +1,96 @@
+use std::fmt;
+
+use edvit_nn::NnError;
+use edvit_tensor::TensorError;
+
+/// Error type for Vision Transformer construction, inference and pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViTError {
+    /// A lower-level layer operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The model configuration is internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Input images do not match the configured geometry.
+    InputMismatch {
+        /// Expected `[channels, size, size]` geometry description.
+        expected: String,
+        /// Shape that was actually provided.
+        actual: Vec<usize>,
+    },
+    /// A pruning request is inconsistent with the model structure.
+    InvalidPruning {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for ViTError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViTError::Nn(e) => write!(f, "layer error: {e}"),
+            ViTError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ViTError::InvalidConfig { message } => write!(f, "invalid ViT configuration: {message}"),
+            ViTError::InputMismatch { expected, actual } => {
+                write!(f, "input shape {actual:?} does not match expected {expected}")
+            }
+            ViTError::InvalidPruning { message } => write!(f, "invalid pruning request: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ViTError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ViTError::Nn(e) => Some(e),
+            ViTError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ViTError {
+    fn from(e: NnError) -> Self {
+        ViTError::Nn(e)
+    }
+}
+
+impl From<TensorError> for ViTError {
+    fn from(e: TensorError) -> Self {
+        ViTError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ViTError::InvalidConfig {
+            message: "embed dim must divide heads".into(),
+        };
+        assert!(e.to_string().contains("embed dim"));
+        let e: ViTError = TensorError::EmptyInput { op: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ViTError = NnError::MissingForwardCache { layer: "Linear" }.into();
+        assert!(e.to_string().contains("Linear"));
+        let e = ViTError::InputMismatch {
+            expected: "3x224x224".into(),
+            actual: vec![1, 3, 32, 32],
+        };
+        assert!(e.to_string().contains("224"));
+        let e = ViTError::InvalidPruning { message: "oops".into() };
+        assert!(e.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<T: Send + Sync + std::error::Error + 'static>() {}
+        assert_bounds::<ViTError>();
+    }
+}

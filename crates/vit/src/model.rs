@@ -1,0 +1,511 @@
+use edvit_nn::{Layer, LayerNorm, Linear, NnError, Parameter};
+use edvit_tensor::{init::TensorRng, Tensor};
+
+use crate::block::rebuild_ffn;
+use crate::{PatchEmbed, Result, ViTBlock, ViTConfig, ViTError};
+
+/// A trainable Vision Transformer for image (or spectrogram) classification.
+///
+/// The architecture is the standard pre-norm ViT: patch embedding with learned
+/// positional embeddings, a stack of [`ViTBlock`]s, a final layer norm, mean
+/// pooling over tokens, and a linear classification head. Mean pooling (rather
+/// than a class token) keeps the pooled feature exactly `s × d` wide after
+/// pruning, matching the communication payload the paper reports in §V-D.
+///
+/// # Example
+///
+/// ```
+/// use edvit_vit::{ViTConfig, VisionTransformer};
+/// use edvit_tensor::init::TensorRng;
+///
+/// # fn main() -> Result<(), edvit_vit::ViTError> {
+/// let config = ViTConfig::tiny_test();
+/// let mut rng = TensorRng::new(7);
+/// let mut model = VisionTransformer::new(&config, &mut rng)?;
+/// let x = rng.randn(&[1, 3, 16, 16], 0.0, 1.0);
+/// let logits = model.forward_images(&x)?;
+/// assert_eq!(logits.dims(), &[1, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VisionTransformer {
+    config: ViTConfig,
+    patch_embed: PatchEmbed,
+    blocks: Vec<ViTBlock>,
+    final_ln: LayerNorm,
+    head: Linear,
+    cache_pool: Option<(usize, usize)>,
+}
+
+impl VisionTransformer {
+    /// Creates a randomly-initialized Vision Transformer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViTError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(config: &ViTConfig, rng: &mut TensorRng) -> Result<Self> {
+        config.validate()?;
+        let patch_embed = PatchEmbed::new(config, rng)?;
+        let mut blocks = Vec::with_capacity(config.depth);
+        for _ in 0..config.depth {
+            blocks.push(ViTBlock::new(
+                config.embed_dim,
+                config.heads,
+                config.head_dim(),
+                config.ffn_hidden(),
+                rng,
+            )?);
+        }
+        let final_ln = LayerNorm::new(config.embed_dim);
+        let head = Linear::new(config.embed_dim, config.num_classes, rng);
+        Ok(VisionTransformer {
+            config: config.clone(),
+            patch_embed,
+            blocks,
+            final_ln,
+            head,
+            cache_pool: None,
+        })
+    }
+
+    /// Builds a model from existing components (used by structured pruning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViTError::InvalidConfig`] when components disagree on widths.
+    pub fn from_parts(
+        config: ViTConfig,
+        patch_embed: PatchEmbed,
+        blocks: Vec<ViTBlock>,
+        final_ln: LayerNorm,
+        head: Linear,
+    ) -> Result<Self> {
+        let d = patch_embed.embed_dim();
+        if blocks.iter().any(|b| b.embed_dim() != d)
+            || final_ln.dim() != d
+            || head.in_features() != d
+        {
+            return Err(ViTError::InvalidConfig {
+                message: "model components disagree on embedding width".to_string(),
+            });
+        }
+        if blocks.is_empty() {
+            return Err(ViTError::InvalidConfig {
+                message: "a Vision Transformer needs at least one block".to_string(),
+            });
+        }
+        Ok(VisionTransformer {
+            config,
+            patch_embed,
+            blocks,
+            final_ln,
+            head,
+            cache_pool: None,
+        })
+    }
+
+    /// The geometric configuration (image size, patches, channels, classes of
+    /// the original task). Note that after pruning the *width* fields of this
+    /// config describe the original model; use [`VisionTransformer::embed_dim`]
+    /// for the current width.
+    pub fn config(&self) -> &ViTConfig {
+        &self.config
+    }
+
+    /// Current residual (embedding) width.
+    pub fn embed_dim(&self) -> usize {
+        self.final_ln.dim()
+    }
+
+    /// Number of output classes of the classification head.
+    pub fn num_classes(&self) -> usize {
+        self.head.out_features()
+    }
+
+    /// Number of transformer blocks.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Read-only access to the blocks, exposed for pruning and inspection.
+    pub fn blocks(&self) -> &[ViTBlock] {
+        &self.blocks
+    }
+
+    /// Read-only access to the patch embedding.
+    pub fn patch_embed(&self) -> &PatchEmbed {
+        &self.patch_embed
+    }
+
+    /// Read-only access to the classification head.
+    pub fn head(&self) -> &Linear {
+        &self.head
+    }
+
+    /// Read-only access to the final layer norm.
+    pub fn final_ln(&self) -> &LayerNorm {
+        &self.final_ln
+    }
+
+    /// Runs the full model on a batch of images `[b, c, H, W]`, returning
+    /// logits `[b, classes]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the image geometry does not match the config.
+    pub fn forward_images(&mut self, images: &Tensor) -> Result<Tensor> {
+        let features = self.forward_features(images)?;
+        Ok(self.head.forward(&features)?)
+    }
+
+    /// Runs the backbone only, returning the pooled feature `[b, d]` that a
+    /// sub-model would transmit to the fusion device.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the image geometry does not match the config.
+    pub fn forward_features(&mut self, images: &Tensor) -> Result<Tensor> {
+        let mut tokens = self.patch_embed.forward(images)?;
+        for block in &mut self.blocks {
+            tokens = block.forward(&tokens)?;
+        }
+        let normed = self.final_ln.forward(&tokens)?;
+        let (batch, p, d) = (normed.dims()[0], normed.dims()[1], normed.dims()[2]);
+        // Mean pooling over the token axis.
+        let mut pooled = vec![0.0f32; batch * d];
+        for b in 0..batch {
+            for i in 0..p {
+                for j in 0..d {
+                    pooled[b * d + j] += normed.data()[b * p * d + i * d + j];
+                }
+            }
+        }
+        for v in &mut pooled {
+            *v /= p as f32;
+        }
+        self.cache_pool = Some((batch, p));
+        Ok(Tensor::from_vec(pooled, &[batch, d])?)
+    }
+
+    /// Backpropagates a gradient with respect to the pooled features,
+    /// accumulating gradients in the backbone (used for end-to-end retraining
+    /// together with the fusion MLP).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when called before a forward pass.
+    pub fn backward_from_features(&mut self, grad_features: &Tensor) -> Result<Tensor> {
+        let (batch, p) = self.cache_pool.ok_or(ViTError::Nn(NnError::MissingForwardCache {
+            layer: "VisionTransformer",
+        }))?;
+        let d = self.embed_dim();
+        // Distribute the pooled gradient back over tokens (mean pooling).
+        let mut grad_tokens = vec![0.0f32; batch * p * d];
+        for b in 0..batch {
+            for i in 0..p {
+                for j in 0..d {
+                    grad_tokens[b * p * d + i * d + j] = grad_features.data()[b * d + j] / p as f32;
+                }
+            }
+        }
+        let mut g = Tensor::from_vec(grad_tokens, &[batch, p, d])?;
+        g = self.final_ln.backward(&g)?;
+        for block in self.blocks.iter_mut().rev() {
+            g = block.backward(&g)?;
+        }
+        Ok(self.patch_embed.backward(&g)?)
+    }
+
+    /// Predicts class indices for a batch of images.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the image geometry does not match the config.
+    pub fn predict(&mut self, images: &Tensor) -> Result<Vec<usize>> {
+        let logits = self.forward_images(images)?;
+        Ok(logits.argmax_last_axis()?)
+    }
+
+    /// Replaces the classification head with a freshly-initialized one of
+    /// `num_outputs` outputs — used when a sub-model is retrained on its
+    /// class subset (the subset classes plus one "other" output).
+    pub fn replace_head(&mut self, num_outputs: usize, rng: &mut TensorRng) {
+        self.head = Linear::new(self.embed_dim(), num_outputs, rng);
+    }
+
+    /// Total number of scalar parameters (measured, not analytic).
+    pub fn parameter_count(&self) -> usize {
+        Layer::parameter_count(self)
+    }
+
+    /// Memory footprint in bytes of the measured parameters (4 bytes each).
+    pub fn memory_bytes(&self) -> u64 {
+        self.parameter_count() as u64 * 4
+    }
+
+    // ------------------------------------------------------------------
+    // Structured pruning (weight selection)
+    // ------------------------------------------------------------------
+
+    /// Stage-1 pruning: keep only the listed residual channels everywhere the
+    /// residual width appears (patch embedding, every block, final norm and
+    /// classification head).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViTError::InvalidPruning`] for an empty keep list or
+    /// out-of-range indices.
+    pub fn prune_embed_channels(&self, keep: &[usize]) -> Result<VisionTransformer> {
+        if keep.is_empty() {
+            return Err(ViTError::InvalidPruning {
+                message: "cannot prune away every residual channel".to_string(),
+            });
+        }
+        let patch_embed = self.patch_embed.prune_embed_channels(keep)?;
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            blocks.push(block.prune_embed_channels(keep)?);
+        }
+        let final_ln = self.final_ln.select_features(keep)?;
+        let head = self.head.select_inputs(keep)?;
+        VisionTransformer::from_parts(self.config.clone(), patch_embed, blocks, final_ln, head)
+    }
+
+    /// Stage-2 pruning: keep only the listed per-head inner dimensions inside
+    /// every block's attention module.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the keep lists are inconsistent.
+    pub fn prune_head_dims(&self, keep_per_head: &[Vec<usize>]) -> Result<VisionTransformer> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            blocks.push(block.prune_head_dims(keep_per_head)?);
+        }
+        let patch_embed = self.clone_patch_embed()?;
+        let final_ln = self.final_ln.clone();
+        let head = self.head.clone();
+        VisionTransformer::from_parts(self.config.clone(), patch_embed, blocks, final_ln, head)
+    }
+
+    /// Stage-3 pruning: keep only the listed FFN hidden units in every block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range indices.
+    pub fn prune_ffn_hidden(&self, keep: &[usize]) -> Result<VisionTransformer> {
+        if keep.is_empty() {
+            return Err(ViTError::InvalidPruning {
+                message: "cannot prune away every FFN hidden unit".to_string(),
+            });
+        }
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let fc1 = block.ffn().linears()[0].select_outputs(keep)?;
+            let fc2 = block.ffn().linears()[1].select_inputs(keep)?;
+            let attn = block
+                .attn()
+                .prune_embed_channels(&(0..block.embed_dim()).collect::<Vec<_>>())?;
+            blocks.push(ViTBlock::from_parts(
+                block.ln1().clone(),
+                attn,
+                block.ln2().clone(),
+                rebuild_ffn(fc1, fc2)?,
+            )?);
+        }
+        let patch_embed = self.clone_patch_embed()?;
+        let final_ln = self.final_ln.clone();
+        let head = self.head.clone();
+        VisionTransformer::from_parts(self.config.clone(), patch_embed, blocks, final_ln, head)
+    }
+
+    fn clone_patch_embed(&self) -> Result<PatchEmbed> {
+        PatchEmbed::from_parts(
+            self.patch_embed.projection().clone(),
+            self.patch_embed.pos_embed().value().clone(),
+            self.config.channels,
+            self.config.image_size,
+            self.config.patch_size,
+        )
+    }
+}
+
+impl Layer for VisionTransformer {
+    fn forward(&mut self, input: &Tensor) -> edvit_nn::Result<Tensor> {
+        self.forward_images(input)
+            .map_err(|e| NnError::InvalidConfig { message: e.to_string() })
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> edvit_nn::Result<Tensor> {
+        let grad_features = self.head.backward(grad_output)?;
+        self.backward_from_features(&grad_features)
+            .map_err(|e| NnError::InvalidConfig { message: e.to_string() })
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut params = self.patch_embed.parameters_mut();
+        for block in &mut self.blocks {
+            params.extend(block.parameters_mut());
+        }
+        params.extend(self.final_ln.parameters_mut());
+        params.extend(self.head.parameters_mut());
+        params
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        let mut params = self.patch_embed.parameters();
+        for block in &self.blocks {
+            params.extend(block.parameters());
+        }
+        params.extend(self.final_ln.parameters());
+        params.extend(self.head.parameters());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    fn tiny_model() -> VisionTransformer {
+        let config = ViTConfig::tiny_test();
+        VisionTransformer::new(&config, &mut TensorRng::new(0)).unwrap()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut model = tiny_model();
+        let mut rng = TensorRng::new(1);
+        let x = rng.randn(&[3, 3, 16, 16], 0.0, 1.0);
+        let logits = model.forward_images(&x).unwrap();
+        assert_eq!(logits.dims(), &[3, 4]);
+        let features = model.forward_features(&x).unwrap();
+        assert_eq!(features.dims(), &[3, 32]);
+        let preds = model.predict(&x).unwrap();
+        assert_eq!(preds.len(), 3);
+        assert!(preds.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn accessors() {
+        let model = tiny_model();
+        assert_eq!(model.embed_dim(), 32);
+        assert_eq!(model.num_classes(), 4);
+        assert_eq!(model.depth(), 2);
+        assert_eq!(model.blocks().len(), 2);
+        assert_eq!(model.config().variant, crate::ViTVariant::TinyTest);
+        assert_eq!(model.memory_bytes(), model.parameter_count() as u64 * 4);
+    }
+
+    #[test]
+    fn measured_params_match_analytic_model() {
+        let config = ViTConfig::tiny_test();
+        let model = VisionTransformer::new(&config, &mut TensorRng::new(0)).unwrap();
+        let analytic = analysis::cost_of_config(&config);
+        assert_eq!(model.parameter_count() as u64, analytic.params);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let mut model = tiny_model();
+        assert!(model.forward_images(&Tensor::zeros(&[1, 3, 32, 32])).is_err());
+        assert!(model.backward_from_features(&Tensor::zeros(&[1, 32])).is_err());
+    }
+
+    #[test]
+    fn layer_trait_backward_runs() {
+        let mut model = tiny_model();
+        let mut rng = TensorRng::new(2);
+        let x = rng.randn(&[2, 3, 16, 16], 0.0, 1.0);
+        let logits = Layer::forward(&mut model, &x).unwrap();
+        let g = Layer::backward(&mut model, &Tensor::ones(logits.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        // Every parameter received some gradient signal.
+        let nonzero = model
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().norm_l1() > 0.0)
+            .count();
+        assert!(nonzero > model.parameters().len() / 2);
+    }
+
+    #[test]
+    fn replace_head_changes_output_width() {
+        let mut model = tiny_model();
+        model.replace_head(3, &mut TensorRng::new(3));
+        assert_eq!(model.num_classes(), 3);
+        let mut rng = TensorRng::new(4);
+        let x = rng.randn(&[1, 3, 16, 16], 0.0, 1.0);
+        assert_eq!(model.forward_images(&x).unwrap().dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn prune_embed_channels_produces_working_smaller_model() {
+        let model = tiny_model();
+        let keep: Vec<usize> = (0..16).collect();
+        let mut pruned = model.prune_embed_channels(&keep).unwrap();
+        assert_eq!(pruned.embed_dim(), 16);
+        assert!(pruned.parameter_count() < model.parameter_count());
+        let mut rng = TensorRng::new(5);
+        let x = rng.randn(&[2, 3, 16, 16], 0.0, 1.0);
+        assert_eq!(pruned.forward_images(&x).unwrap().dims(), &[2, 4]);
+        assert!(model.prune_embed_channels(&[]).is_err());
+    }
+
+    #[test]
+    fn prune_head_dims_and_ffn_hidden_produce_working_models() {
+        let model = tiny_model();
+        let keep_heads: Vec<Vec<usize>> = (0..4).map(|_| vec![0, 3]).collect();
+        let mut pruned = model.prune_head_dims(&keep_heads).unwrap();
+        assert_eq!(pruned.blocks()[0].attn().head_dim(), 2);
+        let mut rng = TensorRng::new(6);
+        let x = rng.randn(&[1, 3, 16, 16], 0.0, 1.0);
+        assert_eq!(pruned.forward_images(&x).unwrap().dims(), &[1, 4]);
+
+        let keep_ffn: Vec<usize> = (0..32).collect();
+        let mut pruned2 = model.prune_ffn_hidden(&keep_ffn).unwrap();
+        assert_eq!(pruned2.blocks()[0].ffn_hidden(), 32);
+        assert_eq!(pruned2.forward_images(&x).unwrap().dims(), &[1, 4]);
+        assert!(model.prune_ffn_hidden(&[]).is_err());
+    }
+
+    #[test]
+    fn three_stage_pruning_composes() {
+        // Apply the full Fig. 2 sequence and verify the result still runs and
+        // is strictly smaller.
+        let model = tiny_model();
+        let keep_channels: Vec<usize> = (0..16).collect();
+        let stage1 = model.prune_embed_channels(&keep_channels).unwrap();
+        let keep_heads: Vec<Vec<usize>> = (0..4).map(|_| vec![0, 1]).collect();
+        let stage2 = stage1.prune_head_dims(&keep_heads).unwrap();
+        let keep_ffn: Vec<usize> = (0..24).collect();
+        let stage3 = stage2.prune_ffn_hidden(&keep_ffn).unwrap();
+        assert!(stage3.parameter_count() < stage1.parameter_count());
+        assert!(stage1.parameter_count() < model.parameter_count());
+        let mut pruned = stage3;
+        let mut rng = TensorRng::new(7);
+        let x = rng.randn(&[2, 3, 16, 16], 0.0, 1.0);
+        let logits = pruned.forward_images(&x).unwrap();
+        assert_eq!(logits.dims(), &[2, 4]);
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let model = tiny_model();
+        let bad_head = Linear::new(16, 4, &mut TensorRng::new(8));
+        let pe = PatchEmbed::new(&ViTConfig::tiny_test(), &mut TensorRng::new(9)).unwrap();
+        let blocks = vec![ViTBlock::new(32, 4, 8, 64, &mut TensorRng::new(10)).unwrap()];
+        assert!(VisionTransformer::from_parts(
+            ViTConfig::tiny_test(),
+            pe,
+            blocks,
+            LayerNorm::new(32),
+            bad_head
+        )
+        .is_err());
+        let _ = model;
+    }
+}

@@ -1,0 +1,52 @@
+//! Integration tests for the Split-CNN / Split-SNN baselines and their
+//! comparison against ED-ViT.
+
+use edvit::baselines::{BaselineKind, SplitBaselineConfig, SplitBaselineRunner};
+use edvit::datasets::{DatasetKind, SyntheticConfig, SyntheticGenerator};
+use edvit::vit::training::TrainConfig;
+
+fn small_split() -> (edvit::datasets::Dataset, edvit::datasets::Dataset) {
+    let cfg = SyntheticConfig {
+        class_limit: Some(4),
+        samples_per_class: 10,
+        ..SyntheticConfig::tiny(DatasetKind::Cifar10Like)
+    };
+    let dataset = SyntheticGenerator::new(21).generate(&cfg).unwrap();
+    dataset.split(0.7, 5).unwrap()
+}
+
+fn runner(n: usize) -> SplitBaselineRunner {
+    SplitBaselineRunner::new(SplitBaselineConfig {
+        n_devices: n,
+        train: TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            learning_rate: 3e-3,
+            lr_decay: 0.9,
+            seed: 0,
+        },
+        fusion_steps: 60,
+        other_fraction: 0.3,
+        seed: 9,
+    })
+}
+
+#[test]
+fn cnn_and_snn_baselines_run_and_order_correctly() {
+    let (train, test) = small_split();
+    let cnn = runner(2).run(&train, &test, BaselineKind::SplitCnn).unwrap();
+    let snn = runner(2).run(&train, &test, BaselineKind::SplitSnn).unwrap();
+    // Fig. 7 orderings at paper scale: SNN slower than CNN, but smaller.
+    assert!(snn.latency_seconds > cnn.latency_seconds);
+    assert!(snn.total_memory_mb < cnn.total_memory_mb);
+    // Both learn something at trainable scale.
+    assert!(cnn.accuracy > 0.25, "cnn accuracy {}", cnn.accuracy);
+    assert!(snn.accuracy > 0.2, "snn accuracy {}", snn.accuracy);
+}
+
+#[test]
+fn baseline_costs_shrink_with_device_count() {
+    let two = runner(2).paper_scale_summary(BaselineKind::SplitCnn, 10);
+    let ten = runner(10).paper_scale_summary(BaselineKind::SplitCnn, 10);
+    assert!(ten.1 < two.1, "per-device latency should fall with more devices");
+}

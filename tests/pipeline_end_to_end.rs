@@ -1,0 +1,53 @@
+//! End-to-end integration tests of the ED-ViT pipeline at tiny scale.
+
+use edvit::pipeline::{EdVitConfig, EdVitPipeline};
+
+#[test]
+fn two_device_pipeline_produces_consistent_deployment() {
+    let deployment = EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap();
+    // Plan and realized sub-models agree in count and class coverage.
+    assert_eq!(deployment.plan.sub_models.len(), deployment.sub_models.len());
+    let mut covered: Vec<usize> = deployment
+        .sub_models
+        .iter()
+        .flat_map(|s| s.classes().to_vec())
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    assert_eq!(covered.len(), deployment.test_set.num_classes());
+    // Every sub-model respects the pruning plan's width.
+    for (sub, plan) in deployment.sub_models.iter().zip(&deployment.plan.sub_models) {
+        assert!(sub.model.embed_dim() <= plan.pruned.base().embed_dim);
+        assert!(sub.memory_bytes() > 0);
+    }
+    // Metrics are internally consistent.
+    let m = &deployment.metrics;
+    assert!(m.latency_seconds < m.original_latency_seconds);
+    assert_eq!(m.per_submodel_flops.len(), 2);
+    assert!(m.total_memory_mb <= 180.0);
+}
+
+#[test]
+fn four_device_pipeline_spreads_classes() {
+    let deployment = EdVitPipeline::new(EdVitConfig::tiny_demo(4)).run().unwrap();
+    assert_eq!(deployment.sub_models.len(), 4);
+    // Balanced assignment: with 4 classes and 4 devices each sub-model owns one.
+    for sub in &deployment.sub_models {
+        assert_eq!(sub.classes().len(), 1);
+    }
+    // Four devices must not be slower than two at paper scale.
+    let two = EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap();
+    assert!(deployment.metrics.latency_seconds <= two.metrics.latency_seconds + 1e-9);
+}
+
+#[test]
+fn fused_accuracy_is_reported_with_ablations() {
+    let mut config = EdVitConfig::tiny_demo(2);
+    config.joint_retrain_epochs = 1;
+    let deployment = EdVitPipeline::new(config).run().unwrap();
+    let m = &deployment.metrics;
+    assert!((0.0..=1.0).contains(&m.fused_accuracy));
+    assert!((0.0..=1.0).contains(&m.averaged_accuracy));
+    assert!((0.0..=1.0).contains(&m.original_accuracy));
+    assert!(m.joint_retrain_accuracy.is_some());
+}
