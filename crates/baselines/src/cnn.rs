@@ -65,7 +65,10 @@ impl SmallCnn {
     pub fn new(config: &SmallCnnConfig, rng: &mut TensorRng) -> Result<Self> {
         if config.image_size < 4 {
             return Err(NnError::InvalidConfig {
-                message: format!("image size {} too small for two pooling stages", config.image_size),
+                message: format!(
+                    "image size {} too small for two pooling stages",
+                    config.image_size
+                ),
             });
         }
         Ok(SmallCnn {
@@ -143,7 +146,9 @@ impl SmallCnn {
         let keep2 = top_filters(&self.conv2, pruned_config.widths[1]);
         let conv2 = conv2_inputs.prune_filters(&keep2)?;
         let head = Linear::new(
-            pruned_config.widths[1] * (pruned_config.image_size / 4) * (pruned_config.image_size / 4),
+            pruned_config.widths[1]
+                * (pruned_config.image_size / 4)
+                * (pruned_config.image_size / 4),
             new_classes,
             rng,
         );
@@ -164,16 +169,20 @@ impl SmallCnn {
 /// Indices of the `keep` filters with the largest L1 weight norm, ascending.
 fn top_filters(conv: &Conv2d, keep: usize) -> Vec<usize> {
     let w = conv.weight().value();
-    let (rows, cols) = (w.dims()[0], w.dims()[1]);
+    let cols = w.dims()[1];
     let mut norms = vec![0.0f32; cols];
-    for r in 0..rows {
-        for c in 0..cols {
-            norms[c] += w.data()[r * cols + c].abs();
+    for row in w.data().chunks(cols) {
+        for (norm, v) in norms.iter_mut().zip(row) {
+            *norm += v.abs();
         }
     }
     let mut indexed: Vec<(usize, f32)> = norms.into_iter().enumerate().collect();
     indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    let mut kept: Vec<usize> = indexed.into_iter().take(keep.max(1)).map(|(i, _)| i).collect();
+    let mut kept: Vec<usize> = indexed
+        .into_iter()
+        .take(keep.max(1))
+        .map(|(i, _)| i)
+        .collect();
     kept.sort_unstable();
     kept
 }

@@ -155,10 +155,18 @@ mod tests {
     fn full_vgg16_matches_published_numbers() {
         let cost = vgg16_cost(1000);
         // ~138 M parameters, ~15.5 GMACs for VGG-16 at 224x224.
-        assert!((cost.params as f64 / 1e6 - 138.0).abs() < 5.0, "{}", cost.params);
+        assert!(
+            (cost.params as f64 / 1e6 - 138.0).abs() < 5.0,
+            "{}",
+            cost.params
+        );
         assert!((cost.gflops() - 15.5).abs() < 1.0, "{}", cost.gflops());
         // ~550 MB of f32 weights.
-        assert!((cost.memory_mb() - 553.0).abs() < 25.0, "{}", cost.memory_mb());
+        assert!(
+            (cost.memory_mb() - 553.0).abs() < 25.0,
+            "{}",
+            cost.memory_mb()
+        );
     }
 
     #[test]
@@ -182,8 +190,10 @@ mod tests {
 
     #[test]
     fn snn_timesteps_positive() {
-        assert!(SNN_TIMESTEPS >= 2);
-        assert!(SNN_SPIKE_ACTIVITY > 0.0 && SNN_SPIKE_ACTIVITY <= 1.0);
+        const {
+            assert!(SNN_TIMESTEPS >= 2);
+            assert!(SNN_SPIKE_ACTIVITY > 0.0 && SNN_SPIKE_ACTIVITY <= 1.0);
+        }
     }
 
     #[test]
@@ -197,13 +207,19 @@ mod tests {
         // ED-ViT's per-device latency at 10 devices is ~1.3 s (Fig. 4b); the
         // CNN baseline must be slower and the SNN baseline slower still.
         assert!(cnn_latency > 1.3, "cnn latency {cnn_latency}");
-        assert!(snn_latency > cnn_latency, "snn {snn_latency} vs cnn {cnn_latency}");
+        assert!(
+            snn_latency > cnn_latency,
+            "snn {snn_latency} vs cnn {cnn_latency}"
+        );
         // Memory ordering of Fig. 7c: CNN total > ED-ViT total (~96 MB),
         // SNN total well below the CNN total.
         let cnn_total_mb = cnn.memory_mb() * 10.0;
         let snn_total_mb = snn.memory_mb() * 10.0;
         assert!(cnn_total_mb > 96.0, "cnn memory {cnn_total_mb}");
-        assert!(snn_total_mb < cnn_total_mb / 2.0, "snn memory {snn_total_mb}");
+        assert!(
+            snn_total_mb < cnn_total_mb / 2.0,
+            "snn memory {snn_total_mb}"
+        );
     }
 
     #[test]

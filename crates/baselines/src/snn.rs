@@ -124,7 +124,11 @@ mod tests {
     use edvit_tensor::init::TensorRng;
 
     fn cnn() -> SmallCnn {
-        SmallCnn::new(&SmallCnnConfig::for_dataset(3, 16, 4), &mut TensorRng::new(0)).unwrap()
+        SmallCnn::new(
+            &SmallCnnConfig::for_dataset(3, 16, 4),
+            &mut TensorRng::new(0),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -183,7 +187,12 @@ mod tests {
             .sub(&ref_logits)
             .unwrap()
             .norm_l2();
-        let fine_err = fine.forward(&x).unwrap().sub(&ref_logits).unwrap().norm_l2();
+        let fine_err = fine
+            .forward(&x)
+            .unwrap()
+            .sub(&ref_logits)
+            .unwrap()
+            .norm_l2();
         assert!(fine_err <= coarse_err + 1e-6, "{fine_err} vs {coarse_err}");
     }
 

@@ -10,7 +10,9 @@ use edvit_partition::{balanced_class_assignment, DeviceSpec};
 use edvit_tensor::{init::TensorRng, stats, Tensor};
 use edvit_vit::training::{train_classifier, TrainConfig};
 
-use crate::{ecsnn_submodel_cost, nnfacet_submodel_cost, Result, SmallCnn, SmallCnnConfig, SpikingCnn};
+use crate::{
+    ecsnn_submodel_cost, nnfacet_submodel_cost, Result, SmallCnn, SmallCnnConfig, SpikingCnn,
+};
 
 /// Which baseline family to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,14 +126,14 @@ impl SplitBaselineRunner {
     ) -> Result<SplitBaselineResult> {
         let n = self.config.n_devices;
         let num_classes = train.num_classes();
-        let subsets = balanced_class_assignment(num_classes, n, self.config.seed)
-            .map_err(|e| NnError::InvalidConfig { message: e.to_string() })?;
+        let subsets = balanced_class_assignment(num_classes, n, self.config.seed).map_err(|e| {
+            NnError::InvalidConfig {
+                message: e.to_string(),
+            }
+        })?;
 
-        let base_config = SmallCnnConfig::for_dataset(
-            train.channels(),
-            train.image_size(),
-            num_classes,
-        );
+        let base_config =
+            SmallCnnConfig::for_dataset(train.channels(), train.image_size(), num_classes);
         let retention = 1.0 / n as f32;
 
         let mut rng = TensorRng::new(self.config.seed ^ 0xBA5E);
@@ -142,20 +144,25 @@ impl SplitBaselineRunner {
             // width (NNFacet's filter pruning), then train on the subset.
             let full = SmallCnn::new(&base_config, &mut rng)?;
             let (sub_dataset, mapping) = train
-                .resample_for_classes(subset, self.config.other_fraction, self.config.seed + i as u64)
-                .map_err(|e| NnError::InvalidConfig { message: e.to_string() })?;
-            let mut pruned = full.prune_filters(
-                retention.max(0.25),
-                mapping.num_local_labels(),
-                &mut rng,
-            )?;
+                .resample_for_classes(
+                    subset,
+                    self.config.other_fraction,
+                    self.config.seed + i as u64,
+                )
+                .map_err(|e| NnError::InvalidConfig {
+                    message: e.to_string(),
+                })?;
+            let mut pruned =
+                full.prune_filters(retention.max(0.25), mapping.num_local_labels(), &mut rng)?;
             train_classifier(
                 &mut pruned,
                 sub_dataset.images(),
                 sub_dataset.labels(),
                 &self.config.train,
             )
-            .map_err(|e| NnError::InvalidConfig { message: e.to_string() })?;
+            .map_err(|e| NnError::InvalidConfig {
+                message: e.to_string(),
+            })?;
             let boxed: Box<dyn Layer> = match kind {
                 BaselineKind::SplitCnn => Box::new(pruned),
                 BaselineKind::SplitSnn => Box::new(SpikingCnn::from_cnn(pruned)),
@@ -171,7 +178,8 @@ impl SplitBaselineRunner {
 
         // Train the fusion MLP on the concatenated outputs.
         let fusion_config = FusionConfig::new(train_features.dims()[1], num_classes);
-        let mut fusion = FusionMlp::new(&fusion_config, &mut TensorRng::new(self.config.seed + 99))?;
+        let mut fusion =
+            FusionMlp::new(&fusion_config, &mut TensorRng::new(self.config.seed + 99))?;
         let mut optimizer = Adam::new(5e-3);
         let mut loss_fn = CrossEntropyLoss::new();
         for _ in 0..self.config.fusion_steps {
@@ -195,17 +203,13 @@ impl SplitBaselineRunner {
         })
     }
 
-    fn concat_outputs(
-        &self,
-        sub_models: &mut [Box<dyn Layer>],
-        images: &Tensor,
-    ) -> Result<Tensor> {
+    fn concat_outputs(&self, sub_models: &mut [Box<dyn Layer>], images: &Tensor) -> Result<Tensor> {
         let mut outputs = Vec::with_capacity(sub_models.len());
         for model in sub_models.iter_mut() {
             outputs.push(model.forward(images)?);
         }
         let refs: Vec<&Tensor> = outputs.iter().collect();
-        Ok(Tensor::concat_last_axis(&refs).map_err(NnError::from)?)
+        Tensor::concat_last_axis(&refs).map_err(NnError::from)
     }
 }
 

@@ -34,9 +34,17 @@ fn importance_ablation() {
     };
     train_classifier(&mut original, train.images(), train.labels(), &tc).unwrap();
     let plan = PrunedViTConfig::new(config, 2).unwrap();
-    println!("{:<22} {:>14} {:>14}", "Importance", "Sub-model acc", "Params");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "Importance", "Sub-model acc", "Params"
+    );
     for (name, method) in [
-        ("KL divergence", ImportanceMethod::KlDivergence { calibration_samples: 8 }),
+        (
+            "KL divergence",
+            ImportanceMethod::KlDivergence {
+                calibration_samples: 8,
+            },
+        ),
         ("weight magnitude", ImportanceMethod::Magnitude),
     ] {
         let pruner = StructuredPruner::new(PrunerConfig {
@@ -64,7 +72,10 @@ fn importance_ablation() {
 
 fn budget_ablation() {
     println!("\n== Ablation 2: memory budget sweep (ViT-Base, 5 devices) ==");
-    println!("{:<14} {:>14} {:>14} {:>12}", "Budget (MB)", "Total mem (MB)", "Latency-max (G)", "Feasible");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12}",
+        "Budget (MB)", "Total mem (MB)", "Latency-max (G)", "Feasible"
+    );
     let base = ViTConfig::vit_base(10);
     let devices = DeviceSpec::raspberry_pi_cluster(5);
     for budget_mb in [40u64, 80, 120, 180, 320, 600] {
@@ -88,7 +99,10 @@ fn budget_ablation() {
 fn bandwidth_ablation() {
     println!("\n== Ablation 3: bandwidth cap ==");
     let payloads = [512u64, 1536, 150_528];
-    println!("{:<18} {:>14} {:>14}", "Payload (B)", "2 Mbps (ms)", "gigabit (ms)");
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "Payload (B)", "2 Mbps (ms)", "gigabit (ms)"
+    );
     let capped = NetworkConfig::paper_default();
     let fast = NetworkConfig::gigabit();
     for p in payloads {

@@ -7,7 +7,10 @@ fn main() {
     let options = options_from_env();
     let devices = device_counts_from_env(options.fast);
     let rows = edvit::experiments::fig4(&devices, &options).expect("experiment failed");
-    println!("Fig. 4 — split ViT-Base on vision datasets ({} trial(s), fast={})", options.trials, options.fast);
+    println!(
+        "Fig. 4 — split ViT-Base on vision datasets ({} trial(s), fast={})",
+        options.trials, options.fast
+    );
     println!(
         "{:<14} {:>8} {:>12} {:>10} {:>14} {:>16}",
         "Dataset", "Devices", "Accuracy", "±std", "Latency (s)", "Total mem (MB)"

@@ -6,7 +6,10 @@ fn main() {
     let options = options_from_env();
     let devices = device_counts_from_env(options.fast);
     let rows = edvit::experiments::fig5(&devices, &options).expect("experiment failed");
-    println!("Fig. 5 — split ViT-Base on audio datasets ({} trial(s), fast={})", options.trials, options.fast);
+    println!(
+        "Fig. 5 — split ViT-Base on audio datasets ({} trial(s), fast={})",
+        options.trials, options.fast
+    );
     println!(
         "{:<18} {:>8} {:>12} {:>10} {:>14} {:>16}",
         "Dataset", "Devices", "Accuracy", "±std", "Latency (s)", "Total mem (MB)"

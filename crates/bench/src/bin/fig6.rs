@@ -7,7 +7,10 @@ fn main() {
     let options = options_from_env();
     let devices = device_counts_from_env(options.fast);
     let rows = edvit::experiments::fig6(&devices, &options).expect("experiment failed");
-    println!("Fig. 6 — split ViT-Small / ViT-Large ({} trial(s), fast={})", options.trials, options.fast);
+    println!(
+        "Fig. 6 — split ViT-Small / ViT-Large ({} trial(s), fast={})",
+        options.trials, options.fast
+    );
     println!(
         "{:<12} {:<14} {:>8} {:>12} {:>14} {:>16}",
         "Variant", "Dataset", "Devices", "Accuracy", "Latency (s)", "Total mem (MB)"

@@ -6,7 +6,10 @@ use edvit_bench::options_from_env;
 fn main() {
     let options = options_from_env();
     let rows = edvit::experiments::fig7(&options).expect("experiment failed");
-    println!("Fig. 7 — comparison at 10 edge devices ({} trial(s), fast={})", options.trials, options.fast);
+    println!(
+        "Fig. 7 — comparison at 10 edge devices ({} trial(s), fast={})",
+        options.trials, options.fast
+    );
     println!(
         "{:<12} {:>12} {:>14} {:>16}",
         "Method", "Accuracy", "Latency (s)", "Total mem (MB)"

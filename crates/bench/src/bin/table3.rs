@@ -7,7 +7,10 @@ fn main() {
     let options = options_from_env();
     let devices = device_counts_from_env(options.fast);
     let rows = edvit::experiments::table3(&devices, &options).expect("experiment failed");
-    println!("Table III — method comparison on CIFAR-10 ({} trial(s), fast={})", options.trials, options.fast);
+    println!(
+        "Table III — method comparison on CIFAR-10 ({} trial(s), fast={})",
+        options.trials, options.fast
+    );
     println!(
         "{:<12} {:>8} {:>12} {:>10} {:>14} {:>16}",
         "Method", "Devices", "Accuracy", "±std", "Latency (s)", "Total mem (MB)"
@@ -23,5 +26,7 @@ fn main() {
             row.total_memory_mb
         );
     }
-    println!("\nPaper reference: ED-ViT beats Split-CNN by up to 4.06% and Split-SNN by up to 5.55%.");
+    println!(
+        "\nPaper reference: ED-ViT beats Split-CNN by up to 4.06% and Split-SNN by up to 5.55%."
+    );
 }

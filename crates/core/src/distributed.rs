@@ -31,7 +31,9 @@ pub fn into_executors(deployment: EdVitDeployment) -> (Vec<SubModelFn>, FusionFn
                 } else {
                     sample.clone()
                 };
-                let features = model.forward_features(&batched).map_err(|e| e.to_string())?;
+                let features = model
+                    .forward_features(&batched)
+                    .map_err(|e| e.to_string())?;
                 // Return the single sample's feature vector.
                 features.row(0).map_err(|e| e.to_string())
             });

@@ -42,7 +42,9 @@ impl fmt::Display for EdVitError {
             EdVitError::Pruning(e) => write!(f, "pruning error: {e}"),
             EdVitError::Partition(e) => write!(f, "partitioning error: {e}"),
             EdVitError::Edge(e) => write!(f, "edge simulation error: {e}"),
-            EdVitError::InvalidConfig { message } => write!(f, "invalid pipeline configuration: {message}"),
+            EdVitError::InvalidConfig { message } => {
+                write!(f, "invalid pipeline configuration: {message}")
+            }
         }
     }
 }
@@ -90,17 +92,28 @@ mod tests {
         assert!(e.to_string().contains("tensor"));
         let e: EdVitError = NnError::MissingForwardCache { layer: "l" }.into();
         assert!(std::error::Error::source(&e).is_some());
-        let e: EdVitError = ViTError::InvalidConfig { message: "m".into() }.into();
+        let e: EdVitError = ViTError::InvalidConfig {
+            message: "m".into(),
+        }
+        .into();
         assert!(e.to_string().contains("m"));
         let e: EdVitError = DatasetError::Empty { what: "w" }.into();
         assert!(e.to_string().contains("w"));
-        let e: EdVitError = PruningError::InvalidRequest { message: "p".into() }.into();
+        let e: EdVitError = PruningError::InvalidRequest {
+            message: "p".into(),
+        }
+        .into();
         assert!(e.to_string().contains("p"));
         let e: EdVitError = PartitionError::Infeasible { reason: "r".into() }.into();
         assert!(e.to_string().contains("r"));
-        let e: EdVitError = EdgeError::Runtime { message: "t".into() }.into();
+        let e: EdVitError = EdgeError::Runtime {
+            message: "t".into(),
+        }
+        .into();
         assert!(e.to_string().contains("t"));
-        let e = EdVitError::InvalidConfig { message: "cfg".into() };
+        let e = EdVitError::InvalidConfig {
+            message: "cfg".into(),
+        };
         assert!(e.to_string().contains("cfg"));
         assert!(std::error::Error::source(&e).is_none());
     }

@@ -34,12 +34,18 @@ pub struct ExperimentOptions {
 impl ExperimentOptions {
     /// Fast single-trial options (used by tests and smoke runs).
     pub fn fast() -> Self {
-        ExperimentOptions { trials: 1, fast: true }
+        ExperimentOptions {
+            trials: 1,
+            fast: true,
+        }
     }
 
     /// Paper-style options: five trials at experiment scale.
     pub fn full() -> Self {
-        ExperimentOptions { trials: 5, fast: false }
+        ExperimentOptions {
+            trials: 5,
+            fast: false,
+        }
     }
 }
 
@@ -58,8 +64,8 @@ fn pipeline_config(
             samples_per_class: 6,
             ..SyntheticConfig::tiny(kind)
         };
-        c.paper_model =
-            ViTConfig::from_variant(variant, kind.num_classes().min(10)).with_channels(kind.channels());
+        c.paper_model = ViTConfig::from_variant(variant, kind.num_classes().min(10))
+            .with_channels(kind.channels());
         c.planner.memory_budget_bytes = match variant {
             ViTVariant::Small => 50_000_000,
             ViTVariant::Large => 600_000_000,
@@ -341,7 +347,10 @@ pub struct ComparisonRow {
     pub total_memory_mb: f64,
 }
 
-fn baseline_datasets(options: &ExperimentOptions, seed: u64) -> Result<(edvit_datasets::Dataset, edvit_datasets::Dataset)> {
+fn baseline_datasets(
+    options: &ExperimentOptions,
+    seed: u64,
+) -> Result<(edvit_datasets::Dataset, edvit_datasets::Dataset)> {
     let mut cfg = if options.fast {
         SyntheticConfig {
             class_limit: Some(10),

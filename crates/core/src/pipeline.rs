@@ -55,7 +55,8 @@ impl EdVitConfig {
         let num_classes = kind.num_classes().min(10);
         let mut synthetic = SyntheticConfig::experiment(kind);
         synthetic.class_limit = Some(num_classes);
-        let paper_model = ViTConfig::from_variant(variant, num_classes).with_channels(kind.channels());
+        let paper_model =
+            ViTConfig::from_variant(variant, num_classes).with_channels(kind.channels());
         let memory_budget = match variant {
             ViTVariant::Small => 50_000_000,
             ViTVariant::Large => 600_000_000,
@@ -279,7 +280,8 @@ impl EdVitPipeline {
                     .pruned_heads()
                     .min(trainable_config.heads.saturating_sub(1)),
             )?;
-            let sub = pruner.prune_sub_model(&original, &train, &sub_plan.classes, &trainable_plan)?;
+            let sub =
+                pruner.prune_sub_model(&original, &train, &sub_plan.classes, &trainable_plan)?;
             sub_models.push(sub);
         }
 
@@ -288,7 +290,12 @@ impl EdVitPipeline {
         let test_features = extract_features(&mut sub_models, test.images())?;
         let fusion_config = FusionConfig::new(train_features.dims()[1], train.num_classes());
         let mut fusion = FusionMlp::new(&fusion_config, &mut TensorRng::new(cfg.seed ^ 0xF05))?;
-        train_fusion(&mut fusion, &train_features, train.labels(), cfg.fusion_steps)?;
+        train_fusion(
+            &mut fusion,
+            &train_features,
+            train.labels(),
+            cfg.fusion_steps,
+        )?;
         let fused_predictions = fusion.predict(&test_features)?;
         let fused_accuracy = stats::accuracy(&fused_predictions, test.labels());
 

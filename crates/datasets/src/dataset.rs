@@ -68,11 +68,7 @@ impl Dataset {
         }
         if images.dims()[0] != labels.len() {
             return Err(DatasetError::InvalidConfig {
-                message: format!(
-                    "{} images but {} labels",
-                    images.dims()[0],
-                    labels.len()
-                ),
+                message: format!("{} images but {} labels", images.dims()[0], labels.len()),
             });
         }
         if num_classes == 0 {
@@ -181,8 +177,8 @@ impl Dataset {
                 continue;
             }
             rng.shuffle(&mut members);
-            let cut = ((members.len() as f32 * train_fraction).round() as usize)
-                .clamp(1, members.len());
+            let cut =
+                ((members.len() as f32 * train_fraction).round() as usize).clamp(1, members.len());
             train_idx.extend_from_slice(&members[..cut.min(members.len())]);
             if cut < members.len() {
                 test_idx.extend_from_slice(&members[cut..]);
@@ -214,7 +210,9 @@ impl Dataset {
         seed: u64,
     ) -> Result<(Dataset, ClassSubsetMapping)> {
         if subset.is_empty() {
-            return Err(DatasetError::Empty { what: "class subset" });
+            return Err(DatasetError::Empty {
+                what: "class subset",
+            });
         }
         for &c in subset {
             if c >= self.num_classes {
@@ -234,7 +232,9 @@ impl Dataset {
             }
         }
         if indices.is_empty() {
-            return Err(DatasetError::Empty { what: "class subset samples" });
+            return Err(DatasetError::Empty {
+                what: "class subset samples",
+            });
         }
         let include_other = other_fraction > 0.0;
         if include_other {
@@ -299,7 +299,7 @@ mod tests {
         for c in 0..classes {
             for s in 0..samples_per_class {
                 let value = c as f32 + s as f32 * 0.01;
-                data.extend(std::iter::repeat(value).take(3 * size * size));
+                data.extend(std::iter::repeat_n(value, 3 * size * size));
                 labels.push(c);
             }
         }
@@ -319,7 +319,13 @@ mod tests {
         assert!(Dataset::new(DatasetKind::MnistLike, images.clone(), vec![0], 2).is_err());
         assert!(Dataset::new(DatasetKind::MnistLike, images.clone(), vec![0, 5], 2).is_err());
         assert!(Dataset::new(DatasetKind::MnistLike, images, vec![0, 1], 0).is_err());
-        assert!(Dataset::new(DatasetKind::MnistLike, Tensor::zeros(&[2, 48]), vec![0, 1], 2).is_err());
+        assert!(Dataset::new(
+            DatasetKind::MnistLike,
+            Tensor::zeros(&[2, 48]),
+            vec![0, 1],
+            2
+        )
+        .is_err());
     }
 
     #[test]

@@ -30,7 +30,9 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::Tensor(e) => write!(f, "tensor error: {e}"),
-            DatasetError::InvalidConfig { message } => write!(f, "invalid dataset config: {message}"),
+            DatasetError::InvalidConfig { message } => {
+                write!(f, "invalid dataset config: {message}")
+            }
             DatasetError::ClassOutOfRange { class, num_classes } => {
                 write!(f, "class {class} out of range for {num_classes} classes")
             }
@@ -60,13 +62,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DatasetError::InvalidConfig { message: "zero".into() }
+        assert!(DatasetError::InvalidConfig {
+            message: "zero".into()
+        }
+        .to_string()
+        .contains("zero"));
+        assert!(DatasetError::ClassOutOfRange {
+            class: 12,
+            num_classes: 10
+        }
+        .to_string()
+        .contains("12"));
+        assert!(DatasetError::Empty { what: "subset" }
             .to_string()
-            .contains("zero"));
-        assert!(DatasetError::ClassOutOfRange { class: 12, num_classes: 10 }
-            .to_string()
-            .contains("12"));
-        assert!(DatasetError::Empty { what: "subset" }.to_string().contains("subset"));
+            .contains("subset"));
         let e: DatasetError = TensorError::EmptyInput { op: "x" }.into();
         assert!(std::error::Error::source(&e).is_some());
     }

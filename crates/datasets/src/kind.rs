@@ -68,7 +68,10 @@ impl DatasetKind {
 
     /// Whether this is one of the audio-recognition datasets.
     pub fn is_audio(&self) -> bool {
-        matches!(self, DatasetKind::GtzanLike | DatasetKind::SpeechCommandsLike)
+        matches!(
+            self,
+            DatasetKind::GtzanLike | DatasetKind::SpeechCommandsLike
+        )
     }
 
     /// The name of the real dataset this synthetic one stands in for.

@@ -57,7 +57,8 @@ impl SyntheticConfig {
     /// Number of classes actually generated.
     pub fn effective_classes(&self) -> usize {
         let real = self.kind.num_classes();
-        self.class_limit.map_or(real, |limit| real.min(limit.max(1)))
+        self.class_limit
+            .map_or(real, |limit| real.min(limit.max(1)))
     }
 
     /// Validates the configuration.
@@ -133,10 +134,10 @@ impl SyntheticGenerator {
 
         let mut data = Vec::with_capacity(n * channels * size * size);
         let mut labels = Vec::with_capacity(n);
-        for class in 0..classes {
+        for (class, class_modes) in prototypes.iter().enumerate() {
             for _ in 0..config.samples_per_class {
                 let mode = rng.index(config.modes_per_class);
-                let proto = &prototypes[class][mode];
+                let proto = &class_modes[mode];
                 let noise = rng.randn(&[channels, size, size], 0.0, config.noise_std);
                 let sample = proto.scale(config.signal_strength).add(&noise)?;
                 data.extend_from_slice(sample.data());
@@ -288,7 +289,10 @@ mod tests {
             }
         }
         let acc = correct as f32 / test.len() as f32;
-        assert!(acc > 0.5, "nearest-mean accuracy {acc} should beat 10% chance comfortably");
+        assert!(
+            acc > 0.5,
+            "nearest-mean accuracy {acc} should beat 10% chance comfortably"
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub enum EdgeError {
 impl fmt::Display for EdgeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EdgeError::InvalidConfig { message } => write!(f, "invalid edge configuration: {message}"),
+            EdgeError::InvalidConfig { message } => {
+                write!(f, "invalid edge configuration: {message}")
+            }
             EdgeError::Runtime { message } => write!(f, "cluster runtime failure: {message}"),
             EdgeError::Decode { message } => write!(f, "wire decode failure: {message}"),
         }
@@ -39,10 +41,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(EdgeError::InvalidConfig { message: "no devices".into() }
-            .to_string()
-            .contains("no devices"));
-        assert!(EdgeError::Runtime { message: "panic".into() }.to_string().contains("panic"));
-        assert!(EdgeError::Decode { message: "short".into() }.to_string().contains("short"));
+        assert!(EdgeError::InvalidConfig {
+            message: "no devices".into()
+        }
+        .to_string()
+        .contains("no devices"));
+        assert!(EdgeError::Runtime {
+            message: "panic".into()
+        }
+        .to_string()
+        .contains("panic"));
+        assert!(EdgeError::Decode {
+            message: "short".into()
+        }
+        .to_string()
+        .contains("short"));
     }
 }

@@ -44,7 +44,11 @@ impl LatencyBreakdown {
     pub fn bottleneck_device(&self) -> Option<usize> {
         self.per_device
             .iter()
-            .max_by(|a, b| a.total_seconds().partial_cmp(&b.total_seconds()).expect("finite"))
+            .max_by(|a, b| {
+                a.total_seconds()
+                    .partial_cmp(&b.total_seconds())
+                    .expect("finite")
+            })
             .map(|d| d.device_id)
     }
 
@@ -120,11 +124,12 @@ impl LatencyModel {
 
         let mut total_feature_dim = 0usize;
         for sub in &plan.sub_models {
-            let device_id = plan.assignment.device_for(sub.index).ok_or_else(|| {
-                EdgeError::InvalidConfig {
-                    message: format!("sub-model {} has no assigned device", sub.index),
-                }
-            })?;
+            let device_id =
+                plan.assignment
+                    .device_for(sub.index)
+                    .ok_or_else(|| EdgeError::InvalidConfig {
+                        message: format!("sub-model {} has no assigned device", sub.index),
+                    })?;
             let device = devices.iter().find(|d| d.id == device_id).ok_or_else(|| {
                 EdgeError::InvalidConfig {
                     message: format!("device {device_id} not present in the device list"),
@@ -147,9 +152,9 @@ impl LatencyModel {
             .map(|s| s.pruned.base().num_classes)
             .unwrap_or(0);
         let hidden = (total_feature_dim as f64 * 0.5).ceil() as u64;
-        let fusion_flops = self.fusion_flops_override.unwrap_or(
-            total_feature_dim as u64 * hidden + hidden * classes as u64,
-        );
+        let fusion_flops = self
+            .fusion_flops_override
+            .unwrap_or(total_feature_dim as u64 * hidden + hidden * classes as u64);
         let fusion_device = &devices[0];
         let fusion_seconds = fusion_device.execution_seconds(fusion_flops);
 
@@ -208,13 +213,24 @@ mod tests {
         let model = LatencyModel::new(NetworkConfig::paper_default());
         let (plan2, devices2) = plan_for(2);
         let l2 = model.estimate(&plan2, &devices2).unwrap();
-        assert!(l2.total_seconds > 5.0 && l2.total_seconds < 14.0, "{}", l2.total_seconds);
+        assert!(
+            l2.total_seconds > 5.0 && l2.total_seconds < 14.0,
+            "{}",
+            l2.total_seconds
+        );
         let (plan10, devices10) = plan_for(10);
         let l10 = model.estimate(&plan10, &devices10).unwrap();
-        assert!(l10.total_seconds > 0.4 && l10.total_seconds < 3.0, "{}", l10.total_seconds);
+        assert!(
+            l10.total_seconds > 0.4 && l10.total_seconds < 3.0,
+            "{}",
+            l10.total_seconds
+        );
         let original = model.original_model_latency(16_860_000_000, &devices2[0]);
         assert!((original - 36.94).abs() < 1.0);
-        assert!(original / l10.total_seconds > 10.0, "speedup should be >10x");
+        assert!(
+            original / l10.total_seconds > 10.0,
+            "speedup should be >10x"
+        );
     }
 
     #[test]

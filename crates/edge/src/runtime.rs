@@ -159,9 +159,11 @@ impl ClusterRuntime {
         // Fuse each sample's features in sub-model order.
         let mut outputs = Vec::with_capacity(inputs.len());
         for sample_index in 0..inputs.len() as u32 {
-            let features = per_sample.get(&sample_index).ok_or_else(|| EdgeError::Runtime {
-                message: format!("no features received for sample {sample_index}"),
-            })?;
+            let features = per_sample
+                .get(&sample_index)
+                .ok_or_else(|| EdgeError::Runtime {
+                    message: format!("no features received for sample {sample_index}"),
+                })?;
             if features.len() != num_sub_models {
                 return Err(EdgeError::Runtime {
                     message: format!(
@@ -263,7 +265,11 @@ mod tests {
         let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
         let fusion: FusionFn = Box::new(|_| Err("fusion MLP not trained".to_string()));
         let err = runtime
-            .run(&[Tensor::zeros(&[1])], vec![constant_executor(1.0, 2)], fusion)
+            .run(
+                &[Tensor::zeros(&[1])],
+                vec![constant_executor(1.0, 2)],
+                fusion,
+            )
             .unwrap_err();
         assert!(err.to_string().contains("fusion MLP"));
     }
@@ -273,9 +279,8 @@ mod tests {
         let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
         let inputs: Vec<Tensor> = (0..8).map(|i| Tensor::full(&[4], i as f32)).collect();
         let executors: Vec<SubModelFn> = (0..10).map(|i| constant_executor(i as f32, 8)).collect();
-        let fusion: FusionFn = Box::new(|concat: &Tensor| {
-            Ok(Tensor::from_vec(vec![concat.sum()], &[1]).unwrap())
-        });
+        let fusion: FusionFn =
+            Box::new(|concat: &Tensor| Ok(Tensor::from_vec(vec![concat.sum()], &[1]).unwrap()));
         let report = runtime.run(&inputs, executors, fusion).unwrap();
         assert_eq!(report.outputs.len(), 8);
         assert_eq!(report.messages, 80);

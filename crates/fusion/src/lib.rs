@@ -141,7 +141,7 @@ impl FusionMlp {
     /// Returns an error when the feature width does not match the config.
     pub fn predict(&mut self, features: &Tensor) -> Result<Vec<usize>, NnError> {
         let logits = self.predict_logits(features)?;
-        Ok(logits.argmax_last_axis().map_err(NnError::from)?)
+        logits.argmax_last_axis().map_err(NnError::from)
     }
 }
 
@@ -231,7 +231,7 @@ pub fn average_softmax_fusion(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edvit_nn::{CrossEntropyLoss, Adam, Optimizer};
+    use edvit_nn::{Adam, CrossEntropyLoss, Optimizer};
 
     #[test]
     fn config_dimensions_and_flops() {
@@ -292,22 +292,12 @@ mod tests {
     fn average_softmax_fusion_maps_local_to_global() {
         // Two sub-models over 4 global classes: {0,1} and {2,3}, each with an
         // extra "other" column that must be ignored.
-        let probs_a = Tensor::from_vec(
-            vec![0.8, 0.1, 0.1, /* sample 2 */ 0.1, 0.2, 0.7],
-            &[2, 3],
-        )
-        .unwrap();
-        let probs_b = Tensor::from_vec(
-            vec![0.1, 0.2, 0.7, /* sample 2 */ 0.6, 0.3, 0.1],
-            &[2, 3],
-        )
-        .unwrap();
-        let preds = average_softmax_fusion(
-            &[probs_a, probs_b],
-            &[vec![0, 1], vec![2, 3]],
-            4,
-        )
-        .unwrap();
+        let probs_a =
+            Tensor::from_vec(vec![0.8, 0.1, 0.1, /* sample 2 */ 0.1, 0.2, 0.7], &[2, 3]).unwrap();
+        let probs_b =
+            Tensor::from_vec(vec![0.1, 0.2, 0.7, /* sample 2 */ 0.6, 0.3, 0.1], &[2, 3]).unwrap();
+        let preds =
+            average_softmax_fusion(&[probs_a, probs_b], &[vec![0, 1], vec![2, 3]], 4).unwrap();
         // Sample 1: class 0 has 0.8, nothing beats it. Sample 2: class 2 has 0.6.
         assert_eq!(preds, vec![0, 2]);
     }
@@ -316,9 +306,9 @@ mod tests {
     fn average_softmax_fusion_validation() {
         let p = Tensor::zeros(&[2, 3]);
         assert!(average_softmax_fusion(&[], &[], 4).is_err());
-        assert!(average_softmax_fusion(&[p.clone()], &[vec![0], vec![1]], 4).is_err());
-        assert!(average_softmax_fusion(&[p.clone()], &[vec![0, 1, 2, 3]], 4).is_err());
-        assert!(average_softmax_fusion(&[p.clone()], &[vec![9]], 4).is_err());
+        assert!(average_softmax_fusion(std::slice::from_ref(&p), &[vec![0], vec![1]], 4).is_err());
+        assert!(average_softmax_fusion(std::slice::from_ref(&p), &[vec![0, 1, 2, 3]], 4).is_err());
+        assert!(average_softmax_fusion(std::slice::from_ref(&p), &[vec![9]], 4).is_err());
         assert!(average_softmax_fusion(&[p], &[vec![0, 1]], 4).is_ok());
     }
 }

@@ -198,7 +198,10 @@ impl MultiHeadSelfAttention {
             for &i in keep {
                 if i >= self.head_dim {
                     return Err(NnError::InvalidConfig {
-                        message: format!("kept index {i} out of range for head_dim {}", self.head_dim),
+                        message: format!(
+                            "kept index {i} out of range for head_dim {}",
+                            self.head_dim
+                        ),
                     });
                 }
                 columns.push(h * self.head_dim + i);
@@ -258,11 +261,7 @@ impl MultiHeadSelfAttention {
         Ok((Tensor::concat_last_axis(&refs)?, head_caches))
     }
 
-    fn backward_sample(
-        &self,
-        grad_concat: &Tensor,
-        caches: &[HeadCache],
-    ) -> Result<Tensor> {
+    fn backward_sample(&self, grad_concat: &Tensor, caches: &[HeadCache]) -> Result<Tensor> {
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let grads_per_head = grad_concat.chunk_last_axis(self.heads)?;
         let mut dq_heads = Vec::with_capacity(self.heads);
@@ -315,7 +314,11 @@ impl Layer for MultiHeadSelfAttention {
                 })
             }
         };
-        let tokens = if batched { input.dims()[1] } else { input.dims()[0] };
+        let tokens = if batched {
+            input.dims()[1]
+        } else {
+            input.dims()[0]
+        };
         let q_all = self.q_proj.forward(input)?;
         let k_all = self.k_proj.forward(input)?;
         let v_all = self.v_proj.forward(input)?;
@@ -473,9 +476,7 @@ mod tests {
     fn pruned_head_dims_forward_works() {
         let mut rng = TensorRng::new(4);
         let mhsa = MultiHeadSelfAttention::new(6, 3, 2, &mut rng).unwrap();
-        let mut pruned = mhsa
-            .prune_head_dims(&[vec![0], vec![1], vec![0]])
-            .unwrap();
+        let mut pruned = mhsa.prune_head_dims(&[vec![0], vec![1], vec![0]]).unwrap();
         let x = rng.randn(&[4, 6], 0.0, 1.0);
         assert_eq!(pruned.forward(&x).unwrap().dims(), &[4, 6]);
     }

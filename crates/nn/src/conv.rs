@@ -205,12 +205,12 @@ impl Conv2d {
                         for kx in 0..k {
                             let iy = (oy * self.stride + ky) as isize - self.padding as isize;
                             let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                            let val = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
-                            {
-                                data[ci * h * w + iy as usize * w + ix as usize]
-                            } else {
-                                0.0
-                            };
+                            let val =
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    data[ci * h * w + iy as usize * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
                             cols[col_base + ci * k * k + ky * k + kx] = val;
                         }
                     }
@@ -376,8 +376,11 @@ mod tests {
         let weight = Tensor::ones(&[4, 1]);
         let bias = Tensor::zeros(&[1]);
         let mut conv = Conv2d::from_weights(weight, bias, 1, 1, 2, 1, 0).unwrap();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
         let y = conv.forward(&x).unwrap();
         // Each output = sum of 2x2 window.
         assert_eq!(y.dims(), &[1, 1, 2, 2]);

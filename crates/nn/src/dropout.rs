@@ -24,7 +24,10 @@ impl Dropout {
     /// Panics if `p` is outside `[0, 1)`; dropout of exactly 1.0 would zero
     /// every activation which is never intended.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         Dropout {
             p,
             training: true,

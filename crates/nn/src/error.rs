@@ -74,11 +74,19 @@ mod tests {
     fn display_variants() {
         let e = NnError::MissingForwardCache { layer: "linear" };
         assert!(e.to_string().contains("linear"));
-        let e = NnError::LabelMismatch { batch: 4, labels: 3 };
+        let e = NnError::LabelMismatch {
+            batch: 4,
+            labels: 3,
+        };
         assert!(e.to_string().contains("4"));
-        let e = NnError::LabelOutOfRange { label: 9, classes: 5 };
+        let e = NnError::LabelOutOfRange {
+            label: 9,
+            classes: 5,
+        };
         assert!(e.to_string().contains("9"));
-        let e = NnError::InvalidConfig { message: "x".into() };
+        let e = NnError::InvalidConfig {
+            message: "x".into(),
+        };
         assert!(e.to_string().contains("x"));
     }
 

@@ -125,7 +125,8 @@ impl Layer for LayerNorm {
             for (i, &v) in row.iter().enumerate() {
                 let xh = (v - mean) * istd;
                 x_hat[r * self.dim + i] = xh;
-                out[r * self.dim + i] = xh * self.gamma.value().data()[i] + self.beta.value().data()[i];
+                out[r * self.dim + i] =
+                    xh * self.gamma.value().data()[i] + self.beta.value().data()[i];
             }
         }
         let lead_dims: Vec<usize> = input.dims()[..input.rank() - 1].to_vec();
@@ -164,8 +165,8 @@ impl Layer for LayerNorm {
             let sum_dxhat_xhat: f32 = dxhat.iter().zip(xrow).map(|(a, b)| a * b).sum();
             let istd = cache.inv_std[r];
             for i in 0..d {
-                grad_x[r * d + i] = istd / d as f32
-                    * (d as f32 * dxhat[i] - sum_dxhat - xrow[i] * sum_dxhat_xhat);
+                grad_x[r * d + i] =
+                    istd / d as f32 * (d as f32 * dxhat[i] - sum_dxhat - xrow[i] * sum_dxhat_xhat);
             }
         }
         self.gamma

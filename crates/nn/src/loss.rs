@@ -43,7 +43,10 @@ impl CrossEntropyLoss {
     pub fn forward(&mut self, logits: &Tensor, labels: &[usize]) -> Result<f32> {
         if logits.rank() != 2 {
             return Err(NnError::InvalidConfig {
-                message: format!("cross entropy expects [n, classes], got {:?}", logits.dims()),
+                message: format!(
+                    "cross entropy expects [n, classes], got {:?}",
+                    logits.dims()
+                ),
             });
         }
         let n = logits.dims()[0];
@@ -56,7 +59,10 @@ impl CrossEntropyLoss {
         }
         for &l in labels {
             if l >= c {
-                return Err(NnError::LabelOutOfRange { label: l, classes: c });
+                return Err(NnError::LabelOutOfRange {
+                    label: l,
+                    classes: c,
+                });
             }
         }
         if n == 0 {
@@ -80,12 +86,9 @@ impl CrossEntropyLoss {
     ///
     /// Returns [`NnError::MissingForwardCache`] when called before `forward`.
     pub fn backward(&mut self) -> Result<Tensor> {
-        let (probs, labels) = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::MissingForwardCache {
-                layer: "CrossEntropyLoss",
-            })?;
+        let (probs, labels) = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "CrossEntropyLoss",
+        })?;
         let n = probs.dims()[0];
         let c = probs.dims()[1];
         let mut grad = probs.clone();

@@ -67,7 +67,7 @@ impl Mlp {
                 message: "an MLP needs at least an input and an output size".to_string(),
             });
         }
-        if layer_sizes.iter().any(|&s| s == 0) {
+        if layer_sizes.contains(&0) {
             return Err(NnError::InvalidConfig {
                 message: format!("zero-sized layer in MLP sizes {layer_sizes:?}"),
             });

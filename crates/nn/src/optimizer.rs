@@ -60,7 +60,10 @@ impl Optimizer for Sgd {
             return Ok(());
         }
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value().dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value().dims()))
+                .collect();
         }
         if self.velocity.len() != params.len() {
             return Err(NnError::InvalidConfig {
@@ -138,8 +141,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Parameter]) -> Result<()> {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value().dims())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value().dims())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value().dims()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value().dims()))
+                .collect();
         }
         if self.m.len() != params.len() {
             return Err(NnError::InvalidConfig {
@@ -166,7 +175,9 @@ impl Optimizer for Adam {
                 });
             }
             let grad = p.grad().clone();
-            self.m[i] = self.m[i].scale(self.beta1).add(&grad.scale(1.0 - self.beta1))?;
+            self.m[i] = self.m[i]
+                .scale(self.beta1)
+                .add(&grad.scale(1.0 - self.beta1))?;
             let grad_sq = grad.mul(&grad)?;
             self.v[i] = self.v[i]
                 .scale(self.beta2)

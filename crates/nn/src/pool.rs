@@ -257,7 +257,10 @@ mod tests {
     fn maxpool_forward_known_values() {
         let mut pool = MaxPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -288,8 +291,11 @@ mod tests {
     #[test]
     fn avgpool_forward_backward() {
         let mut pool = AvgPool2d::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let y = pool.forward(&x).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 25.0]);

@@ -42,7 +42,11 @@ pub fn finite_difference_check(
     let _ = loss_of(&mut layer, &x, &w);
     let grad_in = layer.backward(&w).expect("backward failed");
     assert_eq!(grad_in.dims(), x.dims(), "input gradient shape mismatch");
-    let param_grads: Vec<Tensor> = layer.parameters().iter().map(|p| p.grad().clone()).collect();
+    let param_grads: Vec<Tensor> = layer
+        .parameters()
+        .iter()
+        .map(|p| p.grad().clone())
+        .collect();
 
     let eps = 1e-2f32;
 
@@ -62,8 +66,7 @@ pub fn finite_difference_check(
     }
 
     // Parameter gradient checks.
-    let n_params = layer.parameters().len();
-    for pi in 0..n_params {
+    for (pi, param_grad) in param_grads.iter().enumerate() {
         let numel = layer.parameters()[pi].numel();
         let probes = probe_indices(numel, seed.wrapping_add(pi as u64 + 1));
         for &i in &probes {
@@ -74,7 +77,7 @@ pub fn finite_difference_check(
             let lm = loss_of(&mut layer, &x, &w);
             set_param(&mut layer, pi, i, original);
             let fd = (lp - lm) / (2.0 * eps);
-            let analytic = param_grads[pi].data()[i];
+            let analytic = param_grad.data()[i];
             assert!(
                 (analytic - fd).abs() <= tol * (1.0 + fd.abs()),
                 "param {pi} grad mismatch at {i}: analytic {analytic} vs fd {fd}"

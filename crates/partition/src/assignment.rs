@@ -88,7 +88,7 @@ pub fn greedy_assign(
 
     // Line 1: sort by computation overhead, highest first.
     let mut order: Vec<&SubModelRequirements> = sub_models.iter().collect();
-    order.sort_by(|a, b| b.flops_per_sample.cmp(&a.flops_per_sample));
+    order.sort_by_key(|d| std::cmp::Reverse(d.flops_per_sample));
 
     // Mutable remaining capacities, indexed by position in `devices`.
     let mut remaining_energy: Vec<f64> = devices
@@ -103,13 +103,11 @@ pub fn greedy_assign(
         let demand = req.flops_per_sample.saturating_mul(samples_per_round) as f64;
         loop {
             // Line 3: pick the active device with the most remaining energy.
-            let candidate = (0..devices.len())
-                .filter(|&i| active[i])
-                .max_by(|&a, &b| {
-                    remaining_energy[a]
-                        .partial_cmp(&remaining_energy[b])
-                        .expect("energies are finite")
-                });
+            let candidate = (0..devices.len()).filter(|&i| active[i]).max_by(|&a, &b| {
+                remaining_energy[a]
+                    .partial_cmp(&remaining_energy[b])
+                    .expect("energies are finite")
+            });
             let Some(i) = candidate else {
                 // Line 10: the device set is exhausted.
                 return Ok(None);
@@ -164,7 +162,11 @@ mod tests {
     #[test]
     fn assigns_one_model_per_device_when_plenty() {
         let devices = DeviceSpec::raspberry_pi_cluster(3);
-        let sub_models = reqs(&[(10_000_000, 1_000_000), (10_000_000, 2_000_000), (10_000_000, 3_000_000)]);
+        let sub_models = reqs(&[
+            (10_000_000, 1_000_000),
+            (10_000_000, 2_000_000),
+            (10_000_000, 3_000_000),
+        ]);
         let assignment = greedy_assign(&sub_models, &devices, 1).unwrap().unwrap();
         assert_eq!(assignment.assignments.len(), 3);
         // Every sub-model placed, and the busiest one went first to the
@@ -181,7 +183,9 @@ mod tests {
         let big = DeviceSpec::new(0, "big", 1_000_000, 100.0, 1_000_000);
         let tiny = DeviceSpec::new(1, "tiny", 10, 1.0, 10);
         let sub_models = reqs(&[(100, 100), (100, 100)]);
-        let assignment = greedy_assign(&sub_models, &[big, tiny], 1).unwrap().unwrap();
+        let assignment = greedy_assign(&sub_models, &[big, tiny], 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(assignment.device_for(0), Some(0));
         assert_eq!(assignment.device_for(1), Some(0));
         assert_eq!(assignment.sub_models_on(0), vec![0, 1]);

@@ -108,7 +108,15 @@ mod tests {
 
     #[test]
     fn partitions_are_balanced_and_complete() {
-        for (classes, submodels) in [(10, 1), (10, 2), (10, 3), (10, 5), (10, 10), (257, 10), (35, 7)] {
+        for (classes, submodels) in [
+            (10, 1),
+            (10, 2),
+            (10, 3),
+            (10, 5),
+            (10, 10),
+            (257, 10),
+            (35, 7),
+        ] {
             let subsets = balanced_class_assignment(classes, submodels, 3).unwrap();
             assert_eq!(subsets.len(), submodels);
             validate_class_assignment(&subsets, classes).unwrap();

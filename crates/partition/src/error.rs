@@ -54,13 +54,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(PartitionError::InvalidConfig { message: "no devices".into() }
-            .to_string()
-            .contains("no devices"));
-        assert!(PartitionError::Infeasible { reason: "budget".into() }
-            .to_string()
-            .contains("budget"));
-        let e: PartitionError = ViTError::InvalidConfig { message: "x".into() }.into();
+        assert!(PartitionError::InvalidConfig {
+            message: "no devices".into()
+        }
+        .to_string()
+        .contains("no devices"));
+        assert!(PartitionError::Infeasible {
+            reason: "budget".into()
+        }
+        .to_string()
+        .contains("budget"));
+        let e: PartitionError = ViTError::InvalidConfig {
+            message: "x".into(),
+        }
+        .into();
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -73,7 +73,11 @@ impl SplitPlan {
     /// The largest per-sample FLOP count across sub-models — the compute that
     /// determines the parallel inference latency lower bound.
     pub fn max_sub_model_flops(&self) -> u64 {
-        self.sub_models.iter().map(|s| s.cost.flops).max().unwrap_or(0)
+        self.sub_models
+            .iter()
+            .map(|s| s.cost.flops)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The class subset handled by sub-model `index`.
@@ -147,7 +151,10 @@ impl SplitPlanner {
                 .iter()
                 .map(|&hp| PrunedViTConfig::new(base.clone(), hp))
                 .collect::<std::result::Result<_, _>>()?;
-            let costs: Vec<ModelCost> = pruned_configs.iter().map(analysis::cost_of_pruned).collect();
+            let costs: Vec<ModelCost> = pruned_configs
+                .iter()
+                .map(analysis::cost_of_pruned)
+                .collect();
             let total_memory: u64 = costs.iter().map(|c| c.memory_bytes).sum();
 
             // Line 12: only try to assign when the total budget is respected.
@@ -225,9 +232,17 @@ mod tests {
             let devices = DeviceSpec::raspberry_pi_cluster(n);
             let plan = planner.plan(&base, &devices, 1).unwrap();
             assert_eq!(plan.sub_models.len(), n);
-            assert!(plan.total_memory_bytes <= 180_000_000, "n={n}: {}", plan.total_memory_mb());
+            assert!(
+                plan.total_memory_bytes <= 180_000_000,
+                "n={n}: {}",
+                plan.total_memory_mb()
+            );
             // Every class covered exactly once.
-            let mut all: Vec<usize> = plan.sub_models.iter().flat_map(|s| s.classes.clone()).collect();
+            let mut all: Vec<usize> = plan
+                .sub_models
+                .iter()
+                .flat_map(|s| s.classes.clone())
+                .collect();
             all.sort_unstable();
             assert_eq!(all, (0..10).collect::<Vec<_>>());
             // Assignment covers every sub-model.
@@ -266,7 +281,9 @@ mod tests {
         // (this is the paper's 1-device compression-only configuration).
         let planner = planner_with_budget(180);
         let base = ViTConfig::vit_base(10);
-        let plan = planner.plan(&base, &DeviceSpec::raspberry_pi_cluster(1), 3).unwrap();
+        let plan = planner
+            .plan(&base, &DeviceSpec::raspberry_pi_cluster(1), 3)
+            .unwrap();
         assert_eq!(plan.sub_models.len(), 1);
         assert!(plan.sub_models[0].pruned.pruned_heads() > 0);
         assert!(plan.total_memory_bytes <= 180_000_000);
@@ -319,8 +336,14 @@ mod tests {
         assert_eq!(a, b);
         let c = planner.plan(&base, &devices, 12).unwrap();
         assert_ne!(
-            a.sub_models.iter().map(|s| s.classes.clone()).collect::<Vec<_>>(),
-            c.sub_models.iter().map(|s| s.classes.clone()).collect::<Vec<_>>()
+            a.sub_models
+                .iter()
+                .map(|s| s.classes.clone())
+                .collect::<Vec<_>>(),
+            c.sub_models
+                .iter()
+                .map(|s| s.classes.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -344,7 +367,12 @@ mod tests {
         });
         assert_eq!(planner.config().initial_pruned_heads, Some(11));
         let base = ViTConfig::vit_base(10);
-        let plan = planner.plan(&base, &DeviceSpec::raspberry_pi_cluster(2), 7).unwrap();
-        assert!(plan.sub_models.iter().all(|s| s.pruned.pruned_heads() == 11));
+        let plan = planner
+            .plan(&base, &DeviceSpec::raspberry_pi_cluster(2), 7)
+            .unwrap();
+        assert!(plan
+            .sub_models
+            .iter()
+            .all(|s| s.pruned.pruned_heads() == 11));
     }
 }

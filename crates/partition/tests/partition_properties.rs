@@ -3,8 +3,8 @@
 //! capacities, and split plans always respect the memory budget.
 
 use edvit_partition::{
-    balanced_class_assignment, greedy_assign, validate_class_assignment, DeviceSpec,
-    PlannerConfig, SplitPlanner, SubModelRequirements,
+    balanced_class_assignment, greedy_assign, validate_class_assignment, DeviceSpec, PlannerConfig,
+    SplitPlanner, SubModelRequirements,
 };
 use edvit_vit::ViTConfig;
 use proptest::prelude::*;

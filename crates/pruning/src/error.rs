@@ -31,7 +31,9 @@ impl fmt::Display for PruningError {
             PruningError::Nn(e) => write!(f, "layer error: {e}"),
             PruningError::Tensor(e) => write!(f, "tensor error: {e}"),
             PruningError::Dataset(e) => write!(f, "dataset error: {e}"),
-            PruningError::InvalidRequest { message } => write!(f, "invalid pruning request: {message}"),
+            PruningError::InvalidRequest { message } => {
+                write!(f, "invalid pruning request: {message}")
+            }
         }
     }
 }
@@ -78,7 +80,10 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: PruningError = ViTError::InvalidConfig { message: "x".into() }.into();
+        let e: PruningError = ViTError::InvalidConfig {
+            message: "x".into(),
+        }
+        .into();
         assert!(e.to_string().contains("x"));
         let e: PruningError = NnError::MissingForwardCache { layer: "l" }.into();
         assert!(std::error::Error::source(&e).is_some());
@@ -86,7 +91,9 @@ mod tests {
         assert!(e.to_string().contains("o"));
         let e: PruningError = DatasetError::Empty { what: "subset" }.into();
         assert!(e.to_string().contains("subset"));
-        let e = PruningError::InvalidRequest { message: "nope".into() };
+        let e = PruningError::InvalidRequest {
+            message: "nope".into(),
+        };
         assert!(e.to_string().contains("nope"));
         assert!(std::error::Error::source(&e).is_none());
     }

@@ -76,10 +76,10 @@ pub fn channel_importance(
             let mut scores = vec![0.0f32; d];
             // Patch-embedding projection columns.
             let proj = model.patch_embed().projection().weight().value();
-            let (rows, cols) = (proj.dims()[0], proj.dims()[1]);
-            for r in 0..rows {
-                for c in 0..cols {
-                    scores[c] += proj.data()[r * cols + c].abs();
+            let cols = proj.dims()[1];
+            for row in proj.data().chunks(cols) {
+                for (score, v) in scores.iter_mut().zip(row) {
+                    *score += v.abs();
                 }
             }
             // LayerNorm scale magnitudes accumulate channel relevance.
@@ -101,11 +101,11 @@ pub fn channel_importance(
             let mut reference_model = clone_model(model)?;
             let reference = output_distribution(&mut reference_model, &images)?;
             let mut scores = vec![0.0f32; d];
-            for channel in 0..d {
+            for (channel, score) in scores.iter_mut().enumerate() {
                 let keep: Vec<usize> = (0..d).filter(|&c| c != channel).collect();
                 let mut ablated = model.prune_embed_channels(&keep)?;
                 let probs = output_distribution(&mut ablated, &images)?;
-                scores[channel] = stats::batch_kl_divergence(&reference, &probs)?;
+                *score = stats::batch_kl_divergence(&reference, &probs)?;
             }
             Ok(scores)
         }
@@ -128,9 +128,12 @@ pub fn head_dim_importance(
     calibration: &Dataset,
     method: &ImportanceMethod,
 ) -> Result<Vec<Vec<f32>>> {
-    let first_block = model.blocks().first().ok_or_else(|| PruningError::InvalidRequest {
-        message: "model has no blocks".to_string(),
-    })?;
+    let first_block = model
+        .blocks()
+        .first()
+        .ok_or_else(|| PruningError::InvalidRequest {
+            message: "model has no blocks".to_string(),
+        })?;
     let heads = first_block.attn().heads();
     let head_dim = first_block.attn().head_dim();
     match method {
@@ -167,19 +170,19 @@ pub fn head_dim_importance(
             let mut reference_model = clone_model(model)?;
             let reference = output_distribution(&mut reference_model, &images)?;
             let mut shared = vec![0.0f32; head_dim];
-            for dim in 0..head_dim {
+            for (dim, score) in shared.iter_mut().enumerate() {
                 let keep_per_head: Vec<Vec<usize>> = (0..heads)
                     .map(|_| (0..head_dim).filter(|&i| i != dim).collect())
                     .collect();
                 if keep_per_head[0].is_empty() {
                     // A single-dimension head cannot be ablated; give it the
                     // maximum importance instead.
-                    shared[dim] = f32::INFINITY;
+                    *score = f32::INFINITY;
                     continue;
                 }
                 let mut ablated = model.prune_head_dims(&keep_per_head)?;
                 let probs = output_distribution(&mut ablated, &images)?;
-                shared[dim] = stats::batch_kl_divergence(&reference, &probs)?;
+                *score = stats::batch_kl_divergence(&reference, &probs)?;
             }
             Ok(vec![shared; heads])
         }
@@ -197,9 +200,12 @@ pub fn ffn_importance(
     calibration: &Dataset,
     method: &ImportanceMethod,
 ) -> Result<Vec<f32>> {
-    let first_block = model.blocks().first().ok_or_else(|| PruningError::InvalidRequest {
-        message: "model has no blocks".to_string(),
-    })?;
+    let first_block = model
+        .blocks()
+        .first()
+        .ok_or_else(|| PruningError::InvalidRequest {
+            message: "model has no blocks".to_string(),
+        })?;
     let hidden = first_block.ffn_hidden();
     match method {
         ImportanceMethod::Magnitude => {
@@ -207,17 +213,15 @@ pub fn ffn_importance(
             for block in model.blocks() {
                 let fc1 = block.ffn().linears()[0].weight().value();
                 let fc2 = block.ffn().linears()[1].weight().value();
-                let (r1, c1) = (fc1.dims()[0], fc1.dims()[1]);
-                for r in 0..r1 {
-                    for c in 0..c1 {
-                        scores[c] += fc1.data()[r * c1 + c].abs();
+                let c1 = fc1.dims()[1];
+                for row in fc1.data().chunks(c1) {
+                    for (score, v) in scores.iter_mut().zip(row) {
+                        *score += v.abs();
                     }
                 }
-                let (r2, c2) = (fc2.dims()[0], fc2.dims()[1]);
-                for r in 0..r2 {
-                    for c in 0..c2 {
-                        scores[r] += fc2.data()[r * c2 + c].abs();
-                    }
+                let c2 = fc2.dims()[1];
+                for (score, row) in scores.iter_mut().zip(fc2.data().chunks(c2)) {
+                    *score += row.iter().map(|v| v.abs()).sum::<f32>();
                 }
             }
             Ok(scores)
@@ -229,11 +233,11 @@ pub fn ffn_importance(
             let mut reference_model = clone_model(model)?;
             let reference = output_distribution(&mut reference_model, &images)?;
             let mut scores = vec![0.0f32; hidden];
-            for unit in 0..hidden {
+            for (unit, score) in scores.iter_mut().enumerate() {
                 let keep: Vec<usize> = (0..hidden).filter(|&u| u != unit).collect();
                 let mut ablated = model.prune_ffn_hidden(&keep)?;
                 let probs = output_distribution(&mut ablated, &images)?;
-                scores[unit] = stats::batch_kl_divergence(&reference, &probs)?;
+                *score = stats::batch_kl_divergence(&reference, &probs)?;
             }
             Ok(scores)
         }
@@ -314,7 +318,9 @@ mod tests {
         // Make channel 0 of the classification head huge: ablating it must
         // change the output distribution more than ablating a typical channel.
         let (model, dataset) = tiny_setup();
-        let mut boosted = model.prune_embed_channels(&(0..32).collect::<Vec<_>>()).unwrap();
+        let mut boosted = model
+            .prune_embed_channels(&(0..32).collect::<Vec<_>>())
+            .unwrap();
         for p in boosted.parameters_mut() {
             if p.name().contains("linear.weight") && p.value().dims() == [32, 4] {
                 // This is the head weight. Make channel 0 dominate class 0's

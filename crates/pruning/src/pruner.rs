@@ -189,7 +189,7 @@ mod tests {
         StructuredPruner::new(PrunerConfig {
             method: ImportanceMethod::Magnitude,
             other_fraction: 0.25,
-            retrain: retrain.then(|| TrainConfig {
+            retrain: retrain.then_some(TrainConfig {
                 epochs: 2,
                 batch_size: 8,
                 learning_rate: 2e-3,
@@ -205,7 +205,9 @@ mod tests {
         let (model, dataset, config) = setup();
         let plan = PrunedViTConfig::new(config, 2).unwrap(); // keep half the width
         let pruner = fast_pruner(true);
-        let sub = pruner.prune_sub_model(&model, &dataset, &[0, 1], &plan).unwrap();
+        let sub = pruner
+            .prune_sub_model(&model, &dataset, &[0, 1], &plan)
+            .unwrap();
         assert!(sub.memory_bytes() < model.memory_bytes());
         assert_eq!(sub.classes(), &[0, 1]);
         assert_eq!(sub.model.embed_dim(), plan.embed_dim());
@@ -225,7 +227,9 @@ mod tests {
         let (model, dataset, config) = setup();
         let plan = PrunedViTConfig::new(config, 1).unwrap();
         let pruner = fast_pruner(false);
-        let sub = pruner.prune_sub_model(&model, &dataset, &[2], &plan).unwrap();
+        let sub = pruner
+            .prune_sub_model(&model, &dataset, &[2], &plan)
+            .unwrap();
         assert!(sub.retrain_report.is_none());
         assert_eq!(sub.mapping.other_label, Some(1));
         assert!(pruner.config().retrain.is_none());
@@ -243,7 +247,9 @@ mod tests {
             retrain: None,
             seed: 3,
         });
-        let sub = pruner.prune_sub_model(&model, &dataset, &[0, 3], &plan).unwrap();
+        let sub = pruner
+            .prune_sub_model(&model, &dataset, &[0, 3], &plan)
+            .unwrap();
         assert_eq!(sub.model.embed_dim(), plan.embed_dim());
         // No "other" bucket requested -> head covers just the subset.
         assert_eq!(sub.model.num_classes(), 2);
@@ -255,10 +261,20 @@ mod tests {
         let (model, dataset, config) = setup();
         let pruner = fast_pruner(false);
         let light = pruner
-            .prune_sub_model(&model, &dataset, &[0, 1], &PrunedViTConfig::new(config.clone(), 1).unwrap())
+            .prune_sub_model(
+                &model,
+                &dataset,
+                &[0, 1],
+                &PrunedViTConfig::new(config.clone(), 1).unwrap(),
+            )
             .unwrap();
         let heavy = pruner
-            .prune_sub_model(&model, &dataset, &[0, 1], &PrunedViTConfig::new(config, 3).unwrap())
+            .prune_sub_model(
+                &model,
+                &dataset,
+                &[0, 1],
+                &PrunedViTConfig::new(config, 3).unwrap(),
+            )
             .unwrap();
         assert!(heavy.memory_bytes() < light.memory_bytes());
         assert_eq!(heavy.plan.pruned_heads(), 3);

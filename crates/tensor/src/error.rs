@@ -88,7 +88,10 @@ impl fmt::Display for TensorError {
                 expected,
                 actual,
                 op,
-            } => write!(f, "rank mismatch in {op}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "rank mismatch in {op}: expected {expected}, got {actual}"
+            ),
             TensorError::EmptyInput { op } => write!(f, "empty input to {op}"),
             TensorError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
         }

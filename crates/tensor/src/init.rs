@@ -152,7 +152,10 @@ mod tests {
         let mut base = TensorRng::new(1);
         let mut f1 = base.fork(1);
         let mut f2 = base.fork(2);
-        assert_ne!(f1.randn(&[8], 0.0, 1.0).data(), f2.randn(&[8], 0.0, 1.0).data());
+        assert_ne!(
+            f1.randn(&[8], 0.0, 1.0).data(),
+            f2.randn(&[8], 0.0, 1.0).data()
+        );
     }
 
     #[test]
@@ -160,7 +163,12 @@ mod tests {
         let mut rng = TensorRng::new(3);
         let x = rng.randn(&[5000], 1.0, 2.0);
         let mean = x.mean();
-        let var = x.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 5000.0;
+        let var = x
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 5000.0;
         assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
         assert!((var - 4.0).abs() < 0.6, "var {var}");
     }

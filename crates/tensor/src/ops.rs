@@ -105,7 +105,8 @@ impl Tensor {
         let mut out = self.clone();
         for chunk in out.data_mut().chunks_mut(last) {
             let mean: f32 = chunk.iter().sum::<f32>() / last as f32;
-            let var: f32 = chunk.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / last as f32;
+            let var: f32 =
+                chunk.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / last as f32;
             let denom = (var + NORM_EPS).sqrt();
             for (i, v) in chunk.iter_mut().enumerate() {
                 *v = ((*v - mean) / denom) * gamma.data()[i] + beta.data()[i];
@@ -213,7 +214,7 @@ impl Tensor {
             });
         }
         let n = self.dims()[0];
-        let row_len = if n == 0 { 0 } else { self.numel() / n };
+        let row_len = self.numel().checked_div(n).unwrap_or(0);
         let mut acc = vec![0.0f32; row_len];
         for chunk in self.data().chunks(row_len.max(1)) {
             for (a, &v) in acc.iter_mut().zip(chunk) {
@@ -330,7 +331,10 @@ impl Tensor {
         let last = self.last_axis_len("select_last_axis")?;
         for &i in indices {
             if i >= last {
-                return Err(TensorError::IndexOutOfRange { index: i, len: last });
+                return Err(TensorError::IndexOutOfRange {
+                    index: i,
+                    len: last,
+                });
             }
         }
         let rows = self.numel() / last;

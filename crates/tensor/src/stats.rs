@@ -187,8 +187,8 @@ pub fn mean_std(values: &[f32]) -> (f32, f32) {
     if values.len() == 1 {
         return (mean, 0.0);
     }
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-        / (values.len() - 1) as f32;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (values.len() - 1) as f32;
     (mean, var.sqrt())
 }
 
@@ -285,7 +285,7 @@ mod tests {
     fn mean_std_matches_hand_computation() {
         let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
         assert!((m - 5.0).abs() < 1e-6);
-        assert!((s - 2.1380899).abs() < 1e-4);
+        assert!((s - 2.138_09).abs() < 1e-4);
         assert_eq!(mean_std(&[]), (0.0, 0.0));
         assert_eq!(mean_std(&[3.0]).1, 0.0);
     }

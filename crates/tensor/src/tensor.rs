@@ -492,7 +492,7 @@ impl Tensor {
             });
         }
         let n = self.dims()[0];
-        let row_len = if n == 0 { 0 } else { self.numel() / n };
+        let row_len = self.numel().checked_div(n).unwrap_or(0);
         let mut data = Vec::with_capacity(indices.len() * row_len);
         for &i in indices {
             if i >= n {

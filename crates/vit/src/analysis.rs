@@ -185,9 +185,21 @@ mod tests {
         // Paper Table I: 22.1 M / 86.6 M / 304.4 M (±3% tolerance: our model
         // counts the classification head for 1000 classes and learned
         // positional embeddings explicitly).
-        assert!((small.params_millions() - 22.1).abs() < 1.0, "{}", small.params_millions());
-        assert!((base.params_millions() - 86.6).abs() < 2.0, "{}", base.params_millions());
-        assert!((large.params_millions() - 304.4).abs() < 6.0, "{}", large.params_millions());
+        assert!(
+            (small.params_millions() - 22.1).abs() < 1.0,
+            "{}",
+            small.params_millions()
+        );
+        assert!(
+            (base.params_millions() - 86.6).abs() < 2.0,
+            "{}",
+            base.params_millions()
+        );
+        assert!(
+            (large.params_millions() - 304.4).abs() < 6.0,
+            "{}",
+            large.params_millions()
+        );
     }
 
     #[test]
@@ -207,9 +219,17 @@ mod tests {
     fn table_one_memory() {
         let base = cost_of_config(&ViTConfig::vit_base(1000));
         // ~330 MB for ViT-Base.
-        assert!((base.memory_mb() - 330.0).abs() < 20.0, "{}", base.memory_mb());
+        assert!(
+            (base.memory_mb() - 330.0).abs() < 20.0,
+            "{}",
+            base.memory_mb()
+        );
         let small = cost_of_config(&ViTConfig::vit_small(1000));
-        assert!((small.memory_mb() - 85.0).abs() < 10.0, "{}", small.memory_mb());
+        assert!(
+            (small.memory_mb() - 85.0).abs() < 10.0,
+            "{}",
+            small.memory_mb()
+        );
     }
 
     #[test]

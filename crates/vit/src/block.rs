@@ -45,7 +45,11 @@ impl ViTBlock {
             });
         }
         let attn = MultiHeadSelfAttention::new(embed_dim, heads, head_dim, rng)?;
-        let ffn = Mlp::with_activation(&[embed_dim, ffn_hidden, embed_dim], MlpActivation::Gelu, rng)?;
+        let ffn = Mlp::with_activation(
+            &[embed_dim, ffn_hidden, embed_dim],
+            MlpActivation::Gelu,
+            rng,
+        )?;
         Ok(ViTBlock {
             ln1: LayerNorm::new(embed_dim),
             attn,
@@ -165,7 +169,8 @@ impl ViTBlock {
         let ffn = Mlp::from_linears(vec![fc1, fc2], MlpActivation::Gelu)?;
         ViTBlock::from_parts(
             self.ln1.clone(),
-            self.attn.prune_embed_channels(&(0..self.embed_dim).collect::<Vec<_>>())?,
+            self.attn
+                .prune_embed_channels(&(0..self.embed_dim).collect::<Vec<_>>())?,
             self.ln2.clone(),
             ffn,
         )
@@ -260,7 +265,8 @@ mod tests {
         // With all projections zeroed the block must be the identity.
         let mut b = block();
         for p in b.parameters_mut() {
-            if p.name().contains("weight") || p.name().contains("bias") || p.name().contains("pos") {
+            if p.name().contains("weight") || p.name().contains("bias") || p.name().contains("pos")
+            {
                 let dims = p.value().dims().to_vec();
                 p.set_value(Tensor::zeros(&dims));
             }

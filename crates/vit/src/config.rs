@@ -190,7 +190,7 @@ impl ViTConfig {
                 message: format!("configuration contains a zero-sized field: {self:?}"),
             });
         }
-        if self.embed_dim % self.heads != 0 {
+        if !self.embed_dim.is_multiple_of(self.heads) {
             return Err(ViTError::InvalidConfig {
                 message: format!(
                     "embed_dim {} must be divisible by heads {}",
@@ -198,7 +198,7 @@ impl ViTConfig {
                 ),
             });
         }
-        if self.image_size % self.patch_size != 0 {
+        if !self.image_size.is_multiple_of(self.patch_size) {
             return Err(ViTError::InvalidConfig {
                 message: format!(
                     "image_size {} must be divisible by patch_size {}",
@@ -389,7 +389,12 @@ mod tests {
 
     #[test]
     fn from_variant_round_trips() {
-        for v in [ViTVariant::Small, ViTVariant::Base, ViTVariant::Large, ViTVariant::TinyTest] {
+        for v in [
+            ViTVariant::Small,
+            ViTVariant::Base,
+            ViTVariant::Large,
+            ViTVariant::TinyTest,
+        ] {
             let c = ViTConfig::from_variant(v, 7);
             assert_eq!(c.variant, v);
             assert_eq!(c.num_classes, 7);
@@ -452,9 +457,19 @@ mod tests {
         assert_eq!(more.pruned_heads(), 7);
         let back = more.restore_one_head().unwrap();
         assert_eq!(back.pruned_heads(), 6);
-        let unpruned = back.restore_one_head().unwrap().restore_one_head().unwrap()
-            .restore_one_head().unwrap().restore_one_head().unwrap()
-            .restore_one_head().unwrap().restore_one_head().unwrap();
+        let unpruned = back
+            .restore_one_head()
+            .unwrap()
+            .restore_one_head()
+            .unwrap()
+            .restore_one_head()
+            .unwrap()
+            .restore_one_head()
+            .unwrap()
+            .restore_one_head()
+            .unwrap()
+            .restore_one_head()
+            .unwrap();
         assert_eq!(unpruned.pruned_heads(), 0);
         assert!(unpruned.restore_one_head().is_err());
         // Pruning down to the last head is allowed, past it is not.

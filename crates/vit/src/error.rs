@@ -34,9 +34,14 @@ impl fmt::Display for ViTError {
         match self {
             ViTError::Nn(e) => write!(f, "layer error: {e}"),
             ViTError::Tensor(e) => write!(f, "tensor error: {e}"),
-            ViTError::InvalidConfig { message } => write!(f, "invalid ViT configuration: {message}"),
+            ViTError::InvalidConfig { message } => {
+                write!(f, "invalid ViT configuration: {message}")
+            }
             ViTError::InputMismatch { expected, actual } => {
-                write!(f, "input shape {actual:?} does not match expected {expected}")
+                write!(
+                    f,
+                    "input shape {actual:?} does not match expected {expected}"
+                )
             }
             ViTError::InvalidPruning { message } => write!(f, "invalid pruning request: {message}"),
         }
@@ -84,7 +89,9 @@ mod tests {
             actual: vec![1, 3, 32, 32],
         };
         assert!(e.to_string().contains("224"));
-        let e = ViTError::InvalidPruning { message: "oops".into() };
+        let e = ViTError::InvalidPruning {
+            message: "oops".into(),
+        };
         assert!(e.to_string().contains("oops"));
     }
 

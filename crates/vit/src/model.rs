@@ -196,9 +196,11 @@ impl VisionTransformer {
     ///
     /// Returns an error when called before a forward pass.
     pub fn backward_from_features(&mut self, grad_features: &Tensor) -> Result<Tensor> {
-        let (batch, p) = self.cache_pool.ok_or(ViTError::Nn(NnError::MissingForwardCache {
-            layer: "VisionTransformer",
-        }))?;
+        let (batch, p) = self
+            .cache_pool
+            .ok_or(ViTError::Nn(NnError::MissingForwardCache {
+                layer: "VisionTransformer",
+            }))?;
         let d = self.embed_dim();
         // Distribute the pooled gradient back over tokens (mean pooling).
         let mut grad_tokens = vec![0.0f32; batch * p * d];
@@ -334,13 +336,17 @@ impl VisionTransformer {
 impl Layer for VisionTransformer {
     fn forward(&mut self, input: &Tensor) -> edvit_nn::Result<Tensor> {
         self.forward_images(input)
-            .map_err(|e| NnError::InvalidConfig { message: e.to_string() })
+            .map_err(|e| NnError::InvalidConfig {
+                message: e.to_string(),
+            })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> edvit_nn::Result<Tensor> {
         let grad_features = self.head.backward(grad_output)?;
         self.backward_from_features(&grad_features)
-            .map_err(|e| NnError::InvalidConfig { message: e.to_string() })
+            .map_err(|e| NnError::InvalidConfig {
+                message: e.to_string(),
+            })
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -410,8 +416,12 @@ mod tests {
     #[test]
     fn rejects_bad_geometry() {
         let mut model = tiny_model();
-        assert!(model.forward_images(&Tensor::zeros(&[1, 3, 32, 32])).is_err());
-        assert!(model.backward_from_features(&Tensor::zeros(&[1, 32])).is_err());
+        assert!(model
+            .forward_images(&Tensor::zeros(&[1, 3, 32, 32]))
+            .is_err());
+        assert!(model
+            .backward_from_features(&Tensor::zeros(&[1, 32]))
+            .is_err());
     }
 
     #[test]

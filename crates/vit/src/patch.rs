@@ -132,7 +132,10 @@ impl PatchEmbed {
     ///
     /// Returns an error if an index is out of range.
     pub fn prune_embed_channels(&self, keep: &[usize]) -> Result<PatchEmbed> {
-        let projection = self.projection.select_outputs(keep).map_err(ViTError::from)?;
+        let projection = self
+            .projection
+            .select_outputs(keep)
+            .map_err(ViTError::from)?;
         let pos = self.pos_embed.value().select_last_axis(keep)?;
         PatchEmbed::from_parts(
             projection,
@@ -230,7 +233,9 @@ impl Layer for PatchEmbed {
     fn forward(&mut self, input: &Tensor) -> edvit_nn::Result<Tensor> {
         let patches = self
             .images_to_patches(input)
-            .map_err(|e| NnError::InvalidConfig { message: e.to_string() })?;
+            .map_err(|e| NnError::InvalidConfig {
+                message: e.to_string(),
+            })?;
         let batch = patches.dims()[0];
         let projected = self.projection.forward(&patches)?;
         // Add the positional embedding to every sample in the batch.
@@ -268,7 +273,9 @@ impl Layer for PatchEmbed {
             .accumulate_grad(&Tensor::from_vec(pos_grad, &[p, d])?)?;
         let grad_patches = self.projection.backward(grad_output)?;
         self.patches_to_images(&grad_patches)
-            .map_err(|e| NnError::InvalidConfig { message: e.to_string() })
+            .map_err(|e| NnError::InvalidConfig {
+                message: e.to_string(),
+            })
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
@@ -305,11 +312,20 @@ mod tests {
         let patches = embed.images_to_patches(&x).unwrap();
         assert_eq!(patches.dims(), &[2, 4, 3 * 8 * 8]);
         // First value of patch 0 equals the image's top-left pixel.
-        assert_eq!(patches.get(&[0, 0, 0]).unwrap(), x.get(&[0, 0, 0, 0]).unwrap());
+        assert_eq!(
+            patches.get(&[0, 0, 0]).unwrap(),
+            x.get(&[0, 0, 0, 0]).unwrap()
+        );
         // Patch 1 starts at column `patch_size` of the image.
-        assert_eq!(patches.get(&[0, 1, 0]).unwrap(), x.get(&[0, 0, 0, 8]).unwrap());
+        assert_eq!(
+            patches.get(&[0, 1, 0]).unwrap(),
+            x.get(&[0, 0, 0, 8]).unwrap()
+        );
         // Patch 2 starts at row `patch_size`.
-        assert_eq!(patches.get(&[0, 2, 0]).unwrap(), x.get(&[0, 0, 8, 0]).unwrap());
+        assert_eq!(
+            patches.get(&[0, 2, 0]).unwrap(),
+            x.get(&[0, 0, 8, 0]).unwrap()
+        );
     }
 
     #[test]
@@ -343,7 +359,14 @@ mod tests {
         let (_, mut embed) = tiny();
         assert!(embed.forward(&Tensor::zeros(&[1, 3, 32, 32])).is_err());
         assert!(embed.forward(&Tensor::zeros(&[1, 1, 16, 16])).is_err());
-        assert!(PatchEmbed::new(&ViTConfig { image_size: 15, ..ViTConfig::tiny_test() }, &mut TensorRng::new(0)).is_err());
+        assert!(PatchEmbed::new(
+            &ViTConfig {
+                image_size: 15,
+                ..ViTConfig::tiny_test()
+            },
+            &mut TensorRng::new(0)
+        )
+        .is_err());
         let mut fresh = tiny().1;
         assert!(fresh.backward(&Tensor::zeros(&[1, 4, 32])).is_err());
     }

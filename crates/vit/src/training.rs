@@ -64,7 +64,10 @@ impl TrainReport {
 
     /// Final-epoch mean loss (+∞ when no epoch ran).
     pub fn final_loss(&self) -> f32 {
-        self.epochs.last().map(|e| e.mean_loss).unwrap_or(f32::INFINITY)
+        self.epochs
+            .last()
+            .map(|e| e.mean_loss)
+            .unwrap_or(f32::INFINITY)
     }
 }
 
@@ -119,7 +122,11 @@ pub fn train_classifier<M: Layer + ?Sized>(
             } else {
                 losses.iter().sum::<f32>() / losses.len() as f32
             },
-            train_accuracy: if seen == 0 { 0.0 } else { correct as f32 / seen as f32 },
+            train_accuracy: if seen == 0 {
+                0.0
+            } else {
+                correct as f32 / seen as f32
+            },
         });
     }
     model.set_training(false);
@@ -177,7 +184,8 @@ mod tests {
     #[test]
     fn mlp_learns_separable_problem() {
         let (x, y) = toy_problem(20, 8, 1);
-        let mut model = Mlp::with_activation(&[8, 16, 3], MlpActivation::Gelu, &mut TensorRng::new(2)).unwrap();
+        let mut model =
+            Mlp::with_activation(&[8, 16, 3], MlpActivation::Gelu, &mut TensorRng::new(2)).unwrap();
         let config = TrainConfig {
             epochs: 30,
             batch_size: 16,
@@ -186,7 +194,11 @@ mod tests {
             seed: 3,
         };
         let report = train_classifier(&mut model, &x, &y, &config).unwrap();
-        assert!(report.final_accuracy() > 0.9, "accuracy {}", report.final_accuracy());
+        assert!(
+            report.final_accuracy() > 0.9,
+            "accuracy {}",
+            report.final_accuracy()
+        );
         assert!(report.final_loss() < 0.5);
         assert_eq!(report.epochs.len(), 30);
         let eval = evaluate_classifier(&mut model, &x, &y, 16).unwrap();

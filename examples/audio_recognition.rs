@@ -21,10 +21,25 @@ fn main() -> Result<(), edvit::EdVitError> {
     let deployment = EdVitPipeline::new(config).run()?;
     let m = &deployment.metrics;
     println!("GTZAN-like audio recognition with a split ViT-Base (3 devices)");
-    println!("  fused accuracy            : {:.1}%", m.fused_accuracy * 100.0);
-    println!("  per-sub-model FLOPs (G)   : {:?}", m.per_submodel_flops.iter().map(|f| *f as f64 / 1e9).collect::<Vec<_>>());
-    println!("  feature payloads (bytes)  : {:?}", m.feature_payload_bytes);
-    println!("  paper-scale latency       : {:.2} s (original {:.2} s)", m.latency_seconds, m.original_latency_seconds);
+    println!(
+        "  fused accuracy            : {:.1}%",
+        m.fused_accuracy * 100.0
+    );
+    println!(
+        "  per-sub-model FLOPs (G)   : {:?}",
+        m.per_submodel_flops
+            .iter()
+            .map(|f| *f as f64 / 1e9)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  feature payloads (bytes)  : {:?}",
+        m.feature_payload_bytes
+    );
+    println!(
+        "  paper-scale latency       : {:.2} s (original {:.2} s)",
+        m.latency_seconds, m.original_latency_seconds
+    );
     println!("  total sub-model memory    : {:.1} MB", m.total_memory_mb);
     Ok(())
 }

@@ -37,7 +37,10 @@ fn main() -> Result<(), edvit::EdVitError> {
     println!("  samples processed   : {}", report.outputs.len());
     println!("  feature messages    : {}", report.messages);
     println!("  payload transferred : {} bytes", report.payload_bytes);
-    println!("  simulated comm time : {:.2} ms", report.simulated_communication_seconds * 1e3);
+    println!(
+        "  simulated comm time : {:.2} ms",
+        report.simulated_communication_seconds * 1e3
+    );
     println!("  predictions         : {:?}", report.predictions()?);
     Ok(())
 }

@@ -8,7 +8,10 @@ use edvit::pipeline::{EdVitConfig, EdVitPipeline};
 fn main() -> Result<(), edvit::EdVitError> {
     // A deliberately small configuration so the example finishes in seconds.
     let config = EdVitConfig::tiny_demo(2);
-    println!("Running ED-ViT pipeline on {} devices...", config.devices.len());
+    println!(
+        "Running ED-ViT pipeline on {} devices...",
+        config.devices.len()
+    );
 
     let deployment = EdVitPipeline::new(config).run()?;
     let m = &deployment.metrics;
@@ -26,11 +29,29 @@ fn main() -> Result<(), edvit::EdVitError> {
     }
 
     println!("\n== Metrics ==");
-    println!("  original (unsplit) accuracy : {:.1}%", m.original_accuracy * 100.0);
-    println!("  fused ED-ViT accuracy       : {:.1}%", m.fused_accuracy * 100.0);
-    println!("  softmax-averaging accuracy  : {:.1}%", m.averaged_accuracy * 100.0);
-    println!("  paper-scale latency         : {:.2} s (original {:.2} s)", m.latency_seconds, m.original_latency_seconds);
-    println!("  paper-scale total memory    : {:.1} MB", m.total_memory_mb);
-    println!("  worst-case communication    : {:.2} ms", m.communication_seconds * 1e3);
+    println!(
+        "  original (unsplit) accuracy : {:.1}%",
+        m.original_accuracy * 100.0
+    );
+    println!(
+        "  fused ED-ViT accuracy       : {:.1}%",
+        m.fused_accuracy * 100.0
+    );
+    println!(
+        "  softmax-averaging accuracy  : {:.1}%",
+        m.averaged_accuracy * 100.0
+    );
+    println!(
+        "  paper-scale latency         : {:.2} s (original {:.2} s)",
+        m.latency_seconds, m.original_latency_seconds
+    );
+    println!(
+        "  paper-scale total memory    : {:.1} MB",
+        m.total_memory_mb
+    );
+    println!(
+        "  worst-case communication    : {:.2} ms",
+        m.communication_seconds * 1e3
+    );
     Ok(())
 }

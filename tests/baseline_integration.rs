@@ -34,8 +34,12 @@ fn runner(n: usize) -> SplitBaselineRunner {
 #[test]
 fn cnn_and_snn_baselines_run_and_order_correctly() {
     let (train, test) = small_split();
-    let cnn = runner(2).run(&train, &test, BaselineKind::SplitCnn).unwrap();
-    let snn = runner(2).run(&train, &test, BaselineKind::SplitSnn).unwrap();
+    let cnn = runner(2)
+        .run(&train, &test, BaselineKind::SplitCnn)
+        .unwrap();
+    let snn = runner(2)
+        .run(&train, &test, BaselineKind::SplitSnn)
+        .unwrap();
     // Fig. 7 orderings at paper scale: SNN slower than CNN, but smaller.
     assert!(snn.latency_seconds > cnn.latency_seconds);
     assert!(snn.total_memory_mb < cnn.total_memory_mb);
@@ -48,5 +52,8 @@ fn cnn_and_snn_baselines_run_and_order_correctly() {
 fn baseline_costs_shrink_with_device_count() {
     let two = runner(2).paper_scale_summary(BaselineKind::SplitCnn, 10);
     let ten = runner(10).paper_scale_summary(BaselineKind::SplitCnn, 10);
-    assert!(ten.1 < two.1, "per-device latency should fall with more devices");
+    assert!(
+        ten.1 < two.1,
+        "per-device latency should fall with more devices"
+    );
 }

@@ -24,8 +24,7 @@ fn paper_scale_plan_latency_and_memory_bands() {
     }
     // The 10-device deployment achieves a large speedup over the original.
     let original = analysis::cost_of_config(&base);
-    let single_device_latency =
-        DeviceSpec::raspberry_pi_4b(0).execution_seconds(original.flops);
+    let single_device_latency = DeviceSpec::raspberry_pi_4b(0).execution_seconds(original.flops);
     assert!(single_device_latency / previous_latency > 10.0);
 }
 
@@ -59,5 +58,8 @@ fn audio_and_vision_models_have_nearly_equal_flops() {
     let audio = analysis::cost_of_config(&ViTConfig::vit_base(10).with_channels(1));
     assert!(vision.flops > audio.flops);
     let relative = (vision.flops - audio.flops) as f64 / vision.flops as f64;
-    assert!(relative < 0.02, "channel change should move FLOPs by <2%, got {relative}");
+    assert!(
+        relative < 0.02,
+        "channel change should move FLOPs by <2%, got {relative}"
+    );
 }

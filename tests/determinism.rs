@@ -6,24 +6,52 @@ use edvit::pipeline::{EdVitConfig, EdVitPipeline};
 
 #[test]
 fn same_seed_reproduces_metrics_exactly() {
-    let a = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(5)).run().unwrap();
-    let b = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(5)).run().unwrap();
+    let a = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(5))
+        .run()
+        .unwrap();
+    let b = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(5))
+        .run()
+        .unwrap();
     assert_eq!(a.metrics.fused_accuracy, b.metrics.fused_accuracy);
     assert_eq!(a.metrics.averaged_accuracy, b.metrics.averaged_accuracy);
     assert_eq!(a.metrics.total_memory_mb, b.metrics.total_memory_mb);
     assert_eq!(a.metrics.per_submodel_flops, b.metrics.per_submodel_flops);
     // The class assignment is part of the deterministic plan.
-    let classes_a: Vec<_> = a.plan.sub_models.iter().map(|s| s.classes.clone()).collect();
-    let classes_b: Vec<_> = b.plan.sub_models.iter().map(|s| s.classes.clone()).collect();
+    let classes_a: Vec<_> = a
+        .plan
+        .sub_models
+        .iter()
+        .map(|s| s.classes.clone())
+        .collect();
+    let classes_b: Vec<_> = b
+        .plan
+        .sub_models
+        .iter()
+        .map(|s| s.classes.clone())
+        .collect();
     assert_eq!(classes_a, classes_b);
 }
 
 #[test]
 fn different_seeds_change_the_trial() {
-    let a = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(1)).run().unwrap();
-    let b = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(2)).run().unwrap();
-    let classes_a: Vec<_> = a.plan.sub_models.iter().map(|s| s.classes.clone()).collect();
-    let classes_b: Vec<_> = b.plan.sub_models.iter().map(|s| s.classes.clone()).collect();
+    let a = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(1))
+        .run()
+        .unwrap();
+    let b = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(2))
+        .run()
+        .unwrap();
+    let classes_a: Vec<_> = a
+        .plan
+        .sub_models
+        .iter()
+        .map(|s| s.classes.clone())
+        .collect();
+    let classes_b: Vec<_> = b
+        .plan
+        .sub_models
+        .iter()
+        .map(|s| s.classes.clone())
+        .collect();
     // Either the class split or the learned accuracy must differ.
     assert!(classes_a != classes_b || a.metrics.fused_accuracy != b.metrics.fused_accuracy);
 }
@@ -32,8 +60,12 @@ fn different_seeds_change_the_trial() {
 fn paper_scale_numbers_do_not_depend_on_the_seed() {
     // Latency and memory come from the analytic model, so they are identical
     // across trials with the same device count and budget.
-    let a = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(11)).run().unwrap();
-    let b = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(12)).run().unwrap();
+    let a = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(11))
+        .run()
+        .unwrap();
+    let b = EdVitPipeline::new(EdVitConfig::tiny_demo(2).with_seed(12))
+        .run()
+        .unwrap();
     assert_eq!(a.metrics.latency_seconds, b.metrics.latency_seconds);
     assert_eq!(a.metrics.total_memory_mb, b.metrics.total_memory_mb);
 }

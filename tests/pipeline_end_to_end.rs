@@ -6,7 +6,10 @@ use edvit::pipeline::{EdVitConfig, EdVitPipeline};
 fn two_device_pipeline_produces_consistent_deployment() {
     let deployment = EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap();
     // Plan and realized sub-models agree in count and class coverage.
-    assert_eq!(deployment.plan.sub_models.len(), deployment.sub_models.len());
+    assert_eq!(
+        deployment.plan.sub_models.len(),
+        deployment.sub_models.len()
+    );
     let mut covered: Vec<usize> = deployment
         .sub_models
         .iter()
@@ -16,7 +19,11 @@ fn two_device_pipeline_produces_consistent_deployment() {
     covered.dedup();
     assert_eq!(covered.len(), deployment.test_set.num_classes());
     // Every sub-model respects the pruning plan's width.
-    for (sub, plan) in deployment.sub_models.iter().zip(&deployment.plan.sub_models) {
+    for (sub, plan) in deployment
+        .sub_models
+        .iter()
+        .zip(&deployment.plan.sub_models)
+    {
         assert!(sub.model.embed_dim() <= plan.pruned.base().embed_dim);
         assert!(sub.memory_bytes() > 0);
     }

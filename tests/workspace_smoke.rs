@@ -1,0 +1,46 @@
+//! Workspace smoke test: the full ED-ViT pipeline runs end-to-end through
+//! every crate (datasets → vit → pruning → partition → fusion → edge) on the
+//! tiny demo configuration, and every reported deployment metric is finite
+//! and non-negative.
+
+use edvit::pipeline::{EdVitConfig, EdVitPipeline};
+
+#[test]
+fn tiny_demo_pipeline_metrics_are_finite_and_non_negative() {
+    let deployment = EdVitPipeline::new(EdVitConfig::tiny_demo(2))
+        .run()
+        .expect("tiny demo pipeline must run end-to-end");
+
+    let m = &deployment.metrics;
+    let f32_metrics = [
+        ("original_accuracy", m.original_accuracy),
+        ("fused_accuracy", m.fused_accuracy),
+        ("averaged_accuracy", m.averaged_accuracy),
+    ];
+    for (name, value) in f32_metrics {
+        assert!(value.is_finite(), "{name} = {value} is not finite");
+        assert!(value >= 0.0, "{name} = {value} is negative");
+        assert!(value <= 1.0, "{name} = {value} exceeds 1");
+    }
+    if let Some(joint) = m.joint_retrain_accuracy {
+        assert!(joint.is_finite() && (0.0..=1.0).contains(&joint));
+    }
+
+    let f64_metrics = [
+        ("total_memory_mb", m.total_memory_mb),
+        ("measured_memory_mb", m.measured_memory_mb),
+        ("latency_seconds", m.latency_seconds),
+        ("original_latency_seconds", m.original_latency_seconds),
+        ("communication_seconds", m.communication_seconds),
+    ];
+    for (name, value) in f64_metrics {
+        assert!(value.is_finite(), "{name} = {value} is not finite");
+        assert!(value >= 0.0, "{name} = {value} is negative");
+    }
+
+    assert_eq!(deployment.sub_models.len(), 2, "one sub-model per device");
+    assert_eq!(m.per_submodel_flops.len(), 2);
+    assert_eq!(m.feature_payload_bytes.len(), 2);
+    assert!(m.per_submodel_flops.iter().all(|&f| f > 0));
+    assert!(m.feature_payload_bytes.iter().all(|&b| b > 0));
+}

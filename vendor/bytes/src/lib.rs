@@ -1,0 +1,273 @@
+//! Vendored minimal stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the slice of the `bytes` 1.x API it uses: [`Bytes`],
+//! [`BytesMut`], and little-endian read/write via the [`Buf`] / [`BufMut`]
+//! traits. [`Bytes`] shares its backing buffer behind an [`Arc`] so clones
+//! and channel sends stay cheap, matching the real crate's behavior.
+
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous slice of bytes with a read cursor.
+///
+/// Reading through [`Buf`] methods consumes from the front: `len()` and
+/// `remaining()` both report the unread suffix, as in the real crate.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    offset: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            offset: 0,
+        }
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            offset: 0,
+        }
+    }
+
+    /// Creates a buffer by copying `slice`.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(slice),
+            offset: 0,
+        }
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.len() >= n,
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let start = self.offset;
+        self.offset += n;
+        &self.data[start..start + n]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            offset: 0,
+        }
+    }
+}
+
+/// A growable byte buffer for building messages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte buffer, consuming from the front.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads the next `n` bytes; panics on underflow.
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_bytes(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.copy_bytes(4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.copy_bytes(8);
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
+        self.take(n).to_vec()
+    }
+
+    // Primitive reads borrow the underlying slice directly instead of going
+    // through `copy_bytes`, keeping wire decoding allocation-free.
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("take(4) yields 4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("take(8) yields 8 bytes"))
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_f32_le(1.5);
+        buf.put_u8(7);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_f32_le(), 1.5);
+        assert_eq!(b.remaining(), 1);
+        assert_eq!(b.get_u8(), 7);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        Bytes::from_static(&[1, 2]).get_u32_le();
+    }
+
+    #[test]
+    fn clone_shares_data_but_not_cursor() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        a.get_u32_le();
+        assert_eq!(a.len(), 0);
+        assert_eq!(b.len(), 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Vendored minimal stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the two pieces it uses, mapped onto `std`:
+//!
+//! * [`channel::unbounded`] — an unbounded MPSC channel (`std::sync::mpsc`).
+//! * [`scope`] — scoped threads (`std::thread::scope`) with crossbeam's
+//!   error-on-panic contract: a panicking child thread surfaces as `Err`
+//!   instead of unwinding through the caller.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Unbounded MPSC channels, backed by [`std::sync::mpsc`].
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel; senders are cloneable.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Token passed to scoped-thread closures (the real crate passes `&Scope`;
+/// callers here only ever bind it as `_`).
+#[derive(Clone, Copy, Debug)]
+pub struct SpawnToken;
+
+/// A handle for spawning threads inside a [`scope`] invocation.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread running `f`; the thread is joined before
+    /// [`scope`] returns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(SpawnToken) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(SpawnToken))
+    }
+}
+
+/// Runs `f` with a [`Scope`], joining every spawned thread before returning.
+///
+/// Returns `Err` (with the panic payload) if `f` or any spawned thread
+/// panicked, mirroring `crossbeam::scope`'s signature.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        let result = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+            42
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let sum: usize = scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            rx.iter().sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+}

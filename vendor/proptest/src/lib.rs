@@ -1,0 +1,129 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the subset of proptest's surface its test-suites use:
+//! the [`proptest!`] macro, `prop_assert*` macros, [`strategy::Strategy`]
+//! over numeric ranges and tuples, and
+//! [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Semantics: each generated `#[test]` samples its strategies from a ChaCha8
+//! stream seeded deterministically from the test's module path and name, and
+//! runs the body for the configured number of cases. Unlike real proptest
+//! there is no shrinking — a failing case panics with the values embedded in
+//! the assertion message — which keeps runs reproducible without persisted
+//! regression files.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn` becomes a `#[test]` that samples its
+/// `pat in strategy` arguments for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let ( $($pat,)+ ) = (
+                    $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+
+                );
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, u64)> {
+        (1usize..8, 0u64..100)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..9, x in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn tuple_strategies_work((a, b) in pair(), flag in 0usize..2) {
+            prop_assert!((1..8).contains(&a));
+            prop_assert!(b < 100);
+            prop_assert!(flag < 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..1000) {
+            prop_assert_eq!(seed.min(999), seed);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("x::y");
+        let mut b = crate::test_runner::TestRng::deterministic("x::y");
+        let mut c = crate::test_runner::TestRng::deterministic("x::z");
+        let s = 0u64..1_000_000;
+        let xs: Vec<u64> = (0..16).map(|_| s.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| s.sample(&mut b)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| s.sample(&mut c)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}

@@ -1,0 +1,51 @@
+//! Test-run configuration and the deterministic sampling RNG.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// How many cases each property test runs (matches proptest's default of 256
+/// unless overridden with `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies; seeded from the test's fully-qualified name
+/// so every run of the suite samples identical values.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Creates an RNG seeded from `name` (FNV-1a over the UTF-8 bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+
+    /// Mutable access to the underlying generator for strategy sampling.
+    pub fn rng_mut(&mut self) -> &mut ChaCha8Rng {
+        &mut self.inner
+    }
+}

@@ -1,0 +1,43 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the slice of `serde` it actually relies on: the
+//! `Serialize`/`Deserialize` marker traits and their derive macros. The repo
+//! only ever *derives* the traits (its wire format in `edvit-edge` is a
+//! hand-rolled fixed layout), so the traits carry no methods and are
+//! blanket-implemented for every type; the derives expand to nothing.
+//!
+//! Swapping in the real `serde` later is source-compatible for every use in
+//! this repository: same import paths, same derive names, same trait bounds.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Blanket-implemented for all types so that `#[derive(Serialize)]` (a no-op
+/// here) and `T: Serialize` bounds both work without generated code.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+///
+/// Blanket-implemented for all sized types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::ser` module namespace.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stand-in for the `serde::de` module namespace.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

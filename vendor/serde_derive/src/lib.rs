@@ -1,0 +1,22 @@
+//! Vendored no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the minimal dependency surface it uses. The real
+//! `serde` derive macros generate `Serialize`/`Deserialize` impls; here the
+//! sibling `serde` stub provides blanket impls for every type, so the derive
+//! macros only need to exist and accept the `#[serde(...)]` helper attribute
+//! — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `serde::Serialize` (satisfied by a blanket impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `serde::Deserialize` (satisfied by a blanket impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
