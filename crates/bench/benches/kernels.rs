@@ -7,12 +7,38 @@ use edvit_tensor::{init::TensorRng, stats, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
-    for &size in &[32usize, 64, 128] {
+    for &size in &[32usize, 64, 128, 256, 512] {
         let a = TensorRng::new(0).rand_uniform(&[size, size], -1.0, 1.0);
         let b = TensorRng::new(1).rand_uniform(&[size, size], -1.0, 1.0);
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
             bench.iter(|| a.matmul(&b).unwrap())
         });
+    }
+    group.finish();
+}
+
+fn bench_matmul_transposed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_transposed");
+    for &size in &[128usize, 256, 512] {
+        let a = TensorRng::new(0).rand_uniform(&[size, size], -1.0, 1.0);
+        let b = TensorRng::new(1).rand_uniform(&[size, size], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| a.matmul_transposed(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_matmul");
+    for &(batch, size) in &[(8usize, 64usize), (8, 128)] {
+        let a = TensorRng::new(0).rand_uniform(&[batch, size, size], -1.0, 1.0);
+        let b = TensorRng::new(1).rand_uniform(&[batch, size, size], -1.0, 1.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{batch}x{size}")),
+            &size,
+            |bench, _| bench.iter(|| a.batch_matmul(&b).unwrap()),
+        );
     }
     group.finish();
 }
@@ -29,6 +55,15 @@ fn bench_attention_forward(c: &mut Criterion) {
             |bench, _| bench.iter(|| mhsa.forward(&x).unwrap()),
         );
     }
+    // A batched input exercises the per-sample loop on top of the per-head one.
+    let mut rng = TensorRng::new(2);
+    let mut mhsa = MultiHeadSelfAttention::new(96, 6, 16, &mut rng).unwrap();
+    let x = rng.randn(&[8, 64, 96], 0.0, 1.0);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("8x64tok_96d_6h"),
+        &8usize,
+        |bench, _| bench.iter(|| mhsa.forward(&x).unwrap()),
+    );
     group.finish();
 }
 
@@ -56,6 +91,8 @@ fn bench_layernorm(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_matmul,
+    bench_matmul_transposed,
+    bench_batch_matmul,
     bench_attention_forward,
     bench_softmax_and_kl,
     bench_layernorm

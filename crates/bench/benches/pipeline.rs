@@ -3,6 +3,7 @@
 //! matters when sweeping many configurations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edvit::pipeline::{EdVitConfig, EdVitPipeline};
 use edvit_edge::{LatencyModel, NetworkConfig};
 use edvit_partition::{
     balanced_class_assignment, greedy_assign, DeviceSpec, PlannerConfig, SplitPlanner,
@@ -65,12 +66,26 @@ fn bench_cost_model(c: &mut Criterion) {
     });
 }
 
+fn bench_tiny_pipeline(c: &mut Criterion) {
+    // The full ED-ViT pipeline end-to-end (data generation, training,
+    // split/prune/assign, fusion training, evaluation) on the tiny demo
+    // configuration — the headline number for end-to-end perf PRs. Each
+    // iteration is seconds-long, so the sample count is kept minimal.
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(2);
+    group.bench_function("tiny_pipeline_2dev", |b| {
+        b.iter(|| EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     pipeline,
     bench_planner,
     bench_greedy_assignment,
     bench_class_assignment,
     bench_latency_model,
-    bench_cost_model
+    bench_cost_model,
+    bench_tiny_pipeline
 );
 criterion_main!(pipeline);

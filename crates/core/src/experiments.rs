@@ -11,6 +11,7 @@
 use edvit_baselines::{BaselineKind, SplitBaselineConfig, SplitBaselineRunner};
 use edvit_datasets::{DatasetKind, SyntheticConfig, SyntheticGenerator};
 use edvit_edge::NetworkConfig;
+use edvit_parallel::ParallelPool;
 use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlanner};
 use edvit_tensor::stats;
 use edvit_vit::{analysis, training::TrainConfig, ViTConfig, ViTVariant};
@@ -171,13 +172,25 @@ pub fn split_curve(
 ) -> Result<Vec<SplitCurvePoint>> {
     let mut points = Vec::with_capacity(device_counts.len());
     for &devices in device_counts {
-        let mut accuracies = Vec::with_capacity(options.trials);
+        // Trials are fully independent (each gets its own seed), so they run
+        // across the thread pool; inner kernels then stay sequential.
+        let trials = options.trials.max(1);
+        let pool = ParallelPool::global();
+        let run_trial = |trial: usize| {
+            let config = pipeline_config(kind, variant, devices, options, trial as u64 + 1);
+            EdVitPipeline::new(config).run()
+        };
+        let deployments: Vec<_> = if trials > 1 && !pool.is_sequential() {
+            pool.map_indexed(trials, run_trial)
+        } else {
+            (0..trials).map(run_trial).collect()
+        };
+        let mut accuracies = Vec::with_capacity(trials);
         let mut latency = 0.0;
         let mut original_latency = 0.0;
         let mut memory = 0.0;
-        for trial in 0..options.trials.max(1) {
-            let config = pipeline_config(kind, variant, devices, options, trial as u64 + 1);
-            let deployment = EdVitPipeline::new(config).run()?;
+        for deployment in deployments {
+            let deployment = deployment?;
             accuracies.push(deployment.metrics.fused_accuracy);
             latency = deployment.metrics.latency_seconds;
             original_latency = deployment.metrics.original_latency_seconds;

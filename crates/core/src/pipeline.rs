@@ -1,10 +1,13 @@
 //! The end-to-end ED-ViT pipeline (Fig. 1): model training → splitting →
 //! pruning → assignment → fusion → evaluation.
 
+use std::time::Instant;
+
 use edvit_datasets::{Dataset, DatasetKind, SyntheticConfig, SyntheticGenerator};
 use edvit_edge::{LatencyModel, NetworkConfig};
 use edvit_fusion::{average_softmax_fusion, FusionConfig, FusionMlp};
 use edvit_nn::{Adam, CrossEntropyLoss, Layer, Optimizer};
+use edvit_parallel::ParallelPool;
 use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlan, SplitPlanner};
 use edvit_pruning::{ImportanceMethod, PrunedSubModel, PrunerConfig, StructuredPruner};
 use edvit_tensor::{init::TensorRng, stats, Tensor};
@@ -194,6 +197,29 @@ pub struct EvalMetrics {
     pub communication_seconds: f64,
 }
 
+/// Wall-clock timings of each pipeline stage, plus the thread count that
+/// produced them — the measured (not simulated) side of a run, so kernel
+/// speedups are visible directly from the demo examples.
+#[derive(Debug, Clone)]
+pub struct PipelineTimings {
+    /// Threads available to the data-parallel kernels (the global pool size).
+    pub threads: usize,
+    /// `(stage name, seconds)` in execution order.
+    pub stages: Vec<(&'static str, f64)>,
+    /// End-to-end wall-clock seconds of [`EdVitPipeline::run`].
+    pub total_seconds: f64,
+}
+
+impl PipelineTimings {
+    /// Seconds spent in `stage`, or `None` if it never ran.
+    pub fn stage_seconds(&self, stage: &str) -> Option<f64> {
+        self.stages
+            .iter()
+            .find(|(name, _)| *name == stage)
+            .map(|(_, s)| *s)
+    }
+}
+
 /// A complete ED-ViT deployment: the plan, the actual sub-models, the trained
 /// fusion MLP and the evaluation metrics.
 #[derive(Debug)]
@@ -208,6 +234,8 @@ pub struct EdVitDeployment {
     pub test_set: Dataset,
     /// Evaluation metrics.
     pub metrics: EvalMetrics,
+    /// Measured per-stage wall time and the thread count used.
+    pub timings: PipelineTimings,
 }
 
 /// The ED-ViT pipeline runner.
@@ -237,10 +265,18 @@ impl EdVitPipeline {
     pub fn run(&self) -> Result<EdVitDeployment> {
         self.config.validate()?;
         let cfg = &self.config;
+        let run_started = Instant::now();
+        let mut stages: Vec<(&'static str, f64)> = Vec::new();
+        let mut stage_started = Instant::now();
+        let mut record = |stages: &mut Vec<(&'static str, f64)>, name: &'static str| {
+            stages.push((name, stage_started.elapsed().as_secs_f64()));
+            stage_started = Instant::now();
+        };
 
         // ---- Data ---------------------------------------------------------
         let dataset = SyntheticGenerator::new(cfg.seed).generate(&cfg.synthetic)?;
         let (train, test) = dataset.split(cfg.train_fraction, cfg.seed ^ 0x5917)?;
+        record(&mut stages, "data");
 
         // ---- Original model (trainable scale) ------------------------------
         let mut paper_model = cfg.paper_model.clone();
@@ -261,10 +297,12 @@ impl EdVitPipeline {
         )?;
         let original_accuracy =
             evaluate_classifier(&mut original, test.images(), test.labels(), 32)?;
+        record(&mut stages, "train_original");
 
         // ---- Splitting + assignment (paper scale) ---------------------------
         let planner = SplitPlanner::new(cfg.planner.clone());
         let plan = planner.plan(&paper_model, &cfg.devices, cfg.seed)?;
+        record(&mut stages, "split_plan");
 
         // ---- Per-sub-model pruning + retraining (trainable scale) ----------
         let pruner = StructuredPruner::new(PrunerConfig {
@@ -284,6 +322,7 @@ impl EdVitPipeline {
                 pruner.prune_sub_model(&original, &train, &sub_plan.classes, &trainable_plan)?;
             sub_models.push(sub);
         }
+        record(&mut stages, "prune_retrain");
 
         // ---- Fusion MLP training -------------------------------------------
         let train_features = extract_features(&mut sub_models, train.images())?;
@@ -298,9 +337,11 @@ impl EdVitPipeline {
         )?;
         let fused_predictions = fusion.predict(&test_features)?;
         let fused_accuracy = stats::accuracy(&fused_predictions, test.labels());
+        record(&mut stages, "fusion_train");
 
         // ---- "(w/o) retrain" ablation: softmax averaging --------------------
         let averaged_accuracy = averaged_softmax_accuracy(&mut sub_models, &test)?;
+        record(&mut stages, "evaluate");
 
         // ---- "(w/) entire retrain" ablation ---------------------------------
         let joint_retrain_accuracy = if cfg.joint_retrain_epochs > 0 {
@@ -314,6 +355,9 @@ impl EdVitPipeline {
         } else {
             None
         };
+        if cfg.joint_retrain_epochs > 0 {
+            record(&mut stages, "joint_retrain");
+        }
 
         // ---- Paper-scale latency / memory / communication -------------------
         let paper_fusion_dim: usize = plan.sub_models.iter().map(|s| s.pruned.feature_dim()).sum();
@@ -352,22 +396,29 @@ impl EdVitPipeline {
             communication_seconds,
         };
 
+        let timings = PipelineTimings {
+            threads: ParallelPool::global().threads(),
+            stages,
+            total_seconds: run_started.elapsed().as_secs_f64(),
+        };
+
         Ok(EdVitDeployment {
             plan,
             sub_models,
             fusion,
             test_set: test,
             metrics,
+            timings,
         })
     }
 }
 
 /// Concatenated pooled features of every sub-model for a batch of images,
-/// extracted in small mini-batches to bound peak memory.
+/// extracted in small mini-batches to bound peak memory. Sub-models are
+/// independent "devices", so they run across the thread pool.
 fn extract_features(sub_models: &mut [PrunedSubModel], images: &Tensor) -> Result<Tensor> {
-    let n = images.dims()[0];
-    let mut per_model = Vec::with_capacity(sub_models.len());
-    for sub in sub_models.iter_mut() {
+    let per_model = run_per_sub_model(sub_models, |sub| {
+        let n = images.dims()[0];
         let mut chunks = Vec::new();
         let indices: Vec<usize> = (0..n).collect();
         for batch in indices.chunks(32) {
@@ -375,10 +426,33 @@ fn extract_features(sub_models: &mut [PrunedSubModel], images: &Tensor) -> Resul
             chunks.push(sub.model.forward_features(&x)?);
         }
         let refs: Vec<&Tensor> = chunks.iter().collect();
-        per_model.push(Tensor::concat_first_axis(&refs)?);
-    }
+        Ok(Tensor::concat_first_axis(&refs)?)
+    })?;
     let refs: Vec<&Tensor> = per_model.iter().collect();
     Ok(Tensor::concat_last_axis(&refs)?)
+}
+
+/// Runs `f` once per sub-model (in parallel when the pool allows it),
+/// returning the results in sub-model order.
+fn run_per_sub_model<T, F>(sub_models: &mut [PrunedSubModel], f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&mut PrunedSubModel) -> Result<T> + Sync,
+{
+    let pool = ParallelPool::global();
+    if sub_models.len() <= 1 || pool.is_sequential() {
+        return sub_models.iter_mut().map(f).collect();
+    }
+    let mut slots: Vec<(&mut PrunedSubModel, Option<Result<T>>)> =
+        sub_models.iter_mut().map(|sub| (sub, None)).collect();
+    pool.scope_chunks(&mut slots, 1, |_, slot| {
+        let (sub, out) = &mut slot[0];
+        *out = Some(f(sub));
+    });
+    slots
+        .into_iter()
+        .map(|(_, out)| out.expect("per-sub-model slot filled"))
+        .collect()
 }
 
 fn train_fusion(
@@ -402,13 +476,11 @@ fn train_fusion(
 
 /// Accuracy of the softmax-averaging fallback (no fusion MLP).
 fn averaged_softmax_accuracy(sub_models: &mut [PrunedSubModel], test: &Dataset) -> Result<f32> {
-    let mut probs = Vec::with_capacity(sub_models.len());
-    let mut mappings = Vec::with_capacity(sub_models.len());
-    for sub in sub_models.iter_mut() {
+    let per_model = run_per_sub_model(sub_models, |sub| {
         let logits = sub.model.forward_images(test.images())?;
-        probs.push(logits.softmax_last_axis()?);
-        mappings.push(sub.mapping.subset.clone());
-    }
+        Ok((logits.softmax_last_axis()?, sub.mapping.subset.clone()))
+    })?;
+    let (probs, mappings): (Vec<Tensor>, Vec<Vec<usize>>) = per_model.into_iter().unzip();
     let predictions = average_softmax_fusion(&probs, &mappings, test.num_classes())?;
     Ok(stats::accuracy(&predictions, test.labels()))
 }

@@ -32,6 +32,13 @@ pub type FusionFn = Box<dyn FnMut(&Tensor) -> std::result::Result<Tensor, String
 pub struct RuntimeReport {
     /// Fused output per input sample, in input order.
     pub outputs: Vec<Tensor>,
+    /// Worker threads used for sub-model execution (one per device).
+    pub worker_threads: usize,
+    /// Measured wall-clock seconds each device spent running its sub-model
+    /// over all samples (indexed by sub-model). Informational, like
+    /// [`RuntimeReport::wall_clock_seconds`]: reproducible latency numbers
+    /// come from the analytic model.
+    pub per_device_compute_seconds: Vec<f64>,
     /// Number of feature messages exchanged.
     pub messages: usize,
     /// Total bytes of feature payload transferred to the fusion device.
@@ -106,12 +113,15 @@ impl ClusterRuntime {
         let num_sub_models = executors.len();
         let shared_inputs: Arc<Vec<Tensor>> = Arc::new(inputs.to_vec());
         let (tx, rx) = channel::unbounded::<std::result::Result<bytes::Bytes, String>>();
+        let (timing_tx, timing_rx) = channel::unbounded::<(usize, f64)>();
 
         crossbeam::scope(|scope| -> Result<()> {
             for (sub_model_index, mut executor) in executors.into_iter().enumerate() {
                 let tx = tx.clone();
+                let timing_tx = timing_tx.clone();
                 let inputs = Arc::clone(&shared_inputs);
                 scope.spawn(move |_| {
+                    let device_started = Instant::now();
                     for (sample_index, sample) in inputs.iter().enumerate() {
                         let result = executor(sample).map(|feature| {
                             FeatureMessage::from_tensor(sub_model_index, sample_index, &feature)
@@ -123,14 +133,22 @@ impl ClusterRuntime {
                             break;
                         }
                     }
+                    let _ =
+                        timing_tx.send((sub_model_index, device_started.elapsed().as_secs_f64()));
                 });
             }
             drop(tx);
+            drop(timing_tx);
             Ok(())
         })
         .map_err(|_| EdgeError::Runtime {
             message: "a device worker thread panicked".to_string(),
         })??;
+
+        let mut per_device_compute_seconds = vec![0.0f64; num_sub_models];
+        for (device, seconds) in timing_rx.iter() {
+            per_device_compute_seconds[device] = seconds;
+        }
 
         // Collect all messages (the scope above joins all workers first, so
         // the channel is fully populated and closed).
@@ -183,6 +201,8 @@ impl ClusterRuntime {
 
         Ok(RuntimeReport {
             outputs,
+            worker_threads: num_sub_models,
+            per_device_compute_seconds,
             messages,
             payload_bytes,
             simulated_communication_seconds: comm_seconds,
@@ -212,6 +232,12 @@ mod tests {
         assert_eq!(report.payload_bytes, 2 * (2 * 4 + 3 * 4));
         assert!(report.simulated_communication_seconds > 0.0);
         assert!(report.wall_clock_seconds >= 0.0);
+        assert_eq!(report.worker_threads, 2);
+        assert_eq!(report.per_device_compute_seconds.len(), 2);
+        assert!(report
+            .per_device_compute_seconds
+            .iter()
+            .all(|&s| s >= 0.0 && s <= report.wall_clock_seconds));
     }
 
     #[test]

@@ -1,6 +1,11 @@
+use edvit_parallel::ParallelPool;
 use edvit_tensor::{init::TensorRng, Tensor};
 
 use crate::{Layer, Linear, NnError, Parameter, Result};
+
+/// Per-head score/softmax/value work (`tokens² · head_dim` multiply-adds)
+/// below which parallelizing across heads is not worth the pool wake-up.
+const PAR_HEAD_WORK: usize = 1 << 14;
 
 /// Multi-head self-attention, the MHSA block of a Vision Transformer.
 ///
@@ -228,34 +233,55 @@ impl MultiHeadSelfAttention {
         MultiHeadSelfAttention::from_projections(q, k, v, out, self.heads, self.head_dim)
     }
 
+    /// Scaled-dot-product attention of a single head.
+    fn head_forward(&self, q: &Tensor, k: &Tensor, v: &Tensor) -> Result<(Tensor, HeadCache)> {
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let scores = q.matmul_transposed(k)?.scale(scale);
+        let attn = scores.softmax_last_axis()?;
+        let out = attn.matmul(v)?;
+        Ok((
+            out,
+            HeadCache {
+                q: q.clone(),
+                k: k.clone(),
+                v: v.clone(),
+                attn,
+            },
+        ))
+    }
+
     fn forward_sample(
-        &mut self,
+        &self,
         q_all: &Tensor,
         k_all: &Tensor,
         v_all: &Tensor,
     ) -> Result<(Tensor, Vec<HeadCache>)> {
         let tokens = q_all.dims()[0];
-        let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut head_outputs = Vec::with_capacity(self.heads);
-        let mut head_caches = Vec::with_capacity(self.heads);
         let q_heads = q_all.chunk_last_axis(self.heads)?;
         let k_heads = k_all.chunk_last_axis(self.heads)?;
         let v_heads = v_all.chunk_last_axis(self.heads)?;
-        for h in 0..self.heads {
-            let q = &q_heads[h];
-            let k = &k_heads[h];
-            let v = &v_heads[h];
-            let scores = q.matmul_transposed(k)?.scale(scale);
-            let attn = scores.softmax_last_axis()?;
-            let out = attn.matmul(v)?;
+        // Heads are independent (DeViT-style decomposition), so they can run
+        // on separate threads; below the work threshold the pool wake-up
+        // costs more than the heads themselves.
+        let pool = ParallelPool::global();
+        let per_head_work = tokens * tokens * self.head_dim;
+        let results: Vec<Result<(Tensor, HeadCache)>> =
+            if self.heads > 1 && per_head_work >= PAR_HEAD_WORK && !pool.is_sequential() {
+                pool.map_indexed(self.heads, |h| {
+                    self.head_forward(&q_heads[h], &k_heads[h], &v_heads[h])
+                })
+            } else {
+                (0..self.heads)
+                    .map(|h| self.head_forward(&q_heads[h], &k_heads[h], &v_heads[h]))
+                    .collect()
+            };
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        let mut head_caches = Vec::with_capacity(self.heads);
+        for result in results {
+            let (out, cache) = result?;
             debug_assert_eq!(out.dims(), &[tokens, self.head_dim]);
             head_outputs.push(out);
-            head_caches.push(HeadCache {
-                q: q.clone(),
-                k: k.clone(),
-                v: v.clone(),
-                attn,
-            });
+            head_caches.push(cache);
         }
         let refs: Vec<&Tensor> = head_outputs.iter().collect();
         Ok((Tensor::concat_last_axis(&refs)?, head_caches))
@@ -322,15 +348,26 @@ impl Layer for MultiHeadSelfAttention {
         let q_all = self.q_proj.forward(input)?;
         let k_all = self.k_proj.forward(input)?;
         let v_all = self.v_proj.forward(input)?;
-        let mut per_sample = Vec::with_capacity(batch);
-        let mut outputs = Vec::with_capacity(batch);
-        for b in 0..batch {
+        let run_sample = |b: usize| -> Result<(Tensor, Vec<HeadCache>)> {
             let (q, k, v) = if batched {
                 (q_all.row(b)?, k_all.row(b)?, v_all.row(b)?)
             } else {
                 (q_all.clone(), k_all.clone(), v_all.clone())
             };
-            let (out, caches) = self.forward_sample(&q, &k, &v)?;
+            self.forward_sample(&q, &k, &v)
+        };
+        // Samples are independent; run them across the pool (each sample's
+        // per-head loop then executes inline on its worker).
+        let pool = ParallelPool::global();
+        let results: Vec<Result<(Tensor, Vec<HeadCache>)>> = if batch > 1 && !pool.is_sequential() {
+            pool.map_indexed(batch, run_sample)
+        } else {
+            (0..batch).map(run_sample).collect()
+        };
+        let mut per_sample = Vec::with_capacity(batch);
+        let mut outputs = Vec::with_capacity(batch);
+        for result in results {
+            let (out, caches) = result?;
             outputs.push(out);
             per_sample.push(caches);
         }

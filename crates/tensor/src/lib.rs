@@ -37,6 +37,7 @@ mod shape;
 mod tensor;
 
 pub mod init;
+pub mod kernels;
 pub mod linalg;
 pub mod ops;
 pub mod stats;

@@ -2,10 +2,15 @@
 //!
 //! The matrix multiply is the single hottest kernel in the reproduction (all
 //! transformer projections, attention score computation and the CNN baselines'
-//! im2col path funnel through it), so it is written as a cache-friendly
-//! i-k-j loop over contiguous rows rather than the naive triple loop.
+//! im2col path funnel through it). The heavy lifting lives in
+//! [`crate::kernels`]: blocked, register-tiled loops with B packed into
+//! cache-sized column panels, split across the process-wide
+//! [`edvit_parallel::ParallelPool`] above a size threshold. This module only
+//! does shape checking and dispatch.
 
-use crate::{Tensor, TensorError};
+use edvit_parallel::ParallelPool;
+
+use crate::{kernels, Tensor, TensorError};
 
 impl Tensor {
     /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
@@ -48,7 +53,15 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        matmul_kernel(self.data(), other.data(), &mut out, m, k, n);
+        kernels::matmul(
+            self.data(),
+            other.data(),
+            &mut out,
+            m,
+            k,
+            n,
+            ParallelPool::global(),
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -81,20 +94,16 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += arow[p] * brow[p];
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        kernels::matmul_transposed(
+            self.data(),
+            other.data(),
+            &mut out,
+            m,
+            k,
+            n,
+            ParallelPool::global(),
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -134,19 +143,16 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; b * m * n];
-        for bi in 0..b {
-            let a_off = bi * m * k;
-            let b_off = bi * k * n;
-            let o_off = bi * m * n;
-            matmul_kernel(
-                &self.data()[a_off..a_off + m * k],
-                &other.data()[b_off..b_off + k * n],
-                &mut out[o_off..o_off + m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        kernels::batch_matmul(
+            self.data(),
+            other.data(),
+            &mut out,
+            b,
+            m,
+            k,
+            n,
+            ParallelPool::global(),
+        );
         Tensor::from_vec(out, &[b, m, n])
     }
 
@@ -172,9 +178,10 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m];
-        for (i, o) in out.iter_mut().enumerate() {
-            let row = &self.data()[i * k..(i + 1) * k];
-            *o = row.iter().zip(v.data()).map(|(a, b)| a * b).sum();
+        if k > 0 {
+            for (o, row) in out.iter_mut().zip(self.data().chunks_exact(k)) {
+                *o = kernels::dot(row, v.data());
+            }
         }
         Tensor::from_vec(out, &[m])
     }
@@ -195,9 +202,11 @@ impl Tensor {
         let m = self.numel();
         let n = other.numel();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[i * n + j] = self.data()[i] * other.data()[j];
+        if n > 0 {
+            for (row, &av) in out.chunks_exact_mut(n).zip(self.data()) {
+                for (o, &bv) in row.iter_mut().zip(other.data()) {
+                    *o = av * bv;
+                }
             }
         }
         Tensor::from_vec(out, &[m, n])
@@ -216,32 +225,7 @@ impl Tensor {
                 op: "dot",
             });
         }
-        Ok(self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(a, b)| a * b)
-            .sum())
-    }
-}
-
-/// Cache-friendly `C += A * B` kernel over contiguous row-major buffers.
-///
-/// `out` must be zero-initialized by the caller; panics are avoided by
-/// construction because callers size the slices exactly.
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (j, &b_pj) in b_row.iter().enumerate() {
-                out_row[j] += a_ip * b_pj;
-            }
-        }
+        Ok(kernels::dot(self.data(), other.data()))
     }
 }
 

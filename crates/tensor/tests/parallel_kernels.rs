@@ -1,0 +1,220 @@
+//! Property tests for the blocked parallel matmul kernels: every parallel /
+//! blocked variant must agree with the naive sequential reference, and the
+//! thread count must never change the result.
+//!
+//! The CI workflow runs this suite twice — once with the default thread count
+//! and once with `EDVIT_THREADS=1` — so the global-pool paths are exercised
+//! both parallel and sequential. The explicit-pool tests below additionally
+//! pit 1-thread and 8-thread pools against each other inside one process.
+
+use edvit_parallel::ParallelPool;
+use edvit_tensor::{init::TensorRng, kernels};
+
+/// Relative tolerance: the blocked/FMA kernels re-associate sums, so results
+/// differ from the naive reference only by rounding.
+const TOL: f32 = 1e-5;
+
+fn assert_close(got: &[f32], expected: &[f32], context: &str) {
+    assert_eq!(got.len(), expected.len(), "{context}: length mismatch");
+    for (i, (x, y)) in got.iter().zip(expected).enumerate() {
+        let scale = 1.0 + y.abs();
+        assert!(
+            (x - y).abs() <= TOL * scale,
+            "{context}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+/// Random shapes covering the degenerate (0, 1) dimensions, the remainder
+/// paths of the 4-row/8-column register tiles, the packing block edges
+/// (`NC` = 128, `KC` = 256) and sizes straddling the parallel threshold
+/// (`m·k·n` around 2²⁰).
+fn interesting_shapes(rng: &mut TensorRng) -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (0, 3, 4),
+        (3, 0, 4),
+        (3, 4, 0),
+        (1, 1, 1),
+        (1, 7, 1),
+        (4, 4, 4),
+        (5, 3, 9),
+        (31, 33, 35),
+        (64, 64, 64),
+        (4, 257, 129),
+        (130, 127, 129),
+        // Straddle PAR_WORK_THRESHOLD = 2^20 ≈ 101.6³.
+        (101, 101, 101),
+        (102, 102, 102),
+        (128, 64, 128),
+        (96, 300, 64),
+    ];
+    // A few fuzzed shapes per run (seeded, so reproducible).
+    for _ in 0..6 {
+        let d = |r: &mut TensorRng| (r.rand_uniform(&[1], 0.0, 1.0).data()[0] * 90.0) as usize + 1;
+        shapes.push((d(rng), d(rng), d(rng)));
+    }
+    shapes
+}
+
+#[test]
+fn blocked_parallel_matmul_matches_reference() {
+    let mut rng = TensorRng::new(0xB10C);
+    let pool = ParallelPool::new(8);
+    for (m, k, n) in interesting_shapes(&mut rng) {
+        let a = rng.rand_uniform(&[(m * k).max(1)], -1.0, 1.0).data()[..m * k].to_vec();
+        let b = rng.rand_uniform(&[(k * n).max(1)], -1.0, 1.0).data()[..k * n].to_vec();
+        let mut expected = vec![0.0f32; m * n];
+        kernels::matmul_reference(&a, &b, &mut expected, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        kernels::matmul(&a, &b, &mut got, m, k, n, &pool);
+        assert_close(&got, &expected, &format!("matmul {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn one_thread_and_eight_threads_agree_bitwise() {
+    // The EDVIT_THREADS=1 / EDVIT_THREADS=8 contract, in-process: chunk
+    // boundaries move with the thread count but each output row keeps its
+    // accumulation order, so results must be bit-identical — not just close.
+    let seq_pool = ParallelPool::new(1);
+    let par_pool = ParallelPool::new(8);
+    let mut rng = TensorRng::new(0x7EAD);
+    for (m, k, n) in interesting_shapes(&mut rng) {
+        let a = rng.rand_uniform(&[(m * k).max(1)], -1.0, 1.0).data()[..m * k].to_vec();
+        let b = rng.rand_uniform(&[(k * n).max(1)], -1.0, 1.0).data()[..k * n].to_vec();
+
+        let mut seq = vec![0.0f32; m * n];
+        kernels::matmul(&a, &b, &mut seq, m, k, n, &seq_pool);
+        let mut par = vec![0.0f32; m * n];
+        kernels::matmul(&a, &b, &mut par, m, k, n, &par_pool);
+        assert_eq!(seq, par, "matmul {m}x{k}x{n} differs across thread counts");
+
+        let bt: Vec<f32> = rng.rand_uniform(&[(n * k).max(1)], -1.0, 1.0).data()[..n * k].to_vec();
+        let mut seq_t = vec![0.0f32; m * n];
+        kernels::matmul_transposed(&a, &bt, &mut seq_t, m, k, n, &seq_pool);
+        let mut par_t = vec![0.0f32; m * n];
+        kernels::matmul_transposed(&a, &bt, &mut par_t, m, k, n, &par_pool);
+        assert_eq!(seq_t, par_t, "matmul_transposed {m}x{k}x{n} differs");
+    }
+}
+
+#[test]
+fn transposed_parallel_matches_reference() {
+    let mut rng = TensorRng::new(0x7A43);
+    let pool = ParallelPool::new(8);
+    for (m, k, n) in interesting_shapes(&mut rng) {
+        let a = rng.rand_uniform(&[(m * k).max(1)], -1.0, 1.0).data()[..m * k].to_vec();
+        let bt = rng.rand_uniform(&[(n * k).max(1)], -1.0, 1.0).data()[..n * k].to_vec();
+        // Materialize B from Bᵀ for the reference.
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut expected = vec![0.0f32; m * n];
+        kernels::matmul_reference(&a, &b, &mut expected, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        kernels::matmul_transposed(&a, &bt, &mut got, m, k, n, &pool);
+        assert_close(&got, &expected, &format!("matmul_transposed {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn batch_matmul_parallel_matches_reference() {
+    let mut rng = TensorRng::new(0xBA7C);
+    let pool = ParallelPool::new(8);
+    // Shapes chosen to hit all three batch strategies: large per-batch
+    // (parallel inside), many small batches (parallel across), and tiny
+    // (sequential).
+    for (bt, m, k, n) in [(1usize, 128, 80, 128), (24, 24, 24, 24), (3, 4, 5, 6)] {
+        let a = rng.rand_uniform(&[bt * m * k], -1.0, 1.0).data().to_vec();
+        let b = rng.rand_uniform(&[bt * k * n], -1.0, 1.0).data().to_vec();
+        let mut got = vec![0.0f32; bt * m * n];
+        kernels::batch_matmul(&a, &b, &mut got, bt, m, k, n, &pool);
+        for bi in 0..bt {
+            let mut expected = vec![0.0f32; m * n];
+            kernels::matmul_reference(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * k * n..(bi + 1) * k * n],
+                &mut expected,
+                m,
+                k,
+                n,
+            );
+            assert_close(
+                &got[bi * m * n..(bi + 1) * m * n],
+                &expected,
+                &format!("batch {bi} of {bt}x{m}x{k}x{n}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn tensor_level_ops_use_global_pool_and_match_reference() {
+    // Tensor::matmul goes through ParallelPool::global() — whatever
+    // EDVIT_THREADS says, the result must match the reference (this is the
+    // test the CI runs under both EDVIT_THREADS=1 and the default).
+    let mut rng = TensorRng::new(0x6E0);
+    for (m, k, n) in [(130usize, 127usize, 129usize), (7, 257, 65)] {
+        let a = rng.rand_uniform(&[m, k], -1.0, 1.0);
+        let b = rng.rand_uniform(&[k, n], -1.0, 1.0);
+        let mut expected = vec![0.0f32; m * n];
+        kernels::matmul_reference(a.data(), b.data(), &mut expected, m, k, n);
+        let got = a.matmul(&b).unwrap();
+        assert_close(
+            got.data(),
+            &expected,
+            &format!("Tensor::matmul {m}x{k}x{n}"),
+        );
+
+        let got_t = a.matmul_transposed(&b.transpose().unwrap()).unwrap();
+        assert_close(
+            got_t.data(),
+            &expected,
+            &format!("Tensor::matmul_transposed {m}x{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn matvec_outer_dot_match_naive() {
+    let mut rng = TensorRng::new(0xD07);
+    let a = rng.rand_uniform(&[37, 53], -1.0, 1.0);
+    let v = rng.rand_uniform(&[53], -1.0, 1.0);
+    let got = a.matvec(&v).unwrap();
+    for i in 0..37 {
+        let naive: f32 = (0..53).map(|j| a.data()[i * 53 + j] * v.data()[j]).sum();
+        assert!((got.data()[i] - naive).abs() <= TOL * (1.0 + naive.abs()));
+    }
+
+    let u = rng.rand_uniform(&[19], -1.0, 1.0);
+    let w = rng.rand_uniform(&[23], -1.0, 1.0);
+    let outer = u.outer(&w).unwrap();
+    for i in 0..19 {
+        for j in 0..23 {
+            assert_eq!(outer.data()[i * 23 + j], u.data()[i] * w.data()[j]);
+        }
+    }
+
+    let naive_dot: f32 = v.data().iter().map(|x| x * x).sum();
+    assert!((v.dot(&v).unwrap() - naive_dot).abs() <= TOL * (1.0 + naive_dot.abs()));
+}
+
+#[test]
+fn matvec_and_outer_handle_zero_dims() {
+    use edvit_tensor::Tensor;
+    // [3, 0] · [0] -> [3] of zeros (empty contraction).
+    let a = Tensor::zeros(&[3, 0]);
+    let v = Tensor::zeros(&[0]);
+    let out = a.matvec(&v).unwrap();
+    assert_eq!(out.dims(), &[3]);
+    assert_eq!(out.data(), &[0.0, 0.0, 0.0]);
+    // [2] ⊗ [0] -> [2, 0] and [0] ⊗ [3] -> [0, 3], both empty.
+    let u = Tensor::zeros(&[2]);
+    let empty = Tensor::zeros(&[0]);
+    assert_eq!(u.outer(&empty).unwrap().dims(), &[2, 0]);
+    let w = Tensor::zeros(&[3]);
+    assert_eq!(empty.outer(&w).unwrap().dims(), &[0, 3]);
+}

@@ -1,8 +1,14 @@
 use edvit_nn::{Layer, LayerNorm, Linear, NnError, Parameter};
+use edvit_parallel::ParallelPool;
 use edvit_tensor::{init::TensorRng, Tensor};
 
 use crate::block::rebuild_ffn;
 use crate::{PatchEmbed, Result, ViTBlock, ViTConfig, ViTError};
+
+/// Total pooled elements (`batch·tokens·dim`) below which the mean-pool
+/// loops run sequentially — tiny training batches would otherwise pay a pool
+/// wake-up for a few kilobytes of additions.
+const PAR_POOL_WORK: usize = 1 << 15;
 
 /// A trainable Vision Transformer for image (or spectrogram) classification.
 ///
@@ -172,17 +178,29 @@ impl VisionTransformer {
         }
         let normed = self.final_ln.forward(&tokens)?;
         let (batch, p, d) = (normed.dims()[0], normed.dims()[1], normed.dims()[2]);
-        // Mean pooling over the token axis.
+        // Mean pooling over the token axis, one output row per sample; the
+        // per-sample loop runs across the pool for large eval batches.
         let mut pooled = vec![0.0f32; batch * d];
-        for b in 0..batch {
-            for i in 0..p {
-                for j in 0..d {
-                    pooled[b * d + j] += normed.data()[b * p * d + i * d + j];
+        let data = normed.data();
+        let inv_p = 1.0 / p as f32;
+        let pool_one = |base: usize, row: &mut [f32]| {
+            let b = base / d;
+            let sample = &data[b * p * d..(b + 1) * p * d];
+            for token in sample.chunks_exact(d) {
+                for (o, &t) in row.iter_mut().zip(token) {
+                    *o += t;
                 }
             }
-        }
-        for v in &mut pooled {
-            *v /= p as f32;
+            for o in row.iter_mut() {
+                *o *= inv_p;
+            }
+        };
+        if batch * p * d >= PAR_POOL_WORK {
+            ParallelPool::global().scope_chunks(&mut pooled, d, pool_one);
+        } else {
+            for (b, row) in pooled.chunks_mut(d.max(1)).enumerate() {
+                pool_one(b * d, row);
+            }
         }
         self.cache_pool = Some((batch, p));
         Ok(Tensor::from_vec(pooled, &[batch, d])?)
@@ -202,13 +220,25 @@ impl VisionTransformer {
                 layer: "VisionTransformer",
             }))?;
         let d = self.embed_dim();
-        // Distribute the pooled gradient back over tokens (mean pooling).
+        // Distribute the pooled gradient back over tokens (mean pooling),
+        // one sample per chunk.
         let mut grad_tokens = vec![0.0f32; batch * p * d];
-        for b in 0..batch {
-            for i in 0..p {
-                for j in 0..d {
-                    grad_tokens[b * p * d + i * d + j] = grad_features.data()[b * d + j] / p as f32;
+        let grad = grad_features.data();
+        let inv_p = 1.0 / p as f32;
+        let spread_one = |base: usize, sample: &mut [f32]| {
+            let b = base / (p * d);
+            let grow = &grad[b * d..(b + 1) * d];
+            for token in sample.chunks_exact_mut(d) {
+                for (o, &g) in token.iter_mut().zip(grow) {
+                    *o = g * inv_p;
                 }
+            }
+        };
+        if batch * p * d >= PAR_POOL_WORK {
+            ParallelPool::global().scope_chunks(&mut grad_tokens, p * d, spread_one);
+        } else {
+            for (b, sample) in grad_tokens.chunks_mut((p * d).max(1)).enumerate() {
+                spread_one(b * p * d, sample);
             }
         }
         let mut g = Tensor::from_vec(grad_tokens, &[batch, p, d])?;

@@ -53,5 +53,12 @@ fn main() -> Result<(), edvit::EdVitError> {
         "  worst-case communication    : {:.2} ms",
         m.communication_seconds * 1e3
     );
+
+    let t = &deployment.timings;
+    println!("\n== Measured wall time ({} threads) ==", t.threads);
+    for (stage, seconds) in &t.stages {
+        println!("  {stage:<14}: {:.1} ms", seconds * 1e3);
+    }
+    println!("  {:<14}: {:.1} ms", "total", t.total_seconds * 1e3);
     Ok(())
 }

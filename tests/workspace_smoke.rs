@@ -43,4 +43,24 @@ fn tiny_demo_pipeline_metrics_are_finite_and_non_negative() {
     assert_eq!(m.feature_payload_bytes.len(), 2);
     assert!(m.per_submodel_flops.iter().all(|&f| f > 0));
     assert!(m.feature_payload_bytes.iter().all(|&b| b > 0));
+
+    // Measured per-stage wall time: every named stage ran, all times are
+    // finite and non-negative, and the stage sum cannot exceed the total.
+    let t = &deployment.timings;
+    assert!(t.threads >= 1);
+    for stage in [
+        "data",
+        "train_original",
+        "split_plan",
+        "prune_retrain",
+        "fusion_train",
+        "evaluate",
+    ] {
+        let seconds = t
+            .stage_seconds(stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert!(seconds.is_finite() && seconds >= 0.0);
+    }
+    let stage_sum: f64 = t.stages.iter().map(|(_, s)| s).sum();
+    assert!(t.total_seconds >= stage_sum * 0.99);
 }

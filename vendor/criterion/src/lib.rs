@@ -5,18 +5,72 @@
 //! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
 //! and the [`criterion_group!`] / [`criterion_main!`] macros.
 //!
-//! Instead of criterion's statistical sampling it runs each benchmark with a
-//! short warm-up followed by an adaptive timed loop and prints one
-//! `name ... time/iter` line — enough to compare hot paths locally while
-//! keeping `cargo bench` runs fast and dependency-free.
+//! Measurement model: each benchmark is run as a short warm-up followed by a
+//! configurable number of *samples*; one sample is an adaptive timed loop that
+//! runs the routine until a per-sample wall-clock budget is spent. The
+//! min/median/max nanoseconds-per-iteration across samples are reported on
+//! stdout, and — when the `CRITERION_OUT` environment variable names a
+//! directory — a machine-readable JSON file (one per bench binary, named after
+//! the binary) is written there so perf PRs can check in before/after
+//! baselines (`--save-baseline`-style, driven by the environment instead of a
+//! CLI flag because `cargo bench` owns the command line).
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_SAMPLES` — default sample count per benchmark (default 10);
+//!   [`BenchmarkGroup::sample_size`] overrides it per group.
+//! * `CRITERION_SAMPLE_MS` — wall-clock budget of one sample in milliseconds
+//!   (default 30).
+//! * `CRITERION_OUT` — directory to write `<bench-binary>.json` into.
 
 use std::fmt::Display;
+use std::io::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Target wall-clock budget for one benchmark's timed loop.
-const TIME_BUDGET: Duration = Duration::from_millis(200);
-/// Upper bound on timed iterations per benchmark.
-const MAX_ITERS: u64 = 10_000;
+/// Upper bound on timed iterations per sample.
+const MAX_ITERS_PER_SAMPLE: u64 = 10_000;
+/// Default number of samples per benchmark.
+const DEFAULT_SAMPLES: usize = 10;
+/// Default wall-clock budget of a single sample.
+const DEFAULT_SAMPLE_MS: u64 = 30;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn default_sample_count() -> usize {
+    env_usize("CRITERION_SAMPLES", DEFAULT_SAMPLES)
+}
+
+fn sample_budget() -> Duration {
+    Duration::from_millis(env_usize("CRITERION_SAMPLE_MS", DEFAULT_SAMPLE_MS as usize) as u64)
+}
+
+/// One finished measurement, as recorded for JSON emission.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/id` or a bare function name).
+    pub name: String,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Total timed iterations across all samples.
+    pub total_iters: u64,
+    /// Fastest sample, in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, in nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Slowest sample, in nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Mean across samples, in nanoseconds per iteration.
+    pub mean_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Identifier for a parameterized benchmark within a group.
 #[derive(Clone, Debug)]
@@ -46,27 +100,76 @@ impl Display for BenchmarkId {
     }
 }
 
-/// Runs closures and measures their per-iteration time.
-#[derive(Debug, Default)]
+/// Runs closures and measures their per-iteration time over several samples.
+#[derive(Debug)]
 pub struct Bencher {
-    nanos_per_iter: f64,
-    iters: u64,
+    sample_count: usize,
+    samples_ns: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher::with_sample_count(default_sample_count())
+    }
 }
 
 impl Bencher {
-    /// Times `routine`, keeping its output alive via [`black_box`].
+    fn with_sample_count(sample_count: usize) -> Self {
+        Bencher {
+            sample_count: sample_count.max(1),
+            samples_ns: Vec::new(),
+            total_iters: 0,
+        }
+    }
+
+    /// Times `routine`: one warm-up call, then `sample_count` adaptive timed
+    /// loops, keeping outputs alive via [`black_box`].
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up run (also primes caches and catches panics early).
         black_box(routine());
-        let mut iters = 0u64;
-        let started = Instant::now();
-        while started.elapsed() < TIME_BUDGET && iters < MAX_ITERS {
-            black_box(routine());
-            iters += 1;
+        let budget = sample_budget();
+        self.samples_ns.clear();
+        self.total_iters = 0;
+        for _ in 0..self.sample_count {
+            let mut iters = 0u64;
+            let started = Instant::now();
+            while started.elapsed() < budget && iters < MAX_ITERS_PER_SAMPLE {
+                black_box(routine());
+                iters += 1;
+            }
+            let elapsed = started.elapsed();
+            let iters = iters.max(1);
+            self.total_iters += iters;
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
         }
-        let elapsed = started.elapsed();
-        self.iters = iters.max(1);
-        self.nanos_per_iter = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+
+    fn record(&self, name: &str) -> BenchRecord {
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let (min_ns, max_ns, median_ns, mean_ns) = if sorted.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            let mid = sorted.len() / 2;
+            let median = if sorted.len().is_multiple_of(2) {
+                (sorted[mid - 1] + sorted[mid]) / 2.0
+            } else {
+                sorted[mid]
+            };
+            let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+            (sorted[0], *sorted.last().unwrap(), median, mean)
+        };
+        BenchRecord {
+            name: name.to_string(),
+            samples: sorted.len(),
+            total_iters: self.total_iters,
+            min_ns,
+            median_ns,
+            max_ns,
+            mean_ns,
+        }
     }
 }
 
@@ -75,9 +178,8 @@ pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
 }
 
-fn report(name: &str, bencher: &Bencher) {
-    let ns = bencher.nanos_per_iter;
-    let (scaled, unit) = if ns >= 1e9 {
+fn scale(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
         (ns / 1e9, "s")
     } else if ns >= 1e6 {
         (ns / 1e6, "ms")
@@ -85,26 +187,38 @@ fn report(name: &str, bencher: &Bencher) {
         (ns / 1e3, "µs")
     } else {
         (ns, "ns")
-    };
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let record = bencher.record(name);
+    let (median, unit) = scale(record.median_ns);
+    let (min, min_unit) = scale(record.min_ns);
+    let (max, max_unit) = scale(record.max_ns);
     println!(
-        "bench: {name:<48} {scaled:>10.3} {unit}/iter ({} iters)",
-        bencher.iters
+        "bench: {name:<48} {median:>10.3} {unit}/iter \
+         (min {min:.3} {min_unit} .. max {max:.3} {max_unit}, {} samples, {} iters)",
+        record.samples, record.total_iters
     );
+    RESULTS.lock().expect("results poisoned").push(record);
 }
 
 /// A named collection of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
+    sample_count: usize,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Accepted for API compatibility; the adaptive loop ignores it.
-    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+    /// Overrides the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_count = samples.max(1);
         self
     }
 
-    /// Accepted for API compatibility; the adaptive loop ignores it.
+    /// Accepted for API compatibility; the per-sample budget comes from
+    /// `CRITERION_SAMPLE_MS` instead.
     pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
         self
     }
@@ -119,7 +233,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher::default();
+        let mut bencher = Bencher::with_sample_count(self.sample_count);
         routine(&mut bencher, input);
         report(&format!("{}/{}", self.name, id), &bencher);
         self
@@ -130,7 +244,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::default();
+        let mut bencher = Bencher::with_sample_count(self.sample_count);
         routine(&mut bencher);
         report(&format!("{}/{}", self.name, id), &bencher);
         self
@@ -151,6 +265,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
+            sample_count: default_sample_count(),
             _criterion: self,
         }
     }
@@ -167,6 +282,99 @@ impl Criterion {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes every recorded benchmark of this process to JSON.
+///
+/// The format is intentionally flat so shell tooling (`python3 -m json.tool`,
+/// `jq`) can validate and diff it:
+///
+/// ```json
+/// {"available_parallelism": 8, "edvit_threads": "2",
+///  "benchmarks": [{"name": "...", "samples": 10, "total_iters": 420,
+///                  "min_ns": 1.0, "median_ns": 2.0, "max_ns": 3.0,
+///                  "mean_ns": 2.0}]}
+/// ```
+pub fn results_json() -> String {
+    let records = RESULTS.lock().expect("results poisoned");
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads_env = std::env::var("EDVIT_THREADS").unwrap_or_else(|_| "unset".to_string());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"available_parallelism\": {parallelism},\n  \"edvit_threads\": \"{}\",\n  \"benchmarks\": [",
+        json_escape(&threads_env)
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"samples\": {}, \"total_iters\": {}, \
+             \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}}}",
+            json_escape(&r.name),
+            r.samples,
+            r.total_iters,
+            r.min_ns,
+            r.median_ns,
+            r.max_ns,
+            r.mean_ns
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes [`results_json`] to `$CRITERION_OUT/<bench-binary>.json` when the
+/// `CRITERION_OUT` environment variable is set (creating the directory if
+/// needed). Called by [`criterion_main!`] after all groups have run; a no-op
+/// when the variable is unset.
+pub fn write_results_if_requested() {
+    let Ok(dir) = std::env::var("CRITERION_OUT") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let stem = std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    // `cargo bench` binaries carry a `-<hash>` suffix; strip it so the output
+    // file name is stable across builds.
+    let stem = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    };
+    let path = std::path::Path::new(&dir).join(format!("{stem}.json"));
+    let json = results_json();
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(json.as_bytes())
+    };
+    match write() {
+        Ok(()) => println!("bench: wrote {}", path.display()),
+        Err(e) => eprintln!("bench: failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Bundles benchmark functions into a callable group, as in criterion.
 #[macro_export]
 macro_rules! criterion_group {
@@ -178,13 +386,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main`, running each group (CLI flags from `cargo bench` are
-/// accepted and ignored).
+/// Generates `main`, running each group and then emitting JSON results when
+/// `CRITERION_OUT` is set (CLI flags from `cargo bench` are accepted and
+/// ignored).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group_name:path),+ $(,)?) => {
         fn main() {
             $( $group_name(); )+
+            $crate::write_results_if_requested();
         }
     };
 }
@@ -195,17 +405,20 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher::default();
+        let mut b = Bencher::with_sample_count(3);
         b.iter(|| (0..100u64).sum::<u64>());
-        assert!(b.nanos_per_iter >= 0.0);
-        assert!(b.iters >= 1);
+        let r = b.record("sum");
+        assert_eq!(r.samples, 3);
+        assert!(r.total_iters >= 3);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.mean_ns > 0.0);
     }
 
     #[test]
     fn group_api_chains() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        group.sample_size(10);
+        group.sample_size(2);
         group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, n| {
             b.iter(|| n * 2)
         });
@@ -218,5 +431,23 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
         assert_eq!(BenchmarkId::new("f", 2).to_string(), "f/2");
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut c = Criterion::default();
+        c.bench_function("json_probe \"quoted\"", |b| b.iter(|| 1 + 1));
+        let json = results_json();
+        assert!(json.contains("\"benchmarks\""));
+        assert!(json.contains("json_probe \\\"quoted\\\""));
+        assert!(json.contains("\"available_parallelism\""));
+        // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }
 }
