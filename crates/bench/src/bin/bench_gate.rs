@@ -1,0 +1,246 @@
+//! Bench regression gate: compares freshly-measured bench medians against the
+//! checked-in baseline and fails the build when any benchmark regressed by
+//! more than the tolerance factor.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json | dir-of-json>... [--tolerance X] [--min-ns N]
+//! ```
+//!
+//! CI runs the tiny-sample bench smoke into a directory and then
+//! `cargo run -p edvit-bench --bin bench_gate -- BENCH_parallel.json bench-out`.
+//! The tolerance is deliberately generous (default 5×): smoke-run medians on
+//! shared runners are noisy and the baseline was recorded on a different
+//! machine, so the gate only catches order-of-magnitude kernel
+//! pessimizations, not percent-level drift. Benchmarks whose baseline median
+//! is under `--min-ns` (default 1 µs) are reported but never fail the gate —
+//! at that scale a 2-sample median measures scheduler noise, not code.
+//!
+//! The parser is a minimal scanner over the flat JSON the vendored criterion
+//! emits (`"name": "...", … "median_ns": N`), so the gate needs no JSON
+//! dependency; it works on both the per-binary smoke output and the merged
+//! baseline file (which nests the same records under `targets`).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const DEFAULT_TOLERANCE: f64 = 5.0;
+
+/// Benchmarks whose baseline median is below this are reported but never
+/// hard-fail the gate: a 2-sample median of a tens-of-nanoseconds bench on a
+/// shared runner is dominated by scheduling noise, not by the code.
+const DEFAULT_MIN_GATED_NS: f64 = 1_000.0;
+
+/// Extracts `name → median_ns` pairs from criterion-style JSON text by
+/// scanning for `"name"` / `"median_ns"` key pairs, in order.
+fn extract_medians(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\":") {
+        rest = &rest[pos + "\"name\":".len()..];
+        let Some(open) = rest.find('"') else { break };
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('"') else { break };
+        let name = &after[..close];
+        rest = &after[close + 1..];
+        // The matching median must appear before the next benchmark record.
+        let scope_end = rest.find("\"name\":").unwrap_or(rest.len());
+        let scope = &rest[..scope_end];
+        let Some(mpos) = scope.find("\"median_ns\":") else {
+            continue;
+        };
+        let tail = scope[mpos + "\"median_ns\":".len()..].trim_start();
+        let number: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(value) = number.parse::<f64>() {
+            out.insert(name.to_string(), value);
+        }
+    }
+    out
+}
+
+/// Reads medians from a JSON file, or from every `*.json` file when `path`
+/// is a directory.
+fn load_medians(path: &Path) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut files = Vec::new();
+    if path.is_dir() {
+        let entries = std::fs::read_dir(path)
+            .unwrap_or_else(|e| panic!("cannot read directory {}: {e}", path.display()));
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.extension().is_some_and(|ext| ext == "json") {
+                files.push(p);
+            }
+        }
+        files.sort();
+    } else {
+        files.push(path.to_path_buf());
+    }
+    for file in files {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        out.extend(extract_medians(&text));
+    }
+    out
+}
+
+fn main() {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut min_gated_ns = DEFAULT_MIN_GATED_NS;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--tolerance" {
+            let value = args.next().expect("--tolerance needs a value");
+            tolerance = value.parse().expect("--tolerance must be a number");
+        } else if arg == "--min-ns" {
+            let value = args.next().expect("--min-ns needs a value");
+            min_gated_ns = value.parse().expect("--min-ns must be a number");
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.len() < 2 {
+        eprintln!(
+            "usage: bench_gate <baseline.json> <current.json | dir>... [--tolerance X] [--min-ns N]"
+        );
+        std::process::exit(2);
+    }
+
+    let baseline = load_medians(Path::new(&paths[0]));
+    let mut current = BTreeMap::new();
+    for path in &paths[1..] {
+        current.extend(load_medians(Path::new(path)));
+    }
+    if baseline.is_empty() {
+        eprintln!("no benchmarks found in baseline {}", paths[0]);
+        std::process::exit(2);
+    }
+
+    println!(
+        "bench gate: {} baseline entries, {} current entries, tolerance {tolerance}x",
+        baseline.len(),
+        current.len()
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>8}  status",
+        "benchmark", "baseline (ns)", "current (ns)", "ratio"
+    );
+    let mut compared = 0usize;
+    let mut missing = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for (name, &base) in &baseline {
+        let Some(&cur) = current.get(name) else {
+            missing += 1;
+            println!(
+                "{name:<36} {base:>14.1} {:>14} {:>8}  MISSING (not measured)",
+                "-", "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let ratio = if base > 0.0 {
+            cur / base
+        } else {
+            f64::INFINITY
+        };
+        let regressed = ratio > tolerance;
+        let status = if regressed && base < min_gated_ns {
+            "noisy (below --min-ns, not gated)"
+        } else if regressed {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{name:<36} {base:>14.1} {cur:>14.1} {ratio:>7.2}x  {status}");
+        if regressed && base >= min_gated_ns {
+            regressions.push(format!("{name}: {base:.1} ns -> {cur:.1} ns ({ratio:.2}x)"));
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("bench gate: no benchmark overlaps between baseline and current run");
+        std::process::exit(2);
+    }
+    if missing > 0 {
+        // A renamed or dropped benchmark must not silently erode coverage:
+        // update the checked-in baseline alongside the bench change.
+        eprintln!(
+            "\nbench gate FAILED: {missing} baseline benchmark(s) were not measured; \
+             re-record the baseline if they were intentionally renamed or removed"
+        );
+        std::process::exit(1);
+    }
+    if !regressions.is_empty() {
+        eprintln!(
+            "\nbench gate FAILED: {} benchmark(s) regressed beyond {tolerance}x the baseline median:",
+            regressions.len()
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nbench gate passed: {compared} benchmark(s) within {tolerance}x of baseline");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "label": "x", "command": "cargo bench",
+      "targets": {
+        "kernels": {
+          "benchmarks": [
+            {"name": "matmul/32", "samples": 10, "median_ns": 1384.9, "max_ns": 1488.2},
+            {"name": "matmul/64", "samples": 10, "median_ns": 8883.9, "max_ns": 10169.7}
+          ]
+        },
+        "pipeline": {
+          "benchmarks": [
+            {"name": "split_planner/2", "median_ns": 42.0}
+          ]
+        }
+      }
+    }"#;
+
+    #[test]
+    fn extracts_name_median_pairs_from_nested_and_flat_json() {
+        let medians = extract_medians(SAMPLE);
+        assert_eq!(medians.len(), 3);
+        assert_eq!(medians["matmul/32"], 1384.9);
+        assert_eq!(medians["matmul/64"], 8883.9);
+        assert_eq!(medians["split_planner/2"], 42.0);
+
+        let flat = r#"{"edvit_threads": "unset", "benchmarks": [
+            {"name": "a", "median_ns": 1.5}, {"name": "b", "median_ns": 2e3}]}"#;
+        let medians = extract_medians(flat);
+        assert_eq!(medians["a"], 1.5);
+        assert_eq!(medians["b"], 2000.0);
+    }
+
+    #[test]
+    fn records_without_median_are_skipped_not_mispaired() {
+        // "b" has no median; its scope must not steal "c"'s value.
+        let text = r#"[{"name": "a", "median_ns": 1.0},
+                       {"name": "b", "samples": 3},
+                       {"name": "c", "median_ns": 9.0}]"#;
+        let medians = extract_medians(text);
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians["a"], 1.0);
+        assert_eq!(medians["c"], 9.0);
+    }
+
+    #[test]
+    fn malformed_input_yields_no_entries() {
+        assert!(extract_medians("").is_empty());
+        assert!(extract_medians("\"name\":").is_empty());
+        assert!(extract_medians("\"name\": \"unterminated").is_empty());
+        assert!(extract_medians("{\"name\": \"x\", \"median_ns\": }").is_empty());
+    }
+}

@@ -1,18 +1,33 @@
 //! Regenerates the communication-overhead analysis of §V-D: feature payload
-//! size, transfer time at 2 Mbps and reduction versus raw images.
+//! size, wire-v2 frame size, transfer time at 2 Mbps (single-sample and
+//! batched) and reduction versus raw images.
 
 fn main() {
     let rows = edvit::experiments::comm_overhead().expect("planner failed");
     println!("Section V-D — communication overhead (ViT-Base, 2 Mbps cap)");
     println!(
-        "{:<10} {:>14} {:>14} {:>18}",
-        "Devices", "Payload (B)", "Transfer (ms)", "Reduction vs raw"
+        "{:<10} {:>14} {:>12} {:>14} {:>16} {:>18}",
+        "Devices",
+        "Payload (B)",
+        "Frame (B)",
+        "Transfer (ms)",
+        "Batched (ms/sm)",
+        "Reduction vs raw"
     );
     for row in rows {
         println!(
-            "{:<10} {:>14} {:>14.2} {:>17.0}x",
-            row.devices, row.payload_bytes, row.transfer_ms, row.reduction_vs_raw_image
+            "{:<10} {:>14} {:>12} {:>14.2} {:>16.2} {:>17.0}x",
+            row.devices,
+            row.payload_bytes,
+            row.frame_bytes,
+            row.transfer_ms,
+            row.batched_ms_per_sample,
+            row.reduction_vs_raw_image
         );
     }
-    println!("\nPaper reference: payload 1536 B -> 512 B, <= 5.86 ms, up to 294x reduction.");
+    println!(
+        "\nPaper reference: payload 1536 B -> 512 B, <= 5.86 ms, up to 294x reduction. \
+         Batched column: one wire-v2 frame carrying {} samples per device.",
+        edvit::experiments::COMM_BATCH_SAMPLES
+    );
 }

@@ -55,7 +55,7 @@ pub fn into_executors(deployment: EdVitDeployment) -> (Vec<SubModelFn>, FusionFn
 
 /// Runs a batch of image samples through the deployment on the threaded
 /// cluster runtime and returns the runtime report (fused logits per sample,
-/// message counts, payload bytes).
+/// batched wire-v2 frame counts, bytes on wire and measured throughput).
 ///
 /// # Errors
 ///
@@ -89,7 +89,11 @@ mod tests {
         let samples: Vec<Tensor> = (0..n).map(|i| test.images().row(i).unwrap()).collect();
         let report = run_distributed(deployment, &samples, NetworkConfig::paper_default()).unwrap();
         assert_eq!(report.outputs.len(), n);
-        assert_eq!(report.messages, n * 2);
+        // Wire v2 batches: one frame per device per round, not one per sample.
+        assert_eq!(report.frames, 2);
+        assert!(report.bytes_on_wire > report.payload_bytes);
+        assert_eq!(report.per_device_wire_bytes.len(), 2);
+        assert!(report.samples_per_second > 0.0);
         let predictions = report.predictions().unwrap();
         assert!(predictions.iter().all(|&p| p < test.num_classes()));
         // Sanity: the distributed path should not be wildly worse than chance.

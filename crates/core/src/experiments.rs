@@ -10,7 +10,7 @@
 
 use edvit_baselines::{BaselineKind, SplitBaselineConfig, SplitBaselineRunner};
 use edvit_datasets::{DatasetKind, SyntheticConfig, SyntheticGenerator};
-use edvit_edge::NetworkConfig;
+use edvit_edge::{wire as edge_wire, NetworkConfig};
 use edvit_parallel::ParallelPool;
 use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlanner};
 use edvit_tensor::stats;
@@ -297,6 +297,10 @@ pub fn table2() -> Result<Vec<Table2Row>> {
     Ok(rows)
 }
 
+/// Samples per batched wire frame used for the amortized column of
+/// [`comm_overhead`] (one frame per device per round of this many samples).
+pub const COMM_BATCH_SAMPLES: usize = 8;
+
 /// One row of the communication-overhead analysis of §V-D.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommRow {
@@ -304,8 +308,14 @@ pub struct CommRow {
     pub devices: usize,
     /// Feature payload per sub-model in bytes.
     pub payload_bytes: u64,
+    /// Encoded wire-v2 frame bytes for a single-sample round (payload plus
+    /// versioned header, sample index and checksum).
+    pub frame_bytes: u64,
     /// Transfer time of that payload at the paper's 2 Mbps cap, milliseconds.
     pub transfer_ms: f64,
+    /// Per-sample transfer time when [`COMM_BATCH_SAMPLES`] samples share one
+    /// batched frame, milliseconds.
+    pub batched_ms_per_sample: f64,
     /// Reduction factor versus shipping the raw 224×224×3 image.
     pub reduction_vs_raw_image: f64,
 }
@@ -323,16 +333,24 @@ pub fn comm_overhead() -> Result<Vec<CommRow>> {
     for devices in PAPER_DEVICE_COUNTS {
         let planner = SplitPlanner::new(PlannerConfig::default());
         let plan = planner.plan(&base, &DeviceSpec::raspberry_pi_cluster(devices), 1)?;
-        let payload = plan
+        let widest = plan
             .sub_models
             .iter()
+            .max_by_key(|s| analysis::feature_payload_bytes(&s.pruned));
+        let payload = widest
             .map(|s| analysis::feature_payload_bytes(&s.pruned))
-            .max()
             .unwrap_or(0);
+        let feature_dim = widest.map(|s| s.pruned.feature_dim()).unwrap_or(0);
+        let frame = edge_wire::batch_frame_len(1, feature_dim) as u64;
+        let batched_frame = edge_wire::batch_frame_len(COMM_BATCH_SAMPLES, feature_dim) as u64;
         rows.push(CommRow {
             devices,
             payload_bytes: payload,
+            frame_bytes: frame,
             transfer_ms: network.transfer_seconds(payload) * 1e3,
+            batched_ms_per_sample: network
+                .amortized_transfer_seconds(batched_frame, COMM_BATCH_SAMPLES)
+                * 1e3,
             reduction_vs_raw_image: raw / payload.max(1) as f64,
         });
     }
@@ -550,6 +568,18 @@ mod tests {
         assert_eq!(ten.payload_bytes, 512);
         assert!((ten.reduction_vs_raw_image - 294.0).abs() < 1.0);
         assert!(rows.iter().all(|r| r.transfer_ms < 10.0));
+        // The v2 frame adds a fixed 32 bytes of framing around the payload,
+        // and batching amortizes both the framing and the per-message
+        // overhead below the single-sample transfer time.
+        for row in &rows {
+            assert_eq!(row.frame_bytes, row.payload_bytes + 32);
+            assert!(
+                row.batched_ms_per_sample < row.transfer_ms,
+                "batched {} !< single {}",
+                row.batched_ms_per_sample,
+                row.transfer_ms
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use edvit_datasets::{Dataset, DatasetKind, SyntheticConfig, SyntheticGenerator};
-use edvit_edge::{LatencyModel, NetworkConfig};
+use edvit_edge::{wire as edge_wire, LatencyModel, NetworkConfig};
 use edvit_fusion::{average_softmax_fusion, FusionConfig, FusionMlp};
 use edvit_nn::{Adam, CrossEntropyLoss, Layer, Optimizer};
 use edvit_parallel::ParallelPool;
@@ -193,8 +193,15 @@ pub struct EvalMetrics {
     pub per_submodel_flops: Vec<u64>,
     /// Feature payload per sub-model in bytes (§V-D).
     pub feature_payload_bytes: Vec<u64>,
-    /// Worst-case per-sample communication time in seconds (§V-D).
+    /// Encoded wire-v2 frame bytes per sub-model for a single-sample round
+    /// (payload plus versioned header, sample index and checksum).
+    pub frame_bytes: Vec<u64>,
+    /// Worst-case per-sample communication time in seconds (§V-D), for a
+    /// single-sample wire frame.
     pub communication_seconds: f64,
+    /// Paper-scale throughput: samples fused per second at the estimated
+    /// end-to-end latency.
+    pub throughput_samples_per_second: f64,
 }
 
 /// Wall-clock timings of each pipeline stage, plus the thread count that
@@ -372,10 +379,20 @@ impl EdVitPipeline {
             .iter()
             .map(|s| analysis::feature_payload_bytes(&s.pruned))
             .collect();
-        let communication_seconds = feature_payload_bytes
+        let frame_bytes: Vec<u64> = plan
+            .sub_models
+            .iter()
+            .map(|s| edge_wire::batch_frame_len(1, s.pruned.feature_dim()) as u64)
+            .collect();
+        let communication_seconds = frame_bytes
             .iter()
             .map(|&b| cfg.network.transfer_seconds(b))
             .fold(0.0, f64::max);
+        let throughput_samples_per_second = if latency.total_seconds > 0.0 {
+            1.0 / latency.total_seconds
+        } else {
+            f64::INFINITY
+        };
         let measured_memory_mb = sub_models
             .iter()
             .map(|s| s.memory_bytes() as f64 / 1e6)
@@ -393,7 +410,9 @@ impl EdVitPipeline {
             original_latency_seconds,
             per_submodel_flops: plan.sub_models.iter().map(|s| s.cost.flops).collect(),
             feature_payload_bytes,
+            frame_bytes,
             communication_seconds,
+            throughput_samples_per_second,
         };
 
         let timings = PipelineTimings {
@@ -552,7 +571,17 @@ mod tests {
         assert!(m.latency_seconds < m.original_latency_seconds);
         assert_eq!(m.per_submodel_flops.len(), 2);
         assert_eq!(m.feature_payload_bytes.len(), 2);
+        assert_eq!(m.frame_bytes.len(), 2);
+        // Every frame carries its payload plus v2 header + sample index.
+        for (frame, payload) in m.frame_bytes.iter().zip(&m.feature_payload_bytes) {
+            assert_eq!(
+                *frame,
+                payload + (edge_wire::V2_HEADER_LEN + edge_wire::BATCH_FIXED_LEN + 4) as u64
+            );
+        }
         assert!(m.communication_seconds > 0.0 && m.communication_seconds < 0.1);
+        assert!(m.throughput_samples_per_second > 0.0);
+        assert!((m.throughput_samples_per_second - 1.0 / m.latency_seconds).abs() < 1e-9);
         assert!(m.joint_retrain_accuracy.is_none());
         assert!(deployment.metrics.measured_memory_mb > 0.0);
         assert_eq!(deployment.test_set.num_classes(), 4);

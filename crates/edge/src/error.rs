@@ -19,6 +19,14 @@ pub enum EdgeError {
         /// Human-readable description.
         message: String,
     },
+    /// A v2 wire frame's payload failed CRC-32 verification: the bytes were
+    /// corrupted between encode and decode.
+    ChecksumMismatch {
+        /// Checksum recorded in the frame header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        found: u32,
+    },
 }
 
 impl fmt::Display for EdgeError {
@@ -29,6 +37,10 @@ impl fmt::Display for EdgeError {
             }
             EdgeError::Runtime { message } => write!(f, "cluster runtime failure: {message}"),
             EdgeError::Decode { message } => write!(f, "wire decode failure: {message}"),
+            EdgeError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "wire checksum mismatch: header records {expected:#010x}, payload hashes to {found:#010x}"
+            ),
         }
     }
 }
@@ -56,5 +68,11 @@ mod tests {
         }
         .to_string()
         .contains("short"));
+        let mismatch = EdgeError::ChecksumMismatch {
+            expected: 0xDEAD_BEEF,
+            found: 0x0BAD_F00D,
+        };
+        assert!(mismatch.to_string().contains("0xdeadbeef"));
+        assert!(mismatch.to_string().contains("0x0badf00d"));
     }
 }

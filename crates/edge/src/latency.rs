@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use edvit_partition::{DeviceSpec, SplitPlan};
-use edvit_vit::analysis;
 
+use crate::wire;
 use crate::{EdgeError, NetworkConfig, Result};
 
 /// Latency contribution of one edge device.
@@ -15,9 +15,12 @@ pub struct PerDeviceLatency {
     /// Seconds spent computing all sub-models hosted on this device
     /// (sequentially, as a single Pi runs them one after another).
     pub compute_seconds: f64,
-    /// Seconds spent transmitting this device's feature payloads to the
-    /// fusion device.
+    /// Seconds spent transmitting this device's feature frames to the fusion
+    /// device, amortized per sample when frames are batched.
     pub communication_seconds: f64,
+    /// Encoded wire-v2 bytes this device ships per round (one batched frame
+    /// per hosted sub-model, headers and sample indices included).
+    pub wire_bytes: u64,
 }
 
 impl PerDeviceLatency {
@@ -50,6 +53,11 @@ impl LatencyBreakdown {
                     .expect("finite")
             })
             .map(|d| d.device_id)
+    }
+
+    /// Total encoded bytes all devices put on the wire per round.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.per_device.iter().map(|d| d.wire_bytes).sum()
     }
 
     /// Fraction of the end-to-end latency spent on communication (the paper
@@ -99,18 +107,44 @@ impl LatencyModel {
     }
 
     /// Estimates the end-to-end latency of one inference sample under `plan`
-    /// on `devices`. The fusion device is assumed to be an additional device
-    /// of the same profile as `devices[0]`, matching the paper's setup of one
-    /// dedicated fusion Pi.
+    /// on `devices`, with every sub-model shipping its feature as a
+    /// single-sample wire-v2 frame. Equivalent to
+    /// [`LatencyModel::estimate_batched`] with a round of one sample.
     ///
     /// # Errors
     ///
     /// Returns [`EdgeError::InvalidConfig`] when the plan references devices
     /// that are not in `devices` or the plan is empty.
     pub fn estimate(&self, plan: &SplitPlan, devices: &[DeviceSpec]) -> Result<LatencyBreakdown> {
+        self.estimate_batched(plan, devices, 1)
+    }
+
+    /// Estimates the per-sample latency when each sub-model batches
+    /// `samples_per_round` samples into one wire-v2 frame: compute scales
+    /// per sample while frame headers and the per-message network overhead
+    /// are amortized across the round. The fusion device is assumed to be an
+    /// additional device of the same profile as `devices[0]`, matching the
+    /// paper's setup of one dedicated fusion Pi.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidConfig`] when the plan references devices
+    /// that are not in `devices`, the plan is empty, or `samples_per_round`
+    /// is zero.
+    pub fn estimate_batched(
+        &self,
+        plan: &SplitPlan,
+        devices: &[DeviceSpec],
+        samples_per_round: usize,
+    ) -> Result<LatencyBreakdown> {
         if plan.sub_models.is_empty() || devices.is_empty() {
             return Err(EdgeError::InvalidConfig {
                 message: "empty plan or device list".to_string(),
+            });
+        }
+        if samples_per_round == 0 {
+            return Err(EdgeError::InvalidConfig {
+                message: "a round must carry at least one sample".to_string(),
             });
         }
         let mut per_device: Vec<PerDeviceLatency> = devices
@@ -119,6 +153,7 @@ impl LatencyModel {
                 device_id: d.id,
                 compute_seconds: 0.0,
                 communication_seconds: 0.0,
+                wire_bytes: 0,
             })
             .collect();
 
@@ -140,8 +175,12 @@ impl LatencyModel {
                 .find(|p| p.device_id == device_id)
                 .expect("devices enumerated above");
             slot.compute_seconds += device.execution_seconds(sub.cost.flops);
-            let payload = analysis::feature_payload_bytes(&sub.pruned);
-            slot.communication_seconds += self.network.transfer_seconds(payload);
+            let frame_bytes =
+                wire::batch_frame_len(samples_per_round, sub.pruned.feature_dim()) as u64;
+            slot.communication_seconds += self
+                .network
+                .amortized_transfer_seconds(frame_bytes, samples_per_round);
+            slot.wire_bytes += frame_bytes;
             total_feature_dim += sub.pruned.feature_dim();
         }
 
@@ -234,6 +273,30 @@ mod tests {
     }
 
     #[test]
+    fn batching_amortizes_communication_and_tracks_wire_bytes() {
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let (plan, devices) = plan_for(4);
+        let single = model.estimate(&plan, &devices).unwrap();
+        let batched = model.estimate_batched(&plan, &devices, 32).unwrap();
+        // Every device ships at least one frame's worth of header bytes.
+        assert!(single.per_device.iter().any(|d| d.wire_bytes > 0));
+        // A 32-sample frame carries more bytes but costs less per sample.
+        for (s, b) in single.per_device.iter().zip(&batched.per_device) {
+            if s.wire_bytes == 0 {
+                continue; // device hosts no sub-model
+            }
+            assert!(b.wire_bytes > s.wire_bytes);
+            assert!(b.communication_seconds < s.communication_seconds);
+            // Compute is per-sample and unaffected by the round size.
+            assert_eq!(b.compute_seconds, s.compute_seconds);
+        }
+        assert!(batched.total_wire_bytes() > single.total_wire_bytes());
+        assert!(batched.total_seconds <= single.total_seconds);
+        // A zero-sample round is a configuration error.
+        assert!(model.estimate_batched(&plan, &devices, 0).is_err());
+    }
+
+    #[test]
     fn communication_is_negligible_fraction() {
         let model = LatencyModel::new(NetworkConfig::paper_default());
         let (plan, devices) = plan_for(5);
@@ -279,6 +342,7 @@ mod tests {
             device_id: 0,
             compute_seconds: 1.0,
             communication_seconds: 0.5,
+            wire_bytes: 64,
         };
         assert_eq!(d.total_seconds(), 1.5);
         let empty = LatencyBreakdown {

@@ -38,13 +38,13 @@ mod error;
 mod latency;
 mod network;
 mod runtime;
-mod wire;
+pub mod wire;
 
 pub use error::EdgeError;
 pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency};
 pub use network::NetworkConfig;
 pub use runtime::{ClusterRuntime, FusionFn, RuntimeReport, SubModelFn};
-pub use wire::FeatureMessage;
+pub use wire::{FeatureBatchMessage, FeatureMessage, FrameKind, WireFrame};
 
 /// Convenience result alias for edge-simulation operations.
 pub type Result<T> = std::result::Result<T, EdgeError>;

@@ -41,6 +41,14 @@ impl NetworkConfig {
         }
         self.per_message_overhead_seconds + (bytes as f64 * 8.0) / self.bandwidth_bits_per_second
     }
+
+    /// Per-sample time when `samples` samples share one frame of
+    /// `frame_bytes`: the whole-frame transfer (including its single
+    /// per-message overhead) divided across the batch. With `samples == 1`
+    /// this equals [`NetworkConfig::transfer_seconds`].
+    pub fn amortized_transfer_seconds(&self, frame_bytes: u64, samples: usize) -> f64 {
+        self.transfer_seconds(frame_bytes) / samples.max(1) as f64
+    }
 }
 
 impl Default for NetworkConfig {
@@ -83,6 +91,20 @@ mod tests {
         assert!(slow.transfer_seconds(1000) > fast.transfer_seconds(1000));
         assert!(slow.transfer_seconds(2000) > slow.transfer_seconds(1000));
         assert_eq!(NetworkConfig::default(), NetworkConfig::paper_default());
+    }
+
+    #[test]
+    fn amortization_divides_frame_time_across_samples() {
+        let net = NetworkConfig::paper_default();
+        let frame = net.transfer_seconds(10_000);
+        assert_eq!(net.amortized_transfer_seconds(10_000, 1), frame);
+        assert!((net.amortized_transfer_seconds(10_000, 8) - frame / 8.0).abs() < 1e-12);
+        // A zero sample count is treated as one rather than dividing by zero.
+        assert_eq!(net.amortized_transfer_seconds(10_000, 0), frame);
+        // Batching 8 samples into one frame beats 8 separate messages: the
+        // per-message overhead is paid once.
+        let eight_singles = net.transfer_seconds(1_250) * 8.0;
+        assert!(net.amortized_transfer_seconds(10_000, 8) * 8.0 < eight_singles);
     }
 
     #[test]

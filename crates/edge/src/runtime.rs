@@ -1,11 +1,14 @@
 //! Threaded distributed-inference runtime.
 //!
 //! Each sub-model runs on its own worker thread ("edge device"), extracts a
-//! feature vector per input sample, serializes it into a [`FeatureMessage`]
-//! and ships it over a channel ("the switch") to the fusion worker, which
-//! concatenates the per-sample features in sub-model order and applies the
-//! fusion function. This mirrors the deployment in Fig. 3 of the paper while
-//! staying deterministic: the *timing* numbers come from the analytic
+//! feature vector per input sample, packs *all* of its samples into a single
+//! [`FeatureBatchMessage`] and ships that one wire-v2 frame over a channel
+//! ("the switch") to the fusion worker — one frame per device per round, so
+//! header and channel overhead are amortized across the whole batch. The
+//! fusion worker verifies and unpacks the batches, concatenates the
+//! per-sample features in sub-model order and applies the fusion function.
+//! This mirrors the deployment in Fig. 3 of the paper while staying
+//! deterministic: the *timing* numbers come from the analytic
 //! [`crate::LatencyModel`], not from wall-clock measurements.
 
 use std::collections::BTreeMap;
@@ -15,7 +18,7 @@ use std::time::Instant;
 use crossbeam::channel;
 use edvit_tensor::Tensor;
 
-use crate::{EdgeError, FeatureMessage, NetworkConfig, Result};
+use crate::{EdgeError, FeatureBatchMessage, NetworkConfig, Result, WireFrame};
 
 /// A sub-model executor: maps one input sample to a feature vector.
 ///
@@ -39,16 +42,26 @@ pub struct RuntimeReport {
     /// [`RuntimeReport::wall_clock_seconds`]: reproducible latency numbers
     /// come from the analytic model.
     pub per_device_compute_seconds: Vec<f64>,
-    /// Number of feature messages exchanged.
-    pub messages: usize,
-    /// Total bytes of feature payload transferred to the fusion device.
+    /// Number of wire frames exchanged: one batched frame per device per
+    /// round (not one per sample, as the v1 protocol shipped).
+    pub frames: usize,
+    /// Total bytes of feature values transferred to the fusion device
+    /// (`4 × dim` per sample, the quantity the paper reports).
     pub payload_bytes: u64,
-    /// Communication time those payloads would take on the configured
-    /// network (per sample, the slowest single message; summed over samples).
+    /// Total encoded bytes on the wire, including v2 frame headers, sample
+    /// indices and checksums.
+    pub bytes_on_wire: u64,
+    /// Encoded frame bytes each device shipped (indexed by sub-model).
+    pub per_device_wire_bytes: Vec<u64>,
+    /// Communication time the round would take on the configured network:
+    /// devices transmit their single batched frame concurrently, so this is
+    /// the slowest device frame.
     pub simulated_communication_seconds: f64,
     /// Wall-clock time of the threaded execution (informational only; the
     /// reproducible latency numbers come from the analytic model).
     pub wall_clock_seconds: f64,
+    /// Measured end-to-end throughput: samples fused per wall-clock second.
+    pub samples_per_second: f64,
 }
 
 impl RuntimeReport {
@@ -67,6 +80,23 @@ impl RuntimeReport {
             })
             .collect()
     }
+
+    /// Measured per-device throughput in samples per second (indexed by
+    /// sub-model): samples processed divided by that device's compute time.
+    /// Infinite for a device whose measured compute time rounds to zero.
+    pub fn per_device_samples_per_second(&self) -> Vec<f64> {
+        let samples = self.outputs.len() as f64;
+        self.per_device_compute_seconds
+            .iter()
+            .map(|&seconds| {
+                if seconds > 0.0 {
+                    samples / seconds
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect()
+    }
 }
 
 /// A simulated cluster of edge devices plus one fusion device.
@@ -82,7 +112,8 @@ impl ClusterRuntime {
     }
 
     /// Runs every input sample through every sub-model executor concurrently,
-    /// fusing the per-sample features with `fusion`.
+    /// fusing the per-sample features with `fusion`. Each device packs all of
+    /// its samples into one [`FeatureBatchMessage`] frame.
     ///
     /// `inputs` holds one tensor per sample (e.g. a `[c, h, w]` image or a
     /// `[1, c, h, w]` batch of one — the executors decide how to interpret
@@ -122,17 +153,10 @@ impl ClusterRuntime {
                 let inputs = Arc::clone(&shared_inputs);
                 scope.spawn(move |_| {
                     let device_started = Instant::now();
-                    for (sample_index, sample) in inputs.iter().enumerate() {
-                        let result = executor(sample).map(|feature| {
-                            FeatureMessage::from_tensor(sub_model_index, sample_index, &feature)
-                                .encode()
-                        });
-                        // A closed channel means the collector already failed;
-                        // stop quietly.
-                        if tx.send(result).is_err() {
-                            break;
-                        }
-                    }
+                    let result = run_device(sub_model_index, &mut executor, &inputs);
+                    // A closed channel means the collector already failed;
+                    // stop quietly.
+                    let _ = tx.send(result);
                     let _ =
                         timing_tx.send((sub_model_index, device_started.elapsed().as_secs_f64()));
                 });
@@ -150,29 +174,45 @@ impl ClusterRuntime {
             per_device_compute_seconds[device] = seconds;
         }
 
-        // Collect all messages (the scope above joins all workers first, so
-        // the channel is fully populated and closed).
-        let mut per_sample: BTreeMap<u32, BTreeMap<u32, FeatureMessage>> = BTreeMap::new();
-        let mut messages = 0usize;
+        // Collect the one batched frame each device shipped (the scope above
+        // joins all workers first, so the channel is fully populated and
+        // closed).
+        let mut per_sample: BTreeMap<u32, BTreeMap<u32, Tensor>> = BTreeMap::new();
+        let mut frames = 0usize;
         let mut payload_bytes = 0u64;
-        let mut comm_seconds = 0.0f64;
-        let mut per_sample_slowest: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut bytes_on_wire = 0u64;
+        let mut per_device_wire_bytes = vec![0u64; num_sub_models];
+        let mut slowest_frame_seconds = 0.0f64;
         for encoded in rx.iter() {
             let encoded = encoded.map_err(|message| EdgeError::Runtime { message })?;
-            let msg = FeatureMessage::decode(encoded)?;
-            messages += 1;
-            payload_bytes += msg.payload_bytes() as u64;
-            let t = self.network.transfer_seconds(msg.payload_bytes() as u64);
-            let slot = per_sample_slowest.entry(msg.sample_index).or_insert(0.0);
-            if t > *slot {
-                *slot = t;
+            let wire_bytes = encoded.len() as u64;
+            let batch = match WireFrame::decode(encoded)? {
+                WireFrame::FeatureBatch(batch) => batch,
+                WireFrame::Feature(_) => {
+                    return Err(EdgeError::Runtime {
+                        message: "device shipped a single-feature frame, expected a batch"
+                            .to_string(),
+                    })
+                }
+            };
+            frames += 1;
+            payload_bytes += batch.payload_bytes() as u64;
+            bytes_on_wire += wire_bytes;
+            if let Some(slot) = per_device_wire_bytes.get_mut(batch.sub_model as usize) {
+                *slot += wire_bytes;
             }
-            per_sample
-                .entry(msg.sample_index)
-                .or_default()
-                .insert(msg.sub_model, msg);
+            let t = self.network.transfer_seconds(wire_bytes);
+            if t > slowest_frame_seconds {
+                slowest_frame_seconds = t;
+            }
+            let sub_model = batch.sub_model;
+            for message in batch.into_messages() {
+                per_sample
+                    .entry(message.sample_index)
+                    .or_default()
+                    .insert(sub_model, message.into_tensor());
+            }
         }
-        comm_seconds += per_sample_slowest.values().sum::<f64>();
 
         // Fuse each sample's features in sub-model order.
         let mut outputs = Vec::with_capacity(inputs.len());
@@ -190,8 +230,7 @@ impl ClusterRuntime {
                     ),
                 });
             }
-            let tensors: Vec<Tensor> = features.values().map(|m| m.to_tensor()).collect();
-            let refs: Vec<&Tensor> = tensors.iter().collect();
+            let refs: Vec<&Tensor> = features.values().collect();
             let concatenated = Tensor::concat_last_axis(&refs).map_err(|e| EdgeError::Runtime {
                 message: format!("feature concatenation failed: {e}"),
             })?;
@@ -199,21 +238,50 @@ impl ClusterRuntime {
             outputs.push(fused);
         }
 
+        let wall_clock_seconds = started.elapsed().as_secs_f64();
+        let samples_per_second = if wall_clock_seconds > 0.0 {
+            outputs.len() as f64 / wall_clock_seconds
+        } else {
+            f64::INFINITY
+        };
         Ok(RuntimeReport {
             outputs,
             worker_threads: num_sub_models,
             per_device_compute_seconds,
-            messages,
+            frames,
             payload_bytes,
-            simulated_communication_seconds: comm_seconds,
-            wall_clock_seconds: started.elapsed().as_secs_f64(),
+            bytes_on_wire,
+            per_device_wire_bytes,
+            simulated_communication_seconds: slowest_frame_seconds,
+            wall_clock_seconds,
+            samples_per_second,
         })
     }
+}
+
+/// Runs one device's executor over every sample and packs the results into a
+/// single encoded batch frame.
+fn run_device(
+    sub_model_index: usize,
+    executor: &mut SubModelFn,
+    inputs: &[Tensor],
+) -> std::result::Result<bytes::Bytes, String> {
+    let mut batch: Option<FeatureBatchMessage> = None;
+    for (sample_index, sample) in inputs.iter().enumerate() {
+        let feature = executor(sample)?;
+        let slot =
+            batch.get_or_insert_with(|| FeatureBatchMessage::new(sub_model_index, feature.numel()));
+        slot.push_tensor(sample_index, &feature)
+            .map_err(|e| format!("device {sub_model_index}: {e}"))?;
+    }
+    let batch = batch.ok_or_else(|| format!("device {sub_model_index} saw no samples"))?;
+    Ok(batch.encode())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::batch_frame_len;
 
     fn constant_executor(value: f32, dim: usize) -> SubModelFn {
         Box::new(move |_input: &Tensor| Ok(Tensor::full(&[dim], value)))
@@ -228,16 +296,53 @@ mod tests {
         let report = runtime.run(&inputs, executors, fusion).unwrap();
         assert_eq!(report.outputs.len(), 2);
         assert_eq!(report.outputs[0].data(), &[1.0, 1.0, 2.0, 2.0, 2.0]);
-        assert_eq!(report.messages, 4);
+        // One batched frame per device, not one message per sample.
+        assert_eq!(report.frames, 2);
         assert_eq!(report.payload_bytes, 2 * (2 * 4 + 3 * 4));
+        assert_eq!(
+            report.bytes_on_wire,
+            (batch_frame_len(2, 2) + batch_frame_len(2, 3)) as u64
+        );
+        assert!(report.bytes_on_wire > report.payload_bytes);
+        assert_eq!(
+            report.per_device_wire_bytes,
+            vec![batch_frame_len(2, 2) as u64, batch_frame_len(2, 3) as u64]
+        );
         assert!(report.simulated_communication_seconds > 0.0);
         assert!(report.wall_clock_seconds >= 0.0);
+        assert!(report.samples_per_second > 0.0);
         assert_eq!(report.worker_threads, 2);
         assert_eq!(report.per_device_compute_seconds.len(), 2);
         assert!(report
             .per_device_compute_seconds
             .iter()
             .all(|&s| s >= 0.0 && s <= report.wall_clock_seconds));
+        assert_eq!(report.per_device_samples_per_second().len(), 2);
+        assert!(report
+            .per_device_samples_per_second()
+            .iter()
+            .all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn one_frame_transfer_beats_per_sample_messages() {
+        // The batched round must put fewer bytes on the wire than shipping
+        // one v2 single-feature frame per (device, sample) pair would.
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let samples = 16usize;
+        let dim = 32usize;
+        let inputs: Vec<Tensor> = (0..samples).map(|_| Tensor::zeros(&[1])).collect();
+        let executors = vec![constant_executor(1.0, dim)];
+        let fusion: FusionFn = Box::new(|concat: &Tensor| Ok(concat.clone()));
+        let report = runtime.run(&inputs, executors, fusion).unwrap();
+        assert_eq!(report.frames, 1);
+        let per_sample_frames =
+            samples * (crate::wire::V2_HEADER_LEN + crate::wire::V1_HEADER_LEN + dim * 4);
+        assert!(
+            report.bytes_on_wire < per_sample_frames as u64,
+            "{} !< {per_sample_frames}",
+            report.bytes_on_wire
+        );
     }
 
     #[test]
@@ -287,6 +392,25 @@ mod tests {
     }
 
     #[test]
+    fn inconsistent_feature_dims_are_rejected() {
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let mut calls = 0usize;
+        let ragged: SubModelFn = Box::new(move |_| {
+            calls += 1;
+            Ok(Tensor::zeros(&[calls]))
+        });
+        let fusion: FusionFn = Box::new(|c: &Tensor| Ok(c.clone()));
+        let err = runtime
+            .run(
+                &[Tensor::zeros(&[1]), Tensor::zeros(&[1])],
+                vec![ragged],
+                fusion,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("feature values"), "{err}");
+    }
+
+    #[test]
     fn fusion_failures_propagate() {
         let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
         let fusion: FusionFn = Box::new(|_| Err("fusion MLP not trained".to_string()));
@@ -309,7 +433,8 @@ mod tests {
             Box::new(|concat: &Tensor| Ok(Tensor::from_vec(vec![concat.sum()], &[1]).unwrap()));
         let report = runtime.run(&inputs, executors, fusion).unwrap();
         assert_eq!(report.outputs.len(), 8);
-        assert_eq!(report.messages, 80);
+        assert_eq!(report.frames, 10);
+        assert_eq!(report.payload_bytes, 10 * 8 * 8 * 4);
         // Sum of constants 0..10 each repeated 8 times = 8 * 45 = 360.
         assert_eq!(report.outputs[0].data(), &[360.0]);
     }

@@ -1,16 +1,117 @@
-//! Wire format for feature messages between edge devices and the fusion
-//! device.
+//! Wire protocol between edge devices and the fusion device.
 //!
-//! A message carries the pooled feature vector one sub-model extracted for one
-//! input sample. The encoding is a fixed little-endian layout so the payload
-//! size is exactly `4 × feature_dim` bytes plus a 12-byte header — matching
-//! the 1536-byte / 512-byte payloads discussed in §V-D of the paper.
+//! Two generations of the format coexist:
+//!
+//! * **v1** (legacy): a bare 12-byte header (`sub_model`, `sample_index`,
+//!   `len`) followed by `len` little-endian `f32`s — one message per
+//!   (sub-model, sample). No magic, no version, no checksum.
+//! * **v2** (current): every frame starts with a 16-byte header — 4-byte
+//!   magic `ED 56 49 54` ("íVIT"), version, flags, frame kind, reserved
+//!   byte, payload length and a CRC-32 of the payload — followed by a
+//!   kind-specific payload. Kind [`FrameKind::Feature`] carries one feature
+//!   vector; kind [`FrameKind::FeatureBatch`] packs *all* samples of one
+//!   sub-model into a single frame, which is what the batched
+//!   [`crate::ClusterRuntime`] ships (one frame per device per round).
+//!
+//! **Compatibility rule:** a buffer whose first four bytes equal the magic is
+//! parsed as v2 (and must satisfy the v2 header rules); anything else is
+//! parsed as v1. A v1 message would only be misclassified if its `sub_model`
+//! field were exactly `0x544956ED` (≈1.4 billion) — far outside any real
+//! device count — and even then the strict `payload_len`-vs-remaining
+//! consistency check rejects the buffer rather than silently mis-decoding it
+//! (a v1 body can never satisfy it: `4·len − 4 = len` has no solution).
+//! That length check is the load-bearing guard on this path — keep it strict.
+//!
+//! The full byte-level layouts are diagrammed in `crates/edge/README.md`.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{crc32, Buf, BufMut, Bytes, BytesMut};
 
 use edvit_tensor::Tensor;
 
 use crate::{EdgeError, Result};
+
+/// Magic prefix of every v2 frame: `0xED` + ASCII `VIT`.
+pub const WIRE_MAGIC: [u8; 4] = [0xED, b'V', b'I', b'T'];
+
+/// Current wire-format version emitted by the encoders.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Size in bytes of the v2 frame header (magic, version, flags, kind,
+/// reserved, payload length, payload CRC-32).
+pub const V2_HEADER_LEN: usize = 16;
+
+/// Size in bytes of the legacy v1 header (`sub_model`, `sample_index`,
+/// `len`).
+pub const V1_HEADER_LEN: usize = 12;
+
+/// Fixed bytes of a [`FrameKind::FeatureBatch`] payload before the per-sample
+/// data (`sub_model`, `feature_dim`, `num_samples`).
+pub const BATCH_FIXED_LEN: usize = 12;
+
+/// Flag bit: the header CRC-32 field is populated and must be verified.
+/// Every v2 encoder sets it, and the decoder rejects v2 frames without it —
+/// otherwise a bit flip in the (un-checksummed) flags byte could switch the
+/// integrity check off.
+pub const FLAG_CHECKSUM: u8 = 0b0000_0001;
+
+/// Encoded size of a v2 batch frame carrying `num_samples` features of
+/// `feature_dim` `f32`s each (header + batch body + one `u32` sample index
+/// and `4 × feature_dim` payload bytes per sample).
+pub fn batch_frame_len(num_samples: usize, feature_dim: usize) -> usize {
+    V2_HEADER_LEN + BATCH_FIXED_LEN + num_samples * (4 + feature_dim * 4)
+}
+
+/// What a v2 frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// One feature vector for one (sub-model, sample) pair.
+    Feature = 1,
+    /// Every sample's feature vector for one sub-model, in a single frame.
+    FeatureBatch = 2,
+}
+
+impl FrameKind {
+    fn from_byte(byte: u8) -> Option<FrameKind> {
+        match byte {
+            1 => Some(FrameKind::Feature),
+            2 => Some(FrameKind::FeatureBatch),
+            _ => None,
+        }
+    }
+}
+
+fn decode_err(message: impl Into<String>) -> EdgeError {
+    EdgeError::Decode {
+        message: message.into(),
+    }
+}
+
+/// Wraps a payload into a v2 frame: header (with CRC-32 of `payload`)
+/// followed by the payload bytes.
+///
+/// # Panics
+///
+/// Panics when the payload exceeds the 4 GiB the header's `u32` length field
+/// can describe — failing loudly at encode time beats emitting a frame whose
+/// length field silently wrapped.
+fn encode_v2_frame(kind: FrameKind, payload: &[u8]) -> Bytes {
+    assert!(
+        payload.len() <= u32::MAX as usize,
+        "frame payload of {} bytes exceeds the u32 length field; split the batch",
+        payload.len()
+    );
+    let mut buf = BytesMut::with_capacity(V2_HEADER_LEN + payload.len());
+    buf.put_slice(&WIRE_MAGIC);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(FLAG_CHECKSUM);
+    buf.put_u8(kind as u8);
+    buf.put_u8(0); // reserved
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
 
 /// A serialized feature vector sent from an edge device to the fusion device.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,15 +134,30 @@ impl FeatureMessage {
         }
     }
 
-    /// The feature as a tensor of shape `[dim]`.
+    /// Encodes a feature tensor directly into a v2 frame, writing straight
+    /// from the tensor's backing slice — no intermediate `FeatureMessage` or
+    /// `Vec` clone on the hot path.
+    pub fn encode_tensor(sub_model: usize, sample_index: usize, feature: &Tensor) -> Bytes {
+        encode_feature_payload(sub_model as u32, sample_index as u32, feature.data())
+    }
+
+    /// The feature as a tensor of shape `[dim]`, cloning the payload. Prefer
+    /// [`FeatureMessage::into_tensor`] when the message is no longer needed.
     pub fn to_tensor(&self) -> Tensor {
         Tensor::from_vec(self.feature.clone(), &[self.feature.len()])
             .expect("length always matches")
     }
 
-    /// Size of the encoded message in bytes (12-byte header + payload).
+    /// Converts the message into a tensor of shape `[dim]`, moving the
+    /// payload instead of cloning it.
+    pub fn into_tensor(self) -> Tensor {
+        let dim = self.feature.len();
+        Tensor::from_vec(self.feature, &[dim]).expect("length always matches")
+    }
+
+    /// Size of the encoded v2 frame in bytes (16-byte header + payload).
     pub fn encoded_len(&self) -> usize {
-        12 + self.feature.len() * 4
+        V2_HEADER_LEN + V1_HEADER_LEN + self.feature.len() * 4
     }
 
     /// Size in bytes of just the feature payload (what the paper reports).
@@ -49,51 +165,330 @@ impl FeatureMessage {
         self.feature.len() * 4
     }
 
-    /// Encodes the message into a byte buffer.
+    /// Encodes the message as a v2 [`FrameKind::Feature`] frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        encode_feature_payload(self.sub_model, self.sample_index, &self.feature)
+    }
+
+    /// Encodes the message in the legacy v1 layout (12-byte header, no magic,
+    /// no checksum), as pre-v2 senders did.
+    pub fn encode_v1(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(V1_HEADER_LEN + self.feature.len() * 4);
         buf.put_u32_le(self.sub_model);
         buf.put_u32_le(self.sample_index);
         buf.put_u32_le(self.feature.len() as u32);
-        for &v in &self.feature {
-            buf.put_f32_le(v);
-        }
+        buf.put_f32_slice_le(&self.feature);
         buf.freeze()
     }
 
-    /// Decodes a message previously produced by [`FeatureMessage::encode`].
+    /// Decodes a single-feature message, accepting both v2
+    /// [`FrameKind::Feature`] frames and legacy v1 buffers.
     ///
     /// # Errors
     ///
-    /// Returns [`EdgeError::Decode`] for truncated or inconsistent buffers.
-    pub fn decode(mut bytes: Bytes) -> Result<Self> {
-        if bytes.len() < 12 {
-            return Err(EdgeError::Decode {
-                message: format!("buffer of {} bytes is shorter than the header", bytes.len()),
-            });
+    /// Returns [`EdgeError::Decode`] for truncated or inconsistent buffers,
+    /// [`EdgeError::ChecksumMismatch`] for corrupted v2 payloads, and
+    /// [`EdgeError::Decode`] when handed a batch frame.
+    pub fn decode(bytes: Bytes) -> Result<Self> {
+        match WireFrame::decode(bytes)? {
+            WireFrame::Feature(message) => Ok(message),
+            WireFrame::FeatureBatch(batch) => Err(decode_err(format!(
+                "expected a single-feature frame, found a batch of {} samples",
+                batch.num_samples()
+            ))),
         }
-        let sub_model = bytes.get_u32_le();
-        let sample_index = bytes.get_u32_le();
-        let len = bytes.get_u32_le() as usize;
-        if bytes.remaining() != len * 4 {
-            return Err(EdgeError::Decode {
+    }
+}
+
+fn encode_feature_payload(sub_model: u32, sample_index: u32, feature: &[f32]) -> Bytes {
+    let mut payload = BytesMut::with_capacity(V1_HEADER_LEN + feature.len() * 4);
+    payload.put_u32_le(sub_model);
+    payload.put_u32_le(sample_index);
+    payload.put_u32_le(feature.len() as u32);
+    payload.put_f32_slice_le(feature);
+    encode_v2_frame(FrameKind::Feature, payload.as_ref())
+}
+
+/// All feature vectors one sub-model produced for a round of samples, packed
+/// into a single v2 frame so header and per-message channel overhead are paid
+/// once per device instead of once per sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureBatchMessage {
+    /// Index of the sub-model that produced the features.
+    pub sub_model: u32,
+    /// Dimension of every feature vector in the batch.
+    pub feature_dim: u32,
+    /// Sample index of each packed feature, in pack order.
+    pub sample_indices: Vec<u32>,
+    /// Row-major `[num_samples × feature_dim]` feature values.
+    pub features: Vec<f32>,
+}
+
+impl FeatureBatchMessage {
+    /// Creates an empty batch for `sub_model` with the given feature
+    /// dimension.
+    pub fn new(sub_model: usize, feature_dim: usize) -> Self {
+        FeatureBatchMessage {
+            sub_model: sub_model as u32,
+            feature_dim: feature_dim as u32,
+            sample_indices: Vec::new(),
+            features: Vec::new(),
+        }
+    }
+
+    /// Number of samples packed so far.
+    pub fn num_samples(&self) -> usize {
+        self.sample_indices.len()
+    }
+
+    /// Whether the batch holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.sample_indices.is_empty()
+    }
+
+    /// Appends one sample's feature values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidConfig`] when `feature` does not match the
+    /// batch's feature dimension.
+    pub fn push_feature(&mut self, sample_index: usize, feature: &[f32]) -> Result<()> {
+        if feature.len() != self.feature_dim as usize {
+            return Err(EdgeError::InvalidConfig {
                 message: format!(
-                    "expected {} payload bytes for {len} values, found {}",
-                    len * 4,
-                    bytes.remaining()
+                    "sample {sample_index} has {} feature values, batch expects {}",
+                    feature.len(),
+                    self.feature_dim
                 ),
             });
         }
-        let mut feature = Vec::with_capacity(len);
-        for _ in 0..len {
-            feature.push(bytes.get_f32_le());
-        }
-        Ok(FeatureMessage {
-            sub_model,
-            sample_index,
-            feature,
-        })
+        self.sample_indices.push(sample_index as u32);
+        self.features.extend_from_slice(feature);
+        Ok(())
     }
+
+    /// Appends one sample's feature tensor, writing straight from its backing
+    /// slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::InvalidConfig`] on a dimension mismatch.
+    pub fn push_tensor(&mut self, sample_index: usize, feature: &Tensor) -> Result<()> {
+        self.push_feature(sample_index, feature.data())
+    }
+
+    /// The `i`-th packed feature vector as a slice (pack order, not sample
+    /// order).
+    pub fn feature_row(&self, i: usize) -> &[f32] {
+        let dim = self.feature_dim as usize;
+        &self.features[i * dim..(i + 1) * dim]
+    }
+
+    /// Size in bytes of the feature values alone (`4 × dim` per sample), the
+    /// quantity the paper reports per message.
+    pub fn payload_bytes(&self) -> usize {
+        self.features.len() * 4
+    }
+
+    /// Size of the encoded v2 frame in bytes, including all headers.
+    pub fn encoded_len(&self) -> usize {
+        batch_frame_len(self.num_samples(), self.feature_dim as usize)
+    }
+
+    /// Encodes the batch as a v2 [`FrameKind::FeatureBatch`] frame.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::with_capacity(self.encoded_len() - V2_HEADER_LEN);
+        payload.put_u32_le(self.sub_model);
+        payload.put_u32_le(self.feature_dim);
+        payload.put_u32_le(self.sample_indices.len() as u32);
+        for &index in &self.sample_indices {
+            payload.put_u32_le(index);
+        }
+        payload.put_f32_slice_le(&self.features);
+        encode_v2_frame(FrameKind::FeatureBatch, payload.as_ref())
+    }
+
+    /// Splits the batch into one [`FeatureMessage`] per sample (pack order) —
+    /// the exact messages a v1 sender would have shipped individually.
+    pub fn into_messages(self) -> Vec<FeatureMessage> {
+        let dim = self.feature_dim as usize;
+        self.sample_indices
+            .iter()
+            .enumerate()
+            .map(|(i, &sample_index)| FeatureMessage {
+                sub_model: self.sub_model,
+                sample_index,
+                feature: self.features[i * dim..(i + 1) * dim].to_vec(),
+            })
+            .collect()
+    }
+}
+
+/// A decoded wire frame of either kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// A single-feature frame (v2 kind 1, or any legacy v1 buffer).
+    Feature(FeatureMessage),
+    /// A batched multi-sample frame (v2 kind 2).
+    FeatureBatch(FeatureBatchMessage),
+}
+
+impl WireFrame {
+    /// Encodes the frame as v2 bytes.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            WireFrame::Feature(message) => message.encode(),
+            WireFrame::FeatureBatch(batch) => batch.encode(),
+        }
+    }
+
+    /// Size in bytes of just the feature values carried by the frame.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            WireFrame::Feature(message) => message.payload_bytes(),
+            WireFrame::FeatureBatch(batch) => batch.payload_bytes(),
+        }
+    }
+
+    /// Decodes a frame, dispatching on the magic prefix: v2 buffers are
+    /// header- and checksum-verified, anything else falls back to the legacy
+    /// v1 layout. Never panics, whatever the input bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::Decode`] for truncated, inconsistent or
+    /// unsupported buffers and [`EdgeError::ChecksumMismatch`] when the
+    /// payload fails CRC verification.
+    pub fn decode(mut bytes: Bytes) -> Result<Self> {
+        if bytes.len() >= WIRE_MAGIC.len() && bytes.as_slice()[..4] == WIRE_MAGIC {
+            return Self::decode_v2(bytes);
+        }
+        decode_v1(&mut bytes).map(WireFrame::Feature)
+    }
+
+    fn decode_v2(mut bytes: Bytes) -> Result<Self> {
+        if bytes.len() < V2_HEADER_LEN {
+            return Err(decode_err(format!(
+                "v2 buffer of {} bytes is shorter than the {V2_HEADER_LEN}-byte header",
+                bytes.len()
+            )));
+        }
+        bytes.get_u32_le(); // discard the already-verified magic
+        let version = bytes.get_u8();
+        if version != WIRE_VERSION {
+            return Err(decode_err(format!(
+                "unsupported wire version {version} (this decoder speaks v1 and v{WIRE_VERSION})"
+            )));
+        }
+        let flags = bytes.get_u8();
+        let kind_byte = bytes.get_u8();
+        let _reserved = bytes.get_u8();
+        let payload_len = bytes.get_u32_le() as usize;
+        let expected_crc = bytes.get_u32_le();
+        if bytes.remaining() != payload_len {
+            return Err(decode_err(format!(
+                "header promises {payload_len} payload bytes, buffer holds {}",
+                bytes.remaining()
+            )));
+        }
+        // Version 2 frames always carry a checksum; a cleared flag bit is
+        // itself corruption (or a non-conforming encoder), not permission to
+        // skip the integrity check the CRC exists to provide.
+        if flags & FLAG_CHECKSUM == 0 {
+            return Err(decode_err(
+                "v2 frame lacks the mandatory checksum flag".to_string(),
+            ));
+        }
+        let found = crc32(bytes.as_slice());
+        if found != expected_crc {
+            return Err(EdgeError::ChecksumMismatch {
+                expected: expected_crc,
+                found,
+            });
+        }
+        let kind = FrameKind::from_byte(kind_byte)
+            .ok_or_else(|| decode_err(format!("unknown frame kind {kind_byte}")))?;
+        match kind {
+            FrameKind::Feature => decode_v1(&mut bytes).map(WireFrame::Feature),
+            FrameKind::FeatureBatch => {
+                decode_batch_payload(&mut bytes).map(WireFrame::FeatureBatch)
+            }
+        }
+    }
+}
+
+/// Parses a v1 message body (also the payload of a v2 `Feature` frame).
+fn decode_v1(bytes: &mut Bytes) -> Result<FeatureMessage> {
+    let total = bytes.len();
+    let (Some(sub_model), Some(sample_index), Some(len)) = (
+        bytes.try_get_u32_le(),
+        bytes.try_get_u32_le(),
+        bytes.try_get_u32_le(),
+    ) else {
+        return Err(decode_err(format!(
+            "buffer of {total} bytes is shorter than the {V1_HEADER_LEN}-byte header"
+        )));
+    };
+    // Checked u64 math so a hostile `len` cannot wrap the byte count on
+    // 32-bit targets and sneak past the consistency check.
+    let len = len as usize;
+    let expected = len as u64 * 4;
+    if bytes.remaining() as u64 != expected {
+        return Err(decode_err(format!(
+            "expected {expected} payload bytes for {len} values, found {}",
+            bytes.remaining()
+        )));
+    }
+    let mut feature = Vec::with_capacity(len);
+    for _ in 0..len {
+        feature.push(bytes.get_f32_le());
+    }
+    Ok(FeatureMessage {
+        sub_model,
+        sample_index,
+        feature,
+    })
+}
+
+/// Parses a v2 `FeatureBatch` payload.
+fn decode_batch_payload(bytes: &mut Bytes) -> Result<FeatureBatchMessage> {
+    let total = bytes.len();
+    let (Some(sub_model), Some(feature_dim), Some(num_samples)) = (
+        bytes.try_get_u32_le(),
+        bytes.try_get_u32_le(),
+        bytes.try_get_u32_le(),
+    ) else {
+        return Err(decode_err(format!(
+            "batch payload of {total} bytes is shorter than its {BATCH_FIXED_LEN}-byte prefix"
+        )));
+    };
+    let n = num_samples as usize;
+    let dim = feature_dim as usize;
+    let value_bytes = (n as u64)
+        .checked_mul(dim as u64)
+        .and_then(|values| values.checked_mul(4))
+        .ok_or_else(|| decode_err("batch dimensions overflow".to_string()))?;
+    let expected = (n as u64) * 4 + value_bytes;
+    if bytes.remaining() as u64 != expected {
+        return Err(decode_err(format!(
+            "batch of {n} samples × {dim} values needs {expected} payload bytes, found {}",
+            bytes.remaining()
+        )));
+    }
+    let mut sample_indices = Vec::with_capacity(n);
+    for _ in 0..n {
+        sample_indices.push(bytes.get_u32_le());
+    }
+    let mut features = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        features.push(bytes.get_f32_le());
+    }
+    Ok(FeatureBatchMessage {
+        sub_model,
+        feature_dim,
+        sample_indices,
+        features,
+    })
 }
 
 #[cfg(test)]
@@ -101,14 +496,51 @@ mod tests {
     use super::*;
 
     #[test]
-    fn round_trip() {
+    fn round_trip_v2() {
         let t = Tensor::from_vec(vec![1.0, -2.5, 3.25], &[3]).unwrap();
         let msg = FeatureMessage::from_tensor(2, 17, &t);
-        let decoded = FeatureMessage::decode(msg.encode()).unwrap();
+        let encoded = msg.encode();
+        assert_eq!(&encoded.as_slice()[..4], &WIRE_MAGIC);
+        assert_eq!(encoded.len(), msg.encoded_len());
+        let decoded = FeatureMessage::decode(encoded).unwrap();
         assert_eq!(decoded, msg);
         assert_eq!(decoded.to_tensor().data(), t.data());
-        assert_eq!(msg.encoded_len(), 12 + 12);
+        assert_eq!(msg.encoded_len(), V2_HEADER_LEN + 12 + 12);
         assert_eq!(msg.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn encode_tensor_matches_from_tensor_encode() {
+        let t = Tensor::from_vec(vec![0.5, -1.5], &[2]).unwrap();
+        let direct = FeatureMessage::encode_tensor(3, 9, &t);
+        let via_message = FeatureMessage::from_tensor(3, 9, &t).encode();
+        assert_eq!(direct, via_message);
+    }
+
+    #[test]
+    fn into_tensor_moves_payload() {
+        let msg = FeatureMessage {
+            sub_model: 0,
+            sample_index: 0,
+            feature: vec![4.0, 5.0],
+        };
+        assert_eq!(msg.into_tensor().data(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn v1_buffers_decode_through_the_v2_decoder() {
+        let msg = FeatureMessage {
+            sub_model: 7,
+            sample_index: 42,
+            feature: vec![1.0, f32::MIN, f32::MAX],
+        };
+        let v1 = msg.encode_v1();
+        assert_eq!(v1.len(), V1_HEADER_LEN + 12);
+        assert_eq!(FeatureMessage::decode(v1.clone()).unwrap(), msg);
+        assert!(matches!(
+            WireFrame::decode(v1).unwrap(),
+            WireFrame::Feature(m) if m == msg
+        ));
     }
 
     #[test]
@@ -125,17 +557,106 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(FeatureMessage::decode(Bytes::from_static(&[1, 2, 3])).is_err());
-        // Header claims 5 values but payload holds only 1.
+        // v1 header claims 5 values but payload holds only 1.
         let mut buf = BytesMut::new();
         buf.put_u32_le(0);
         buf.put_u32_le(0);
         buf.put_u32_le(5);
         buf.put_f32_le(1.0);
         assert!(FeatureMessage::decode(buf.freeze()).is_err());
+        // Magic prefix but nothing else.
+        assert!(WireFrame::decode(Bytes::copy_from_slice(&WIRE_MAGIC)).is_err());
     }
 
     #[test]
-    fn empty_feature_is_legal() {
+    fn corrupted_v2_payload_is_rejected_by_checksum() {
+        let msg = FeatureMessage {
+            sub_model: 1,
+            sample_index: 2,
+            feature: vec![1.0, 2.0, 3.0],
+        };
+        let encoded = msg.encode();
+        let mut bytes = encoded.as_slice().to_vec();
+        // Flip one bit inside the payload region (past the 16-byte header).
+        bytes[V2_HEADER_LEN + 14] ^= 0x10;
+        let err = FeatureMessage::decode(Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, EdgeError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn cleared_checksum_flag_is_rejected_not_trusted() {
+        let good = FeatureMessage {
+            sub_model: 0,
+            sample_index: 0,
+            feature: vec![1.0],
+        }
+        .encode();
+        let mut no_flag = good.as_slice().to_vec();
+        no_flag[5] &= !FLAG_CHECKSUM;
+        let err = WireFrame::decode(Bytes::from(no_flag)).unwrap_err();
+        assert!(err.to_string().contains("checksum flag"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_and_kind_are_rejected() {
+        let good = FeatureMessage {
+            sub_model: 0,
+            sample_index: 0,
+            feature: vec![1.0],
+        }
+        .encode();
+        let mut wrong_version = good.as_slice().to_vec();
+        wrong_version[4] = 3;
+        let err = WireFrame::decode(Bytes::from(wrong_version)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        let mut wrong_kind = good.as_slice().to_vec();
+        wrong_kind[6] = 9;
+        let err = WireFrame::decode(Bytes::from(wrong_kind)).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn batch_round_trips_and_matches_singles() {
+        let mut batch = FeatureBatchMessage::new(3, 2);
+        batch.push_feature(0, &[1.0, 2.0]).unwrap();
+        batch
+            .push_tensor(1, &Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap())
+            .unwrap();
+        assert_eq!(batch.num_samples(), 2);
+        assert_eq!(batch.payload_bytes(), 16);
+        assert_eq!(batch.feature_row(1), &[3.0, 4.0]);
+        let encoded = batch.encode();
+        assert_eq!(encoded.len(), batch.encoded_len());
+        assert_eq!(encoded.len(), batch_frame_len(2, 2));
+        let decoded = match WireFrame::decode(encoded).unwrap() {
+            WireFrame::FeatureBatch(b) => b,
+            other => panic!("expected a batch frame, got {other:?}"),
+        };
+        assert_eq!(decoded, batch);
+        let singles = decoded.into_messages();
+        assert_eq!(singles.len(), 2);
+        assert_eq!(singles[0].sub_model, 3);
+        assert_eq!(singles[1].sample_index, 1);
+        assert_eq!(singles[1].feature, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn batch_rejects_mismatched_dimension() {
+        let mut batch = FeatureBatchMessage::new(0, 3);
+        assert!(batch.push_feature(0, &[1.0]).is_err());
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn single_feature_frame_is_rejected_where_a_batch_is_required() {
+        let mut batch = FeatureBatchMessage::new(0, 1);
+        batch.push_feature(5, &[9.0]).unwrap();
+        let err = FeatureMessage::decode(batch.encode()).unwrap_err();
+        assert!(err.to_string().contains("batch"), "{err}");
+    }
+
+    #[test]
+    fn empty_feature_and_empty_batch_are_legal() {
         let msg = FeatureMessage {
             sub_model: 0,
             sample_index: 0,
@@ -143,5 +664,29 @@ mod tests {
         };
         let decoded = FeatureMessage::decode(msg.encode()).unwrap();
         assert!(decoded.feature.is_empty());
+        let batch = FeatureBatchMessage::new(0, 4);
+        let decoded = match WireFrame::decode(batch.encode()).unwrap() {
+            WireFrame::FeatureBatch(b) => b,
+            other => panic!("expected a batch frame, got {other:?}"),
+        };
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.feature_dim, 4);
+    }
+
+    #[test]
+    fn truncated_batch_payload_is_rejected() {
+        let mut batch = FeatureBatchMessage::new(1, 2);
+        batch.push_feature(0, &[1.0, 2.0]).unwrap();
+        let encoded = batch.encode();
+        // Chop the last 4 bytes off the payload and fix up the header length
+        // so only the sample-count consistency check can catch it.
+        let mut bytes = encoded.as_slice().to_vec();
+        bytes.truncate(bytes.len() - 4);
+        let new_payload_len = (bytes.len() - V2_HEADER_LEN) as u32;
+        bytes[8..12].copy_from_slice(&new_payload_len.to_le_bytes());
+        let fixed_crc = crc32(&bytes[V2_HEADER_LEN..]).to_le_bytes();
+        bytes[12..16].copy_from_slice(&fixed_crc);
+        let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
+        assert!(err.to_string().contains("payload bytes"), "{err}");
     }
 }

@@ -33,13 +33,18 @@ fn main() -> Result<(), edvit::EdVitError> {
     let n = test.len().min(4);
     let samples: Vec<_> = (0..n).map(|i| test.images().row(i).unwrap()).collect();
     let report = run_distributed(deployment, &samples, NetworkConfig::paper_default())?;
-    println!("\nDistributed inference over the simulated switch:");
+    println!("\nDistributed inference over the simulated switch (wire v2):");
     println!("  samples processed   : {}", report.outputs.len());
-    println!("  feature messages    : {}", report.messages);
-    println!("  payload transferred : {} bytes", report.payload_bytes);
+    println!("  batched frames      : {} (one per device)", report.frames);
+    println!("  feature payload     : {} bytes", report.payload_bytes);
+    println!("  bytes on wire       : {} bytes", report.bytes_on_wire);
     println!(
-        "  simulated comm time : {:.2} ms",
+        "  simulated comm time : {:.2} ms (slowest device frame)",
         report.simulated_communication_seconds * 1e3
+    );
+    println!(
+        "  measured throughput : {:.1} samples/s",
+        report.samples_per_second
     );
     println!("  predictions         : {:?}", report.predictions()?);
     Ok(())

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run -p edvit --example quickstart --release`
 
+use edvit::distributed::run_distributed;
+use edvit::edge::NetworkConfig;
 use edvit::pipeline::{EdVitConfig, EdVitPipeline};
 
 fn main() -> Result<(), edvit::EdVitError> {
@@ -53,6 +55,10 @@ fn main() -> Result<(), edvit::EdVitError> {
         "  worst-case communication    : {:.2} ms",
         m.communication_seconds * 1e3
     );
+    println!(
+        "  paper-scale throughput      : {:.2} samples/s",
+        m.throughput_samples_per_second
+    );
 
     let t = &deployment.timings;
     println!("\n== Measured wall time ({} threads) ==", t.threads);
@@ -60,5 +66,39 @@ fn main() -> Result<(), edvit::EdVitError> {
         println!("  {stage:<14}: {:.1} ms", seconds * 1e3);
     }
     println!("  {:<14}: {:.1} ms", "total", t.total_seconds * 1e3);
+
+    // Run a round of test samples through the threaded cluster runtime: each
+    // device packs all of its features into one batched wire-v2 frame.
+    let test = deployment.test_set.clone();
+    let n = test.len().min(8);
+    let samples: Vec<_> = (0..n)
+        .map(|i| test.images().row(i))
+        .collect::<Result<_, _>>()
+        .map_err(edvit::EdVitError::from)?;
+    let report = run_distributed(deployment, &samples, NetworkConfig::paper_default())?;
+
+    println!("\n== Distributed round ({n} samples, wire v2) ==");
+    println!(
+        "  {:<8} {:>12} {:>12} {:>14}",
+        "device", "compute ms", "wire bytes", "samples/s"
+    );
+    let throughputs = report.per_device_samples_per_second();
+    for (device, (seconds, wire_bytes)) in report
+        .per_device_compute_seconds
+        .iter()
+        .zip(&report.per_device_wire_bytes)
+        .enumerate()
+    {
+        println!(
+            "  {device:<8} {:>12.1} {:>12} {:>14.1}",
+            seconds * 1e3,
+            wire_bytes,
+            throughputs[device]
+        );
+    }
+    println!(
+        "  total: {} frames, {} bytes on wire ({} payload), {:.1} samples/s end to end",
+        report.frames, report.bytes_on_wire, report.payload_bytes, report.samples_per_second
+    );
     Ok(())
 }

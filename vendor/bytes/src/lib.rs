@@ -99,6 +99,40 @@ impl From<Vec<u8>> for Bytes {
     }
 }
 
+/// Lookup table for the IEEE CRC-32 polynomial (reflected 0xEDB88320), built
+/// at compile time so the checksum path costs one table index per byte.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial) of `data`.
+///
+/// Used by wire-frame encoders to checksum payloads; any single-bit flip in
+/// the checked region is guaranteed to change the result.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &byte in data {
+        c = CRC32_TABLE[((c ^ u32::from(byte)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 /// A growable byte buffer for building messages.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BytesMut {
@@ -174,6 +208,17 @@ pub trait Buf {
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_u64_le())
     }
+
+    /// Reads a little-endian `u32`, or `None` on underflow instead of
+    /// panicking. Decoders of untrusted buffers read their header fields
+    /// through this so truncated input surfaces as an error value. (The stub
+    /// stays minimal: grow the `try_` family only as decoders need it.)
+    fn try_get_u32_le(&mut self) -> Option<u32> {
+        if self.remaining() < 4 {
+            return None;
+        }
+        Some(self.get_u32_le())
+    }
 }
 
 impl Buf for Bytes {
@@ -229,6 +274,14 @@ pub trait BufMut {
     fn put_f64_le(&mut self, v: f64) {
         self.put_slice(&v.to_le_bytes());
     }
+
+    /// Appends every value of `values` as a little-endian `f32`, so encoders
+    /// can serialize a tensor's backing slice without an intermediate `Vec`.
+    fn put_f32_slice_le(&mut self, values: &[f32]) {
+        for &v in values {
+            self.put_f32_le(v);
+        }
+    }
 }
 
 impl BufMut for BytesMut {
@@ -260,6 +313,36 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn underflow_panics() {
         Bytes::from_static(&[1, 2]).get_u32_le();
+    }
+
+    #[test]
+    fn try_reads_return_none_instead_of_panicking() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.try_get_u32_le(), Some(u32::from_le_bytes([1, 2, 3, 4])));
+        assert_eq!(b.try_get_u32_le(), None);
+        assert_eq!(b.remaining(), 1, "failed try read must not consume");
+    }
+
+    #[test]
+    fn f32_slice_writer_matches_scalar_writes() {
+        let values = [1.5f32, -0.25, f32::NAN, 0.0];
+        let mut bulk = BytesMut::new();
+        bulk.put_f32_slice_le(&values);
+        let mut scalar = BytesMut::new();
+        for &v in &values {
+            scalar.put_f32_le(v);
+        }
+        assert_eq!(bulk.as_ref(), scalar.as_ref());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Any single-bit flip changes the checksum.
+        let base = crc32(b"hello world");
+        assert_ne!(base, crc32(b"hello worle"));
     }
 
     #[test]

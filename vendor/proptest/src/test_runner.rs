@@ -5,22 +5,39 @@ use rand_chacha::ChaCha8Rng;
 
 /// How many cases each property test runs (matches proptest's default of 256
 /// unless overridden with `#![proptest_config(ProptestConfig::with_cases(n))]`).
+///
+/// Like the real crate, the `PROPTEST_CASES` environment variable feeds into
+/// the case count — here it acts as a *floor* that raises both the default
+/// and explicit `with_cases` configurations, so CI can crank adversarial
+/// coverage (e.g. `PROPTEST_CASES=512`) without lowering suites that
+/// deliberately ask for more.
 #[derive(Clone, Copy, Debug)]
 pub struct ProptestConfig {
     /// Number of generated cases per test.
     pub cases: u32,
 }
 
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
+fn cases_with_floor(cases: u32, floor: Option<u32>) -> u32 {
+    floor.map_or(cases, |env| env.max(cases))
+}
+
 impl ProptestConfig {
-    /// A configuration running `cases` cases per test.
+    /// A configuration running `cases` cases per test (raised to
+    /// `PROPTEST_CASES` when that is set and larger).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: cases_with_floor(cases, env_cases()),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig::with_cases(256)
     }
 }
 
@@ -47,5 +64,18 @@ impl TestRng {
     /// Mutable access to the underlying generator for strategy sampling.
     pub fn rng_mut(&mut self) -> &mut ChaCha8Rng {
         &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_floor_raises_but_never_lowers() {
+        assert_eq!(cases_with_floor(32, None), 32);
+        assert_eq!(cases_with_floor(32, Some(512)), 512);
+        assert_eq!(cases_with_floor(1024, Some(512)), 1024);
+        assert_eq!(cases_with_floor(256, Some(256)), 256);
     }
 }
