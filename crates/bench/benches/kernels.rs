@@ -7,7 +7,10 @@ use edvit_tensor::{init::TensorRng, stats, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
-    for &size in &[32usize, 64, 128, 256, 512] {
+    // 1024 is where the row-split parallel path dominates (2^30 MACs, far
+    // past the 2^20 threshold): on a multi-core runner it shows the pool's
+    // scaling, on a 1-core runner the blocked kernel's single-thread ceiling.
+    for &size in &[32usize, 64, 128, 256, 512, 1024] {
         let a = TensorRng::new(0).rand_uniform(&[size, size], -1.0, 1.0);
         let b = TensorRng::new(1).rand_uniform(&[size, size], -1.0, 1.0);
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
@@ -88,6 +91,13 @@ fn bench_layernorm(c: &mut Criterion) {
     });
 }
 
+fn bench_gelu(c: &mut Criterion) {
+    // The ViT-Base MLP activation shape: 196 tokens × 3072 hidden units —
+    // large enough to cross the row-op parallel threshold.
+    let x = TensorRng::new(7).randn(&[196, 3072], 0.0, 1.0);
+    c.bench_function("gelu_196x3072", |b| b.iter(|| x.gelu()));
+}
+
 criterion_group!(
     kernels,
     bench_matmul,
@@ -95,6 +105,7 @@ criterion_group!(
     bench_batch_matmul,
     bench_attention_forward,
     bench_softmax_and_kl,
-    bench_layernorm
+    bench_layernorm,
+    bench_gelu
 );
 criterion_main!(kernels);

@@ -1,0 +1,94 @@
+//! Streaming-scheduler throughput report: barrier vs pipelined steady-state
+//! samples/s on the simulated clock, plus the recovery accounting when one
+//! device is killed mid-stream and the survivors take over.
+//!
+//! Run with: `cargo run --release -p edvit-bench --bin streaming_throughput`
+//! (pass `--full` for the experiment-scale configuration).
+
+use edvit::experiments::{streaming_comparison, ExperimentOptions};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let options = if full {
+        ExperimentOptions::full()
+    } else {
+        ExperimentOptions::fast()
+    };
+    let rows = streaming_comparison(&options).expect("streaming scenario failed");
+
+    println!("Streaming scheduler — barrier vs pipelined vs failover (4 devices)");
+    println!(
+        "{:<26} {:>8} {:>12} {:>12} {:>6} {:>8} {:>12} {:>10}",
+        "scenario",
+        "samples",
+        "steady s/s",
+        "total (s)",
+        "lost",
+        "replans",
+        "recovery (s)",
+        "replayed"
+    );
+    for row in &rows {
+        println!(
+            "{:<26} {:>8} {:>12.3} {:>12.2} {:>6} {:>8} {:>12.2} {:>10}",
+            row.scenario,
+            row.samples,
+            row.steady_state_samples_per_second,
+            row.simulated_total_seconds,
+            row.devices_lost,
+            row.repartitions,
+            row.recovery_seconds,
+            row.samples_replayed
+        );
+    }
+
+    let barrier = &rows[0];
+    let pipelined = &rows[1];
+    println!(
+        "\nPipelining gain: {:.2}x steady-state throughput over the barrier runtime \
+         (simulated clock; every sample fused exactly once in all scenarios).",
+        pipelined.steady_state_samples_per_second / barrier.steady_state_samples_per_second
+    );
+    println!(
+        "ED-ViT is compute-dominated (the fusion MLP is tiny next to a sub-model \
+         forward), so the executed gain above is small; the pipeline pays off as \
+         the fusion stage grows:"
+    );
+
+    // Analytic sweep: same plan, fusion stage priced from negligible up to a
+    // full sub-model forward. No training needed — the stream timing model
+    // alone decides the intervals.
+    let devices = edvit::partition::DeviceSpec::raspberry_pi_cluster(4);
+    let plan = edvit::partition::SplitPlanner::new(edvit::partition::PlannerConfig::default())
+        .plan(&edvit::vit::ViTConfig::vit_base(10), &devices, 11)
+        .expect("planner failed");
+    let max_flops = plan.max_sub_model_flops();
+    println!(
+        "\n{:<28} {:>14} {:>14} {:>8}",
+        "fusion stage (analytic)", "barrier s/s", "pipelined s/s", "gain"
+    );
+    for (label, fusion_flops) in [
+        ("default fusion MLP", 0u64),
+        ("25% of a sub-model", max_flops / 4),
+        ("100% of a sub-model", max_flops),
+    ] {
+        let mut model = edvit::edge::LatencyModel::new(edvit::edge::NetworkConfig::paper_default());
+        if fusion_flops > 0 {
+            model = model.with_fusion_flops(fusion_flops);
+        }
+        let barrier_t = model
+            .estimate_stream(&plan, &devices, 4, false)
+            .expect("stream timing failed");
+        let pipelined_t = model
+            .estimate_stream(&plan, &devices, 4, true)
+            .expect("stream timing failed");
+        println!(
+            "{:<28} {:>14.3} {:>14.3} {:>7.2}x",
+            label,
+            barrier_t.steady_state_samples_per_second(),
+            pipelined_t.steady_state_samples_per_second(),
+            pipelined_t.steady_state_samples_per_second()
+                / barrier_t.steady_state_samples_per_second()
+        );
+    }
+}

@@ -5,6 +5,7 @@ use edvit_edge::EdgeError;
 use edvit_nn::NnError;
 use edvit_partition::PartitionError;
 use edvit_pruning::PruningError;
+use edvit_sched::SchedError;
 use edvit_tensor::TensorError;
 use edvit_vit::ViTError;
 
@@ -25,6 +26,8 @@ pub enum EdVitError {
     Partition(PartitionError),
     /// Edge-simulation failure.
     Edge(EdgeError),
+    /// Streaming-scheduler failure (pipelined rounds, failover).
+    Sched(SchedError),
     /// Pipeline-level configuration problem.
     InvalidConfig {
         /// Human-readable description.
@@ -42,6 +45,7 @@ impl fmt::Display for EdVitError {
             EdVitError::Pruning(e) => write!(f, "pruning error: {e}"),
             EdVitError::Partition(e) => write!(f, "partitioning error: {e}"),
             EdVitError::Edge(e) => write!(f, "edge simulation error: {e}"),
+            EdVitError::Sched(e) => write!(f, "streaming scheduler error: {e}"),
             EdVitError::InvalidConfig { message } => {
                 write!(f, "invalid pipeline configuration: {message}")
             }
@@ -59,6 +63,7 @@ impl std::error::Error for EdVitError {
             EdVitError::Pruning(e) => Some(e),
             EdVitError::Partition(e) => Some(e),
             EdVitError::Edge(e) => Some(e),
+            EdVitError::Sched(e) => Some(e),
             EdVitError::InvalidConfig { .. } => None,
         }
     }
@@ -81,6 +86,7 @@ impl_from!(DatasetError, Dataset);
 impl_from!(PruningError, Pruning);
 impl_from!(PartitionError, Partition);
 impl_from!(EdgeError, Edge);
+impl_from!(SchedError, Sched);
 
 #[cfg(test)]
 mod tests {
@@ -111,6 +117,8 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("t"));
+        let e: EdVitError = SchedError::AllDevicesLost { lost: vec![3] }.into();
+        assert!(e.to_string().contains("[3]"));
         let e = EdVitError::InvalidConfig {
             message: "cfg".into(),
         };

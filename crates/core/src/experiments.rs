@@ -17,7 +17,7 @@ use edvit_tensor::stats;
 use edvit_vit::{analysis, training::TrainConfig, ViTConfig, ViTVariant};
 
 use crate::pipeline::{EdVitConfig, EdVitPipeline};
-use crate::Result;
+use crate::{EdVitError, Result};
 
 /// Device counts used throughout the paper's figures.
 pub const PAPER_DEVICE_COUNTS: [usize; 5] = [1, 2, 3, 5, 10];
@@ -524,6 +524,109 @@ pub fn table4(device_counts: &[usize], options: &ExperimentOptions) -> Result<Ve
     Ok(rows)
 }
 
+// ---------------------------------------------------------------------------
+// Streaming / failure-injection scenario (beyond the paper: the ROADMAP's
+// long-running serving runtime)
+// ---------------------------------------------------------------------------
+
+/// One streaming scenario's outcome: barrier vs pipelined throughput, and —
+/// when a death is injected — the failover accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRow {
+    /// Scenario name ("barrier", "pipelined", "pipelined + device death").
+    pub scenario: String,
+    /// Devices at the start of the stream.
+    pub devices: usize,
+    /// Samples per round.
+    pub round_size: usize,
+    /// Samples streamed (each fused exactly once).
+    pub samples: usize,
+    /// Steady-state throughput on the simulated clock.
+    pub steady_state_samples_per_second: f64,
+    /// Virtual end-to-end seconds of the whole stream.
+    pub simulated_total_seconds: f64,
+    /// Devices lost mid-stream.
+    pub devices_lost: usize,
+    /// Repartitions performed.
+    pub repartitions: usize,
+    /// Virtual seconds from death to recovered service (0 when healthy).
+    pub recovery_seconds: f64,
+    /// Samples recomputed because they were in flight at a death.
+    pub samples_replayed: usize,
+}
+
+/// Runs the streaming scenario on a 4-device cluster: a barrier stream, a
+/// pipelined stream, and a pipelined stream in which one device is killed
+/// mid-stream and the survivors take over. Each stream fuses every sample
+/// exactly once; the pipelined steady-state throughput exceeds the barrier
+/// throughput by construction of the two-stage pipeline.
+///
+/// # Errors
+///
+/// Propagates pipeline/scheduler failures.
+pub fn streaming_comparison(options: &ExperimentOptions) -> Result<Vec<StreamRow>> {
+    use crate::streaming::run_streaming;
+    use edvit_sched::{ScheduleMode, StreamConfig};
+
+    let devices = 4usize;
+    let (samples_wanted, round_size) = if options.fast { (8, 2) } else { (32, 4) };
+    let mut rows = Vec::new();
+    let scenarios: [(&str, ScheduleMode, bool); 3] = [
+        ("barrier", ScheduleMode::Barrier, false),
+        ("pipelined", ScheduleMode::Pipelined, false),
+        ("pipelined + device death", ScheduleMode::Pipelined, true),
+    ];
+    // Train once; each scenario streams through a clone of the deployment
+    // (a run moves the sub-models onto its device threads).
+    let config = pipeline_config(
+        DatasetKind::Cifar10Like,
+        ViTVariant::Base,
+        devices,
+        options,
+        11,
+    );
+    let device_specs = config.devices.clone();
+    let trained = EdVitPipeline::new(config).run()?;
+    let test = trained.test_set.clone();
+    let n = test.len().min(samples_wanted);
+    let inputs: Vec<_> = (0..n)
+        .map(|i| test.images().row(i))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(EdVitError::from)?;
+    for (name, mode, inject_death) in scenarios {
+        let deployment = trained.clone();
+        let mut stream_config = StreamConfig {
+            round_size,
+            mode,
+            ..StreamConfig::default()
+        };
+        if inject_death {
+            // Kill the device hosting sub-model 0 just after the stream warms
+            // up, so the failover path (detection → re-plan → replay) runs.
+            let victim = deployment
+                .plan
+                .assignment
+                .device_for(0)
+                .expect("sub-model 0 must have an assigned device to kill");
+            stream_config = stream_config.with_failure(victim, 1);
+        }
+        let report = run_streaming(deployment, &inputs, device_specs.clone(), stream_config)?;
+        rows.push(StreamRow {
+            scenario: name.to_string(),
+            devices,
+            round_size,
+            samples: report.outputs.len(),
+            steady_state_samples_per_second: report.steady_state_samples_per_second,
+            simulated_total_seconds: report.simulated_total_seconds,
+            devices_lost: report.devices_lost.len(),
+            repartitions: report.repartitions,
+            recovery_seconds: report.recovery_seconds,
+            samples_replayed: report.samples_replayed,
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +704,26 @@ mod tests {
             .iter()
             .all(|p| p.original_latency_seconds > p.latency_seconds));
         assert!(points.iter().all(|p| p.accuracy_mean >= 0.0));
+    }
+
+    #[test]
+    fn streaming_comparison_pipelines_and_fails_over() {
+        let rows = streaming_comparison(&ExperimentOptions::fast()).unwrap();
+        assert_eq!(rows.len(), 3);
+        let barrier = &rows[0];
+        let pipelined = &rows[1];
+        let chaos = &rows[2];
+        assert_eq!(barrier.scenario, "barrier");
+        assert!(
+            pipelined.steady_state_samples_per_second > barrier.steady_state_samples_per_second
+        );
+        assert!(pipelined.simulated_total_seconds < barrier.simulated_total_seconds);
+        assert_eq!(pipelined.devices_lost, 0);
+        assert_eq!(chaos.devices_lost, 1);
+        assert_eq!(chaos.repartitions, 1);
+        assert!(chaos.recovery_seconds > 0.0);
+        // Every scenario fused the full stream exactly once.
+        assert!(rows.iter().all(|r| r.samples == barrier.samples));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`pruning`](edvit_pruning) | three-stage class-wise structured pruning |
 //! | [`partition`](edvit_partition) | class assignment, greedy device assignment, planner |
 //! | [`edge`](edvit_edge) | Raspberry-Pi cluster / network / latency simulation |
+//! | [`sched`](edvit_sched) | streaming scheduler: pipelined rounds, failover |
 //! | [`fusion`](edvit_fusion) | tower-MLP feature fusion |
 //! | [`baselines`](edvit_baselines) | Split-CNN and Split-SNN comparators |
 //!
@@ -44,6 +45,7 @@ pub mod distributed;
 mod error;
 pub mod experiments;
 pub mod pipeline;
+pub mod streaming;
 
 pub use error::EdVitError;
 
@@ -54,6 +56,7 @@ pub use edvit_fusion as fusion;
 pub use edvit_nn as nn;
 pub use edvit_partition as partition;
 pub use edvit_pruning as pruning;
+pub use edvit_sched as sched;
 pub use edvit_tensor as tensor;
 pub use edvit_vit as vit;
 

@@ -229,7 +229,7 @@ impl PipelineTimings {
 
 /// A complete ED-ViT deployment: the plan, the actual sub-models, the trained
 /// fusion MLP and the evaluation metrics.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EdVitDeployment {
     /// The split/prune/assign plan at paper scale.
     pub plan: SplitPlan,

@@ -27,6 +27,15 @@ pub enum EdgeError {
         /// Checksum computed over the received payload.
         found: u32,
     },
+    /// A structurally intact frame violated the protocol contract: a missing
+    /// mandatory checksum flag, an unknown control kind, a non-finite
+    /// advertised capacity. Distinct from [`EdgeError::Decode`] (truncated or
+    /// inconsistent bytes): this frame came from a non-conforming peer, not a
+    /// noisy wire.
+    Protocol {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl fmt::Display for EdgeError {
@@ -41,6 +50,7 @@ impl fmt::Display for EdgeError {
                 f,
                 "wire checksum mismatch: header records {expected:#010x}, payload hashes to {found:#010x}"
             ),
+            EdgeError::Protocol { message } => write!(f, "wire protocol violation: {message}"),
         }
     }
 }
@@ -74,5 +84,10 @@ mod tests {
         };
         assert!(mismatch.to_string().contains("0xdeadbeef"));
         assert!(mismatch.to_string().contains("0x0badf00d"));
+        assert!(EdgeError::Protocol {
+            message: "unknown control kind".into()
+        }
+        .to_string()
+        .contains("protocol violation"));
     }
 }

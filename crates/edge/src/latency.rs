@@ -75,6 +75,61 @@ impl LatencyBreakdown {
     }
 }
 
+/// Analytic timing of a *streaming* deployment processing rounds of samples,
+/// produced by [`LatencyModel::estimate_stream`].
+///
+/// The stream is a two-stage pipeline: every edge device computes and ships
+/// its round (stage 1, all devices in parallel — the stage time is the
+/// slowest device), then the fusion device drains it (stage 2). A barrier
+/// scheduler runs the stages strictly in sequence per round; a pipelined
+/// scheduler overlaps them, so the steady-state round interval is the *wider*
+/// stage instead of the sum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamTiming {
+    /// Samples carried by each round.
+    pub samples_per_round: usize,
+    /// Whether rounds overlap (pipelined) or barrier-synchronize.
+    pub pipelined: bool,
+    /// Stage-1 time: slowest device's per-round compute + its batched data
+    /// frames + one heartbeat control frame on the wire.
+    pub device_round_seconds: f64,
+    /// Stage-2 time: fusion MLP over one round of samples.
+    pub fusion_round_seconds: f64,
+    /// Steady-state spacing between consecutive round completions.
+    pub round_interval_seconds: f64,
+    /// Encoded wire bytes per round across all devices (data frames plus one
+    /// control frame per active device).
+    pub per_round_wire_bytes: u64,
+}
+
+impl StreamTiming {
+    /// Steady-state throughput in samples per second (infinite when the round
+    /// interval rounds to zero).
+    pub fn steady_state_samples_per_second(&self) -> f64 {
+        if self.round_interval_seconds > 0.0 {
+            self.samples_per_round as f64 / self.round_interval_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// End-to-end virtual time to fuse `rounds` rounds. Barrier mode pays
+    /// both stages per round; pipelined mode pays the pipeline fill once and
+    /// then one round interval per round.
+    pub fn total_seconds(&self, rounds: usize) -> f64 {
+        if rounds == 0 {
+            return 0.0;
+        }
+        if self.pipelined {
+            self.device_round_seconds
+                + self.fusion_round_seconds
+                + (rounds - 1) as f64 * self.round_interval_seconds
+        } else {
+            rounds as f64 * self.round_interval_seconds
+        }
+    }
+}
+
 /// Analytic latency model: FLOPs ÷ device throughput for compute, payload ÷
 /// bandwidth for communication, plus a fusion-MLP term.
 #[derive(Debug, Clone)]
@@ -213,6 +268,57 @@ impl LatencyModel {
     pub fn original_model_latency(&self, flops: u64, device: &DeviceSpec) -> f64 {
         device.execution_seconds(flops)
     }
+
+    /// Analytic round timing of a streaming deployment shipping
+    /// `samples_per_round` samples per round, either barrier-synchronized or
+    /// pipelined. On top of [`LatencyModel::estimate_batched`] this charges
+    /// every active device one [`wire::CONTROL_FRAME_LEN`]-byte heartbeat
+    /// frame per round, because the streaming scheduler's failure detector
+    /// rides on those beacons.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LatencyModel::estimate_batched`].
+    pub fn estimate_stream(
+        &self,
+        plan: &SplitPlan,
+        devices: &[DeviceSpec],
+        samples_per_round: usize,
+        pipelined: bool,
+    ) -> Result<StreamTiming> {
+        let batched = self.estimate_batched(plan, devices, samples_per_round)?;
+        let heartbeat_seconds = self
+            .network
+            .transfer_seconds(wire::CONTROL_FRAME_LEN as u64);
+        let spr = samples_per_round as f64;
+        let mut device_round_seconds = 0.0f64;
+        let mut per_round_wire_bytes = 0u64;
+        for d in &batched.per_device {
+            if d.wire_bytes == 0 {
+                // Hosts no sub-model: it neither computes nor heartbeats.
+                continue;
+            }
+            // `estimate_batched` reports per-sample (amortized) times; a round
+            // pays them for every sample, plus one heartbeat frame.
+            let round = (d.compute_seconds + d.communication_seconds) * spr + heartbeat_seconds;
+            device_round_seconds = device_round_seconds.max(round);
+            per_round_wire_bytes += d.wire_bytes + wire::CONTROL_FRAME_LEN as u64;
+        }
+        let fusion_round_seconds = batched.fusion_seconds * spr;
+        let round_interval_seconds = if pipelined {
+            device_round_seconds.max(fusion_round_seconds)
+        } else {
+            device_round_seconds + fusion_round_seconds
+        };
+        Ok(StreamTiming {
+            samples_per_round,
+            pipelined,
+            device_round_seconds,
+            fusion_round_seconds,
+            round_interval_seconds,
+            per_round_wire_bytes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +435,38 @@ mod tests {
             .unwrap();
         assert!(slow_fusion.fusion_seconds > base.fusion_seconds);
         assert!(slow_fusion.total_seconds > base.total_seconds);
+    }
+
+    #[test]
+    fn pipelined_stream_beats_barrier_and_is_bounded_by_its_stages() {
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let (plan, devices) = plan_for(4);
+        let barrier = model.estimate_stream(&plan, &devices, 8, false).unwrap();
+        let pipelined = model.estimate_stream(&plan, &devices, 8, true).unwrap();
+        // Stage times agree; only the interval differs.
+        assert_eq!(barrier.device_round_seconds, pipelined.device_round_seconds);
+        assert_eq!(barrier.fusion_round_seconds, pipelined.fusion_round_seconds);
+        assert!(pipelined.round_interval_seconds < barrier.round_interval_seconds);
+        assert!(
+            pipelined.steady_state_samples_per_second() > barrier.steady_state_samples_per_second()
+        );
+        // The pipelined interval is exactly the wider stage.
+        assert_eq!(
+            pipelined.round_interval_seconds,
+            pipelined
+                .device_round_seconds
+                .max(pipelined.fusion_round_seconds)
+        );
+        // Heartbeats are charged: the round ships more than the data frames.
+        let batched = model.estimate_batched(&plan, &devices, 8).unwrap();
+        assert!(pipelined.per_round_wire_bytes > batched.total_wire_bytes());
+        // Totals: pipelined total over many rounds approaches interval*rounds
+        // and never exceeds barrier.
+        for rounds in [1usize, 2, 10] {
+            assert!(pipelined.total_seconds(rounds) <= barrier.total_seconds(rounds) + 1e-12);
+        }
+        assert_eq!(pipelined.total_seconds(0), 0.0);
+        assert!(pipelined.total_seconds(1) >= pipelined.device_round_seconds);
     }
 
     #[test]

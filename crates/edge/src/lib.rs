@@ -41,10 +41,12 @@ mod runtime;
 pub mod wire;
 
 pub use error::EdgeError;
-pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency};
+pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency, StreamTiming};
 pub use network::NetworkConfig;
 pub use runtime::{ClusterRuntime, FusionFn, RuntimeReport, SubModelFn};
-pub use wire::{FeatureBatchMessage, FeatureMessage, FrameKind, WireFrame};
+pub use wire::{
+    ControlKind, ControlMessage, FeatureBatchMessage, FeatureMessage, FrameKind, WireFrame,
+};
 
 /// Convenience result alias for edge-simulation operations.
 pub type Result<T> = std::result::Result<T, EdgeError>;

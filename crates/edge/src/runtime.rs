@@ -188,10 +188,12 @@ impl ClusterRuntime {
             let wire_bytes = encoded.len() as u64;
             let batch = match WireFrame::decode(encoded)? {
                 WireFrame::FeatureBatch(batch) => batch,
-                WireFrame::Feature(_) => {
+                other => {
                     return Err(EdgeError::Runtime {
-                        message: "device shipped a single-feature frame, expected a batch"
-                            .to_string(),
+                        message: format!(
+                            "device shipped a {} frame, expected a batch",
+                            other.kind_name()
+                        ),
                     })
                 }
             };

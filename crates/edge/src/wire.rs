@@ -11,7 +11,11 @@
 //!   kind-specific payload. Kind [`FrameKind::Feature`] carries one feature
 //!   vector; kind [`FrameKind::FeatureBatch`] packs *all* samples of one
 //!   sub-model into a single frame, which is what the batched
-//!   [`crate::ClusterRuntime`] ships (one frame per device per round).
+//!   [`crate::ClusterRuntime`] ships (one frame per device per round); kind
+//!   [`FrameKind::Control`] carries membership/health signalling
+//!   (join / leave / heartbeat) for the streaming scheduler — CRC-protected
+//!   exactly like data frames, because a corrupted heartbeat must not be able
+//!   to keep a dead device looking alive.
 //!
 //! **Compatibility rule:** a buffer whose first four bytes equal the magic is
 //! parsed as v2 (and must satisfy the v2 header rules); anything else is
@@ -48,6 +52,13 @@ pub const V1_HEADER_LEN: usize = 12;
 /// data (`sub_model`, `feature_dim`, `num_samples`).
 pub const BATCH_FIXED_LEN: usize = 12;
 
+/// Exact payload size of a [`FrameKind::Control`] frame (`control_kind`,
+/// `device_id`, `sequence`, `capacity_flops_per_second`).
+pub const CONTROL_PAYLOAD_LEN: usize = 24;
+
+/// Encoded size of a full v2 control frame (header + fixed payload).
+pub const CONTROL_FRAME_LEN: usize = V2_HEADER_LEN + CONTROL_PAYLOAD_LEN;
+
 /// Flag bit: the header CRC-32 field is populated and must be verified.
 /// Every v2 encoder sets it, and the decoder rejects v2 frames without it —
 /// otherwise a bit flip in the (un-checksummed) flags byte could switch the
@@ -69,6 +80,8 @@ pub enum FrameKind {
     Feature = 1,
     /// Every sample's feature vector for one sub-model, in a single frame.
     FeatureBatch = 2,
+    /// Membership/health signalling: join, leave or heartbeat.
+    Control = 3,
 }
 
 impl FrameKind {
@@ -76,13 +89,150 @@ impl FrameKind {
         match byte {
             1 => Some(FrameKind::Feature),
             2 => Some(FrameKind::FeatureBatch),
+            3 => Some(FrameKind::Control),
             _ => None,
         }
     }
 }
 
+/// What a [`FrameKind::Control`] frame announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ControlKind {
+    /// A device enters the cluster and offers capacity.
+    Join = 1,
+    /// A device leaves gracefully; its sub-models must be re-hosted.
+    Leave = 2,
+    /// A liveness beacon; missing `grace` consecutive heartbeats declares the
+    /// device dead.
+    Heartbeat = 3,
+}
+
+impl ControlKind {
+    fn from_u32(value: u32) -> Option<ControlKind> {
+        match value {
+            1 => Some(ControlKind::Join),
+            2 => Some(ControlKind::Leave),
+            3 => Some(ControlKind::Heartbeat),
+            _ => None,
+        }
+    }
+}
+
+/// A membership/health control message, shipped as a v2 [`FrameKind::Control`]
+/// frame with the same CRC-32 protection as data frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlMessage {
+    /// What the device announces.
+    pub kind: ControlKind,
+    /// Identifier of the announcing device.
+    pub device_id: u32,
+    /// Monotone per-device sequence number. Heartbeats carry the round the
+    /// device just finished; stale (reordered) heartbeats are detectable
+    /// because the sequence never goes backwards.
+    pub sequence: u64,
+    /// Compute capacity the device offers, in MAC-FLOPs per second (matches
+    /// `DeviceSpec::flops_per_second`). Zero is legal on `Leave`.
+    pub capacity_flops_per_second: f64,
+}
+
+impl ControlMessage {
+    /// A heartbeat beacon for `device_id` after finishing round `sequence`.
+    pub fn heartbeat(device_id: usize, sequence: u64, capacity_flops_per_second: f64) -> Self {
+        ControlMessage {
+            kind: ControlKind::Heartbeat,
+            device_id: device_id as u32,
+            sequence,
+            capacity_flops_per_second,
+        }
+    }
+
+    /// A join announcement offering `capacity_flops_per_second`.
+    pub fn join(device_id: usize, capacity_flops_per_second: f64) -> Self {
+        ControlMessage {
+            kind: ControlKind::Join,
+            device_id: device_id as u32,
+            sequence: 0,
+            capacity_flops_per_second,
+        }
+    }
+
+    /// A graceful leave announcement after round `sequence`.
+    pub fn leave(device_id: usize, sequence: u64) -> Self {
+        ControlMessage {
+            kind: ControlKind::Leave,
+            device_id: device_id as u32,
+            sequence,
+            capacity_flops_per_second: 0.0,
+        }
+    }
+
+    /// Encodes the message as a v2 [`FrameKind::Control`] frame
+    /// ([`CONTROL_FRAME_LEN`] bytes).
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::with_capacity(CONTROL_PAYLOAD_LEN);
+        payload.put_u32_le(self.kind as u32);
+        payload.put_u32_le(self.device_id);
+        payload.put_u64_le(self.sequence);
+        payload.put_f64_le(self.capacity_flops_per_second);
+        encode_v2_frame(FrameKind::Control, payload.as_ref())
+    }
+
+    /// Decodes a control message from a full wire frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::Decode`] for non-control frames and truncated or
+    /// malformed buffers, [`EdgeError::ChecksumMismatch`] for corrupted
+    /// payloads, and [`EdgeError::Protocol`] for intact frames that violate
+    /// the contract (unknown control kind, non-finite or negative capacity).
+    pub fn decode(bytes: Bytes) -> Result<Self> {
+        match WireFrame::decode(bytes)? {
+            WireFrame::Control(message) => Ok(message),
+            other => Err(decode_err(format!(
+                "expected a control frame, found a {} frame",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+/// Parses the payload of a v2 `Control` frame.
+fn decode_control_payload(bytes: &mut Bytes) -> Result<ControlMessage> {
+    if bytes.remaining() != CONTROL_PAYLOAD_LEN {
+        return Err(decode_err(format!(
+            "control payload must be exactly {CONTROL_PAYLOAD_LEN} bytes, found {}",
+            bytes.remaining()
+        )));
+    }
+    let kind_word = bytes.get_u32_le();
+    let kind = ControlKind::from_u32(kind_word)
+        .ok_or_else(|| protocol_err(format!("unknown control kind {kind_word}")))?;
+    let device_id = bytes.get_u32_le();
+    let sequence = bytes.get_u64_le();
+    let capacity_flops_per_second = bytes.get_f64_le();
+    if !capacity_flops_per_second.is_finite() || capacity_flops_per_second < 0.0 {
+        return Err(protocol_err(format!(
+            "control frame advertises a non-finite or negative capacity \
+             ({capacity_flops_per_second})"
+        )));
+    }
+    Ok(ControlMessage {
+        kind,
+        device_id,
+        sequence,
+        capacity_flops_per_second,
+    })
+}
+
 fn decode_err(message: impl Into<String>) -> EdgeError {
     EdgeError::Decode {
+        message: message.into(),
+    }
+}
+
+fn protocol_err(message: impl Into<String>) -> EdgeError {
+    EdgeError::Protocol {
         message: message.into(),
     }
 }
@@ -195,6 +345,10 @@ impl FeatureMessage {
             WireFrame::FeatureBatch(batch) => Err(decode_err(format!(
                 "expected a single-feature frame, found a batch of {} samples",
                 batch.num_samples()
+            ))),
+            WireFrame::Control(message) => Err(decode_err(format!(
+                "expected a single-feature frame, found a {:?} control frame",
+                message.kind
             ))),
         }
     }
@@ -331,6 +485,8 @@ pub enum WireFrame {
     Feature(FeatureMessage),
     /// A batched multi-sample frame (v2 kind 2).
     FeatureBatch(FeatureBatchMessage),
+    /// A membership/health control frame (v2 kind 3).
+    Control(ControlMessage),
 }
 
 impl WireFrame {
@@ -339,14 +495,26 @@ impl WireFrame {
         match self {
             WireFrame::Feature(message) => message.encode(),
             WireFrame::FeatureBatch(batch) => batch.encode(),
+            WireFrame::Control(message) => message.encode(),
         }
     }
 
     /// Size in bytes of just the feature values carried by the frame.
+    /// Control frames carry no feature values.
     pub fn payload_bytes(&self) -> usize {
         match self {
             WireFrame::Feature(message) => message.payload_bytes(),
             WireFrame::FeatureBatch(batch) => batch.payload_bytes(),
+            WireFrame::Control(_) => 0,
+        }
+    }
+
+    /// Human-readable name of the frame kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WireFrame::Feature(_) => "single-feature",
+            WireFrame::FeatureBatch(_) => "feature-batch",
+            WireFrame::Control(_) => "control",
         }
     }
 
@@ -395,7 +563,7 @@ impl WireFrame {
         // itself corruption (or a non-conforming encoder), not permission to
         // skip the integrity check the CRC exists to provide.
         if flags & FLAG_CHECKSUM == 0 {
-            return Err(decode_err(
+            return Err(protocol_err(
                 "v2 frame lacks the mandatory checksum flag".to_string(),
             ));
         }
@@ -413,6 +581,7 @@ impl WireFrame {
             FrameKind::FeatureBatch => {
                 decode_batch_payload(&mut bytes).map(WireFrame::FeatureBatch)
             }
+            FrameKind::Control => decode_control_payload(&mut bytes).map(WireFrame::Control),
         }
     }
 }
@@ -671,6 +840,89 @@ mod tests {
         };
         assert!(decoded.is_empty());
         assert_eq!(decoded.feature_dim, 4);
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        for msg in [
+            ControlMessage::heartbeat(3, 41, 4.56e8),
+            ControlMessage::join(7, 1.2e9),
+            ControlMessage::leave(0, 99),
+        ] {
+            let encoded = msg.encode();
+            assert_eq!(encoded.len(), CONTROL_FRAME_LEN);
+            assert_eq!(&encoded.as_slice()[..4], &WIRE_MAGIC);
+            let decoded = ControlMessage::decode(encoded.clone()).unwrap();
+            assert_eq!(decoded, msg);
+            let frame = WireFrame::decode(encoded).unwrap();
+            assert_eq!(frame.payload_bytes(), 0);
+            assert!(matches!(frame, WireFrame::Control(m) if m == msg));
+        }
+    }
+
+    #[test]
+    fn control_frame_is_rejected_where_a_feature_is_required() {
+        let encoded = ControlMessage::heartbeat(1, 2, 3.0).encode();
+        let err = FeatureMessage::decode(encoded).unwrap_err();
+        assert!(err.to_string().contains("control"), "{err}");
+        let feature = FeatureMessage {
+            sub_model: 0,
+            sample_index: 0,
+            feature: vec![1.0],
+        };
+        let err = ControlMessage::decode(feature.encode()).unwrap_err();
+        assert!(err.to_string().contains("control"), "{err}");
+    }
+
+    #[test]
+    fn unknown_control_kind_is_a_typed_error_not_a_panic() {
+        let good = ControlMessage::heartbeat(1, 2, 3.0).encode();
+        let mut bytes = good.as_slice().to_vec();
+        // Overwrite the control kind word with an unknown value and fix up the
+        // CRC so only the kind check can reject it.
+        bytes[V2_HEADER_LEN..V2_HEADER_LEN + 4].copy_from_slice(&77u32.to_le_bytes());
+        let crc = crc32(&bytes[V2_HEADER_LEN..]).to_le_bytes();
+        bytes[12..16].copy_from_slice(&crc);
+        let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
+        assert!(err.to_string().contains("control kind"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_control_payload_trips_the_crc() {
+        let encoded = ControlMessage::heartbeat(1, 2, 3.0).encode();
+        let mut bytes = encoded.as_slice().to_vec();
+        bytes[V2_HEADER_LEN + 9] ^= 0x40; // flip a bit inside `sequence`
+        let err = ControlMessage::decode(Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, EdgeError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn control_payload_length_is_strict() {
+        let encoded = ControlMessage::leave(4, 1).encode();
+        // Append one payload byte and fix up length + CRC: still rejected,
+        // because the control payload must be exactly CONTROL_PAYLOAD_LEN.
+        let mut bytes = encoded.as_slice().to_vec();
+        bytes.push(0);
+        let new_len = (bytes.len() - V2_HEADER_LEN) as u32;
+        bytes[8..12].copy_from_slice(&new_len.to_le_bytes());
+        let crc = crc32(&bytes[V2_HEADER_LEN..]).to_le_bytes();
+        bytes[12..16].copy_from_slice(&crc);
+        let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
+        assert!(err.to_string().contains("exactly"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_or_negative_capacity_is_rejected() {
+        for capacity in [f64::NAN, f64::INFINITY, -1.0] {
+            let msg = ControlMessage {
+                kind: ControlKind::Join,
+                device_id: 0,
+                sequence: 0,
+                capacity_flops_per_second: capacity,
+            };
+            let err = ControlMessage::decode(msg.encode()).unwrap_err();
+            assert!(err.to_string().contains("capacity"), "{err}");
+        }
     }
 
     #[test]

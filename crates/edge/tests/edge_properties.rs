@@ -3,10 +3,11 @@
 //! buffers, v1 and v2 encodings are equivalent, and latency estimates respect
 //! the structure of the plan.
 
-use bytes::Bytes;
-use edvit_edge::wire::{V2_HEADER_LEN, WIRE_MAGIC};
+use bytes::{crc32, Bytes};
+use edvit_edge::wire::{CONTROL_FRAME_LEN, V2_HEADER_LEN, WIRE_MAGIC};
 use edvit_edge::{
-    EdgeError, FeatureBatchMessage, FeatureMessage, LatencyModel, NetworkConfig, WireFrame,
+    ControlKind, ControlMessage, EdgeError, FeatureBatchMessage, FeatureMessage, LatencyModel,
+    NetworkConfig, WireFrame,
 };
 use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlanner};
 use edvit_tensor::{init::TensorRng, Tensor};
@@ -179,6 +180,104 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn control_frames_round_trip(
+        kind_index in 0usize..3,
+        device in 0usize..1024,
+        sequence in 0u64..u64::MAX,
+        capacity_milli in 0u64..2_000_000_000,
+    ) {
+        let capacity = capacity_milli as f64 / 1e3;
+        let msg = match kind_index {
+            0 => ControlMessage::join(device, capacity),
+            1 => ControlMessage::leave(device, sequence),
+            _ => ControlMessage::heartbeat(device, sequence, capacity),
+        };
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), CONTROL_FRAME_LEN);
+        let decoded = ControlMessage::decode(encoded.clone()).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert!(matches!(WireFrame::decode(encoded).unwrap(), WireFrame::Control(_)));
+    }
+
+    #[test]
+    fn truncated_control_frames_never_panic_and_are_rejected(
+        device in 0usize..64,
+        sequence in 0u64..10_000,
+        cut in 0usize..CONTROL_FRAME_LEN,
+    ) {
+        let encoded = ControlMessage::heartbeat(device, sequence, 4.56e8).encode();
+        let truncated = encoded.as_slice()[..cut].to_vec();
+        let err = WireFrame::decode(Bytes::from(truncated)).unwrap_err();
+        // Truncation is a byte-level problem, never a checksum surprise or a
+        // protocol-violation verdict against the (conforming) encoder.
+        prop_assert!(matches!(err, EdgeError::Decode { .. }), "{}", err);
+    }
+
+    #[test]
+    fn bit_flipped_control_frames_never_panic_and_payload_flips_trip_the_crc(
+        device in 0usize..64,
+        sequence in 0u64..10_000,
+        flip_seed in 0u64..100_000,
+    ) {
+        let encoded = ControlMessage::heartbeat(device, sequence, 4.56e8).encode();
+        let mut bytes = encoded.as_slice().to_vec();
+        let bit = flip_seed as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let in_payload = bit / 8 >= V2_HEADER_LEN;
+        match WireFrame::decode(Bytes::from(bytes)) {
+            // Flips in the reserved byte (or unused flag bits) may legally
+            // decode; the payload itself is untouched there.
+            Ok(_) => prop_assert!(!in_payload, "corrupted control payload decoded successfully"),
+            Err(err) => {
+                if in_payload {
+                    prop_assert!(
+                        matches!(err, EdgeError::ChecksumMismatch { .. }),
+                        "control payload flip surfaced as {} instead of a checksum mismatch",
+                        err
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_control_kinds_with_valid_crc_are_protocol_errors(
+        device in 0usize..64,
+        sequence in 0u64..10_000,
+        bogus_kind in 4u32..u32::MAX,
+    ) {
+        // A non-conforming encoder: intact frame, valid CRC, nonsense kind.
+        let mut bytes = ControlMessage::leave(device, sequence)
+            .encode()
+            .as_slice()
+            .to_vec();
+        bytes[V2_HEADER_LEN..V2_HEADER_LEN + 4].copy_from_slice(&bogus_kind.to_le_bytes());
+        let fixed_crc = crc32(&bytes[V2_HEADER_LEN..]).to_le_bytes();
+        bytes[12..16].copy_from_slice(&fixed_crc);
+        let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
+        prop_assert!(matches!(err, EdgeError::Protocol { .. }), "{}", err);
+        prop_assert!(err.to_string().contains("control kind"), "{}", err);
+    }
+
+    #[test]
+    fn control_frames_are_never_confused_with_data_frames(
+        device in 0usize..64,
+        sequence in 0u64..10_000,
+        dim in 1usize..32,
+        seed in 0u64..500,
+    ) {
+        // A control frame must not decode as a feature, and vice versa.
+        let control = ControlMessage::heartbeat(device, sequence, 1e9).encode();
+        prop_assert!(FeatureMessage::decode(control).is_err());
+        let batch = sample_batch(seed, device, 2, dim).encode();
+        prop_assert!(ControlMessage::decode(batch).is_err());
+        let single = FeatureMessage::from_tensor(device, 0, &TensorRng::new(seed).randn(&[dim], 0.0, 1.0)).encode();
+        let err = ControlMessage::decode(single).unwrap_err();
+        prop_assert!(err.to_string().contains("control"), "{}", err);
+        let _ = ControlKind::Heartbeat; // kinds are part of the public surface
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl FusionConfig {
 }
 
 /// The trained fusion model run on the aggregation device.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FusionMlp {
     config: FusionConfig,
     mlp: Mlp,

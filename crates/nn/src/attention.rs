@@ -59,6 +59,23 @@ struct HeadCache {
     attn: Tensor,
 }
 
+impl Clone for MultiHeadSelfAttention {
+    /// Clones the projection weights; the forward cache is backward-pass
+    /// scratch, so the clone starts with an empty one.
+    fn clone(&self) -> Self {
+        MultiHeadSelfAttention {
+            q_proj: self.q_proj.clone(),
+            k_proj: self.k_proj.clone(),
+            v_proj: self.v_proj.clone(),
+            out_proj: self.out_proj.clone(),
+            embed_dim: self.embed_dim,
+            heads: self.heads,
+            head_dim: self.head_dim,
+            cache: None,
+        }
+    }
+}
+
 impl MultiHeadSelfAttention {
     /// Creates an MHSA layer with `heads` heads of width `head_dim` over an
     /// embedding of size `embed_dim`. The standard ViT configuration uses

@@ -39,6 +39,30 @@ pub struct Mlp {
     layer_sizes: Vec<usize>,
 }
 
+impl Clone for Mlp {
+    /// Clones the weights and structure. The boxed activation layers hold
+    /// only forward-pass scratch, so the clone gets fresh ones rebuilt from
+    /// `activation_kind` instead of requiring `dyn Layer` to be clonable.
+    fn clone(&self) -> Self {
+        let activations: Vec<Box<dyn Layer>> = self
+            .activations
+            .iter()
+            .map(|_| -> Box<dyn Layer> {
+                match self.activation_kind {
+                    MlpActivation::Relu => Box::new(Relu::new()),
+                    MlpActivation::Gelu => Box::new(Gelu::new()),
+                }
+            })
+            .collect();
+        Mlp {
+            linears: self.linears.clone(),
+            activations,
+            activation_kind: self.activation_kind,
+            layer_sizes: self.layer_sizes.clone(),
+        }
+    }
+}
+
 impl Mlp {
     /// Creates an MLP with the given layer sizes (`[in, hidden..., out]`) and
     /// GELU activations.

@@ -84,6 +84,55 @@ impl SplitPlan {
     pub fn classes_of(&self, index: usize) -> Option<&[usize]> {
         self.sub_models.get(index).map(|s| s.classes.as_slice())
     }
+
+    /// Incrementally re-plans the deployment after membership churn: keeps
+    /// every sub-model (class subsets, pruning levels and costs are already
+    /// trained artifacts that cannot change mid-stream) and re-runs the
+    /// greedy assignment of Algorithm 3 over the `survivors` only. This is
+    /// what the streaming scheduler calls when a device is declared dead, so
+    /// the orphaned sub-models land on live hosts without a full re-split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidConfig`] for an empty survivor list
+    /// and [`PartitionError::Infeasible`] when the survivors cannot host every
+    /// sub-model within their memory and energy budgets.
+    pub fn replan_for_survivors(
+        &self,
+        survivors: &[DeviceSpec],
+        samples_per_round: u64,
+    ) -> Result<SplitPlan> {
+        if survivors.is_empty() {
+            return Err(PartitionError::InvalidConfig {
+                message: "cannot re-plan onto zero surviving devices".to_string(),
+            });
+        }
+        let requirements: Vec<SubModelRequirements> = self
+            .sub_models
+            .iter()
+            .map(|s| SubModelRequirements {
+                sub_model: s.index,
+                memory_bytes: s.cost.memory_bytes,
+                flops_per_sample: s.cost.flops,
+            })
+            .collect();
+        let assignment =
+            greedy_assign(&requirements, survivors, samples_per_round)?.ok_or_else(|| {
+                PartitionError::Infeasible {
+                    reason: format!(
+                        "{} surviving device(s) cannot host the {} existing sub-models",
+                        survivors.len(),
+                        self.sub_models.len()
+                    ),
+                }
+            })?;
+        Ok(SplitPlan {
+            sub_models: self.sub_models.clone(),
+            assignment,
+            total_memory_bytes: self.total_memory_bytes,
+            iterations: self.iterations,
+        })
+    }
 }
 
 /// Algorithm 1: split a Vision Transformer into one sub-model per edge device,
@@ -345,6 +394,47 @@ mod tests {
                 .map(|s| s.classes.clone())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn replan_for_survivors_keeps_sub_models_and_moves_orphans() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let devices = DeviceSpec::raspberry_pi_cluster(4);
+        let plan = planner.plan(&base, &devices, 9).unwrap();
+        // Device 2 dies; its sub-models must be re-hosted on the survivors.
+        let survivors: Vec<DeviceSpec> = devices.iter().filter(|d| d.id != 2).cloned().collect();
+        let replanned = plan.replan_for_survivors(&survivors, 1).unwrap();
+        assert_eq!(replanned.sub_models, plan.sub_models);
+        assert_eq!(replanned.total_memory_bytes, plan.total_memory_bytes);
+        for sub in &replanned.sub_models {
+            let host = replanned.assignment.device_for(sub.index).unwrap();
+            assert_ne!(
+                host, 2,
+                "sub-model {} still assigned to the dead device",
+                sub.index
+            );
+            assert!(survivors.iter().any(|d| d.id == host));
+        }
+    }
+
+    #[test]
+    fn replan_for_survivors_rejects_empty_and_infeasible_survivor_sets() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let devices = DeviceSpec::raspberry_pi_cluster(3);
+        let plan = planner.plan(&base, &devices, 9).unwrap();
+        assert!(matches!(
+            plan.replan_for_survivors(&[], 1).unwrap_err(),
+            PartitionError::InvalidConfig { .. }
+        ));
+        // A lone survivor with no energy budget cannot host anything.
+        let mut dead = devices[0].clone();
+        dead.energy_budget_flops = 0;
+        assert!(matches!(
+            plan.replan_for_survivors(&[dead], 1).unwrap_err(),
+            PartitionError::Infeasible { .. }
+        ));
     }
 
     #[test]

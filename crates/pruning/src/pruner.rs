@@ -46,7 +46,7 @@ impl Default for PrunerConfig {
 }
 
 /// A pruned, class-specific sub-model ready for deployment on an edge device.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PrunedSubModel {
     /// The weight-sliced (and optionally fine-tuned) model. Its head has
     /// `|C_i| + 1` outputs: the subset classes plus an "other" bucket.

@@ -1,0 +1,67 @@
+//! A deterministic virtual clock.
+//!
+//! Wall-clock time on a shared CI runner is noise; every timing number the
+//! scheduler reports (round intervals, detection deadlines, recovery time)
+//! comes from this clock, advanced by the analytic
+//! [`edvit_edge::StreamTiming`] model. Two runs of the same stream therefore
+//! report the same seconds, bit for bit.
+
+/// Monotone virtual time in seconds, starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> Self {
+        SimClock { now: 0.0 }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock by `seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or NaN advance — virtual time never runs
+    /// backwards, and a NaN would silently poison every later report field.
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(
+            seconds >= 0.0,
+            "virtual clock cannot advance by {seconds} seconds"
+        );
+        self.now += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.now(), 0.0);
+        clock.advance(1.5);
+        clock.advance(0.0);
+        clock.advance(2.5);
+        assert_eq!(clock.now(), 4.0);
+        assert_eq!(SimClock::default(), SimClock::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance")]
+    fn nan_advance_panics() {
+        SimClock::new().advance(f64::NAN);
+    }
+}

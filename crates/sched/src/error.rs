@@ -1,0 +1,104 @@
+use std::fmt;
+
+use edvit_edge::EdgeError;
+use edvit_partition::PartitionError;
+
+/// Error type of the streaming scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The stream was configured inconsistently (zero-sized rounds, executor
+    /// count not matching the plan, ...).
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A worker thread, an executor or the fusion function failed.
+    Runtime {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A wire frame failed to decode or verify (propagated from `edvit-edge`).
+    Edge(EdgeError),
+    /// Re-planning after membership churn failed (propagated from
+    /// `edvit-partition`), e.g. the survivors cannot host every sub-model.
+    Partition(PartitionError),
+    /// Every device died before the stream finished; there is nothing left to
+    /// repartition onto.
+    AllDevicesLost {
+        /// Device ids declared dead, in detection order.
+        lost: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidConfig { message } => {
+                write!(f, "invalid stream configuration: {message}")
+            }
+            SchedError::Runtime { message } => write!(f, "stream runtime failure: {message}"),
+            SchedError::Edge(e) => write!(f, "stream wire failure: {e}"),
+            SchedError::Partition(e) => write!(f, "stream re-plan failure: {e}"),
+            SchedError::AllDevicesLost { lost } => write!(
+                f,
+                "every device died mid-stream (lost, in order: {lost:?}); nothing to repartition onto"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Edge(e) => Some(e),
+            SchedError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EdgeError> for SchedError {
+    fn from(e: EdgeError) -> Self {
+        SchedError::Edge(e)
+    }
+}
+
+impl From<PartitionError> for SchedError {
+    fn from(e: PartitionError) -> Self {
+        SchedError::Partition(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SchedError::InvalidConfig {
+            message: "round size 0".into()
+        }
+        .to_string()
+        .contains("round size 0"));
+        assert!(SchedError::Runtime {
+            message: "fusion died".into()
+        }
+        .to_string()
+        .contains("fusion died"));
+        let edge: SchedError = EdgeError::Decode {
+            message: "short".into(),
+        }
+        .into();
+        assert!(edge.to_string().contains("short"));
+        let partition: SchedError = PartitionError::Infeasible {
+            reason: "too small".into(),
+        }
+        .into();
+        assert!(partition.to_string().contains("too small"));
+        let lost = SchedError::AllDevicesLost { lost: vec![1, 0] };
+        assert!(lost.to_string().contains("[1, 0]"));
+        use std::error::Error;
+        assert!(edge.source().is_some());
+        assert!(lost.source().is_none());
+    }
+}

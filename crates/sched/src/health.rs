@@ -1,0 +1,194 @@
+//! Heartbeat device-health state machine.
+//!
+//! Every device emits one [`edvit_edge::ControlMessage`] heartbeat per round,
+//! carrying the number of rounds it has completed this epoch. The scheduler's
+//! fusion worker consumes each device's channel round by round, so the
+//! heartbeat deadline manifests deterministically: a device that goes silent
+//! surfaces as a disconnect exactly where its next heartbeat was due, and the
+//! collector calls [`HealthTracker::declare_dead`] at that point (the virtual
+//! clock separately charges the `grace_rounds` deadline window to
+//! `recovery_seconds`). The tracker holds the per-device state and the
+//! monotone sequence bookkeeping:
+//!
+//! ```text
+//! Expected --Join/Heartbeat--> Alive --deadline missed--> Dead   (repartition)
+//!                                │
+//!                                └--------Leave--------> Left    (graceful)
+//! ```
+//!
+//! `Left` is terminal and benign (the device finished its rounds); `Dead` is
+//! terminal and triggers a repartition of the dead device's sub-models. Stale
+//! (reordered) heartbeats never roll a sequence back, and no late beacon
+//! resurrects a dead device.
+
+use std::collections::BTreeMap;
+
+/// Liveness state of one device within an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Registered; may not have beaten yet (a fresh device is at sequence 0).
+    Alive,
+    /// Announced a graceful leave after finishing its rounds.
+    Left,
+    /// Missed its heartbeat deadline; its sub-models must be re-hosted.
+    Dead,
+}
+
+#[derive(Debug, Clone)]
+struct DeviceState {
+    health: DeviceHealth,
+    /// Highest heartbeat sequence seen (rounds completed this epoch).
+    last_sequence: u64,
+    /// Capacity the device last advertised, in FLOPs per second.
+    capacity_flops_per_second: f64,
+}
+
+/// Tracks per-device heartbeat sequences, capacities and liveness.
+#[derive(Debug, Clone, Default)]
+pub struct HealthTracker {
+    devices: BTreeMap<usize, DeviceState>,
+    heartbeats_seen: u64,
+}
+
+impl HealthTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        HealthTracker::default()
+    }
+
+    /// Registers a device the scheduler expects to participate. Idempotent.
+    pub fn register(&mut self, device_id: usize) {
+        self.devices.entry(device_id).or_insert(DeviceState {
+            health: DeviceHealth::Alive,
+            last_sequence: 0,
+            capacity_flops_per_second: 0.0,
+        });
+    }
+
+    /// Records a join announcement (capacity advertisement).
+    pub fn observe_join(&mut self, device_id: usize, capacity_flops_per_second: f64) {
+        self.register(device_id);
+        if let Some(state) = self.devices.get_mut(&device_id) {
+            state.capacity_flops_per_second = capacity_flops_per_second;
+        }
+    }
+
+    /// Records a heartbeat. Stale (out-of-order) sequences are ignored: the
+    /// recorded sequence never decreases. Heartbeats from a device already
+    /// declared dead are ignored too — death is terminal within an epoch.
+    pub fn observe_heartbeat(&mut self, device_id: usize, sequence: u64) {
+        self.register(device_id);
+        self.heartbeats_seen += 1;
+        if let Some(state) = self.devices.get_mut(&device_id) {
+            if state.health == DeviceHealth::Alive && sequence > state.last_sequence {
+                state.last_sequence = sequence;
+            }
+        }
+    }
+
+    /// Records a graceful leave: the device finished its work and said so.
+    pub fn observe_leave(&mut self, device_id: usize, sequence: u64) {
+        self.register(device_id);
+        if let Some(state) = self.devices.get_mut(&device_id) {
+            if state.health == DeviceHealth::Alive {
+                state.last_sequence = state.last_sequence.max(sequence);
+                state.health = DeviceHealth::Left;
+            }
+        }
+    }
+
+    /// Declares a device dead: its transport disconnected before it delivered
+    /// its expected rounds — the threaded manifestation of the heartbeat
+    /// deadline passing. Terminal and idempotent; a device that announced a
+    /// graceful leave stays `Left`.
+    pub fn declare_dead(&mut self, device_id: usize) {
+        self.register(device_id);
+        if let Some(state) = self.devices.get_mut(&device_id) {
+            if state.health == DeviceHealth::Alive {
+                state.health = DeviceHealth::Dead;
+            }
+        }
+    }
+
+    /// Health of `device_id`, if registered.
+    pub fn health_of(&self, device_id: usize) -> Option<DeviceHealth> {
+        self.devices.get(&device_id).map(|s| s.health)
+    }
+
+    /// Rounds completed (highest heartbeat sequence) by `device_id`.
+    pub fn sequence_of(&self, device_id: usize) -> u64 {
+        self.devices
+            .get(&device_id)
+            .map(|s| s.last_sequence)
+            .unwrap_or(0)
+    }
+
+    /// Capacity last advertised by `device_id`, in FLOPs per second.
+    pub fn capacity_of(&self, device_id: usize) -> f64 {
+        self.devices
+            .get(&device_id)
+            .map(|s| s.capacity_flops_per_second)
+            .unwrap_or(0.0)
+    }
+
+    /// Total heartbeats observed.
+    pub fn heartbeats_seen(&self) -> u64 {
+        self.heartbeats_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graceful_leave_is_not_a_death() {
+        let mut tracker = HealthTracker::new();
+        tracker.register(0);
+        tracker.register(1);
+        tracker.observe_heartbeat(0, 5);
+        tracker.observe_leave(1, 5);
+        tracker.observe_heartbeat(0, 9);
+        assert_eq!(tracker.health_of(0), Some(DeviceHealth::Alive));
+        assert_eq!(tracker.health_of(1), Some(DeviceHealth::Left));
+        assert_eq!(tracker.sequence_of(1), 5);
+    }
+
+    #[test]
+    fn stale_heartbeats_never_roll_the_sequence_back() {
+        let mut tracker = HealthTracker::new();
+        tracker.observe_heartbeat(0, 7);
+        tracker.observe_heartbeat(0, 3);
+        assert_eq!(tracker.sequence_of(0), 7);
+        assert_eq!(tracker.heartbeats_seen(), 2);
+    }
+
+    #[test]
+    fn declare_dead_is_terminal_but_spares_the_gracefully_left() {
+        let mut tracker = HealthTracker::new();
+        tracker.observe_heartbeat(0, 3);
+        tracker.declare_dead(0);
+        assert_eq!(tracker.health_of(0), Some(DeviceHealth::Dead));
+        // Death is terminal: late heartbeats cannot resurrect the device or
+        // advance its sequence.
+        tracker.observe_heartbeat(0, 9);
+        assert_eq!(tracker.health_of(0), Some(DeviceHealth::Dead));
+        assert_eq!(tracker.sequence_of(0), 3);
+        tracker.observe_leave(1, 5);
+        tracker.declare_dead(1);
+        assert_eq!(tracker.health_of(1), Some(DeviceHealth::Left));
+        // Declaring an unknown device registers it as dead.
+        tracker.declare_dead(7);
+        assert_eq!(tracker.health_of(7), Some(DeviceHealth::Dead));
+    }
+
+    #[test]
+    fn capacity_is_recorded_and_unknown_devices_are_none() {
+        let mut tracker = HealthTracker::new();
+        tracker.observe_join(3, 4.5e8);
+        assert_eq!(tracker.capacity_of(3), 4.5e8);
+        assert_eq!(tracker.capacity_of(99), 0.0);
+        assert_eq!(tracker.health_of(99), None);
+        assert_eq!(tracker.sequence_of(99), 0);
+    }
+}

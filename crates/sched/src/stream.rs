@@ -1,0 +1,888 @@
+//! The streaming scheduler: pipelined rounds over bounded channels, heartbeat
+//! health tracking, and live repartitioning on device death.
+//!
+//! # Execution model
+//!
+//! The input stream is cut into *rounds* of `round_size` samples. Execution
+//! proceeds in *epochs*: one epoch per cluster membership. Within an epoch,
+//! every active device runs on its own worker thread, processing rounds in
+//! order: it computes the features of every sub-model it hosts, ships them as
+//! wire-v2 [`FeatureBatchMessage`] frames, and follows each round with a
+//! [`ControlMessage`] heartbeat. Every device owns a *bounded* channel to the
+//! fusion worker sized for `pipeline_depth` rounds of frames — when the
+//! fusion side falls behind, `send` blocks, so a device can buffer at most
+//! `pipeline_depth` undrained rounds (and thus run at most
+//! `pipeline_depth + 1` rounds ahead of the fused frontier, counting the one
+//! it is computing): the backpressure is explicit, not emergent, and
+//! inter-device skew is bounded by construction.
+//!
+//! The fusion worker consumes the per-device channels *round by round*: for
+//! round *k* it drains every device's frames up to and including that round's
+//! heartbeat, then fuses the round. Consumption order, not OS scheduling,
+//! therefore decides what the collector observes — which keeps failure
+//! detection deterministic. A device death (scripted or real) silences its
+//! sender; the collector sees the disconnect exactly when it needs the dead
+//! device's next round, declares the death (the [`HealthTracker`] records the
+//! device's last heartbeat and terminal state), tears the epoch down, hands
+//! the survivors to [`SplitPlan::replan_for_survivors`], and replays every
+//! round that was produced but not fused. In-flight samples are recomputed,
+//! never lost, and the exactly-once check on the output slots makes
+//! duplication a hard error rather than a silent possibility.
+//!
+//! # Timing
+//!
+//! Thread interleaving on the host machine is nondeterministic, so all
+//! reported timing comes from the virtual [`SimClock`], advanced with the
+//! analytic [`edvit_edge::StreamTiming`] model: barrier mode pays
+//! device-stage + fusion-stage per round, pipelined mode pays the wider of
+//! the two stages per round once the pipeline is full.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::channel;
+use edvit_edge::wire::FeatureBatchMessage;
+use edvit_edge::{
+    ControlKind, ControlMessage, FusionFn, LatencyModel, NetworkConfig, StreamTiming, SubModelFn,
+    WireFrame,
+};
+use edvit_partition::{DeviceSpec, SplitPlan};
+use edvit_tensor::Tensor;
+
+use crate::{HealthTracker, Result, SchedError, SimClock};
+
+/// How rounds are scheduled relative to the fusion stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// One buffered round at a time: a device may compute round *k+1* while
+    /// the fusion worker drains round *k*, but blocks beyond that. The
+    /// *timing model* is strictly serial — throughput is priced as the sum
+    /// of the slowest device stage and the fusion stage.
+    Barrier,
+    /// Devices compute ahead of the fusion worker, buffering up to
+    /// `pipeline_depth` undrained rounds before `send` blocks. Throughput is
+    /// priced as the wider of the two stages.
+    Pipelined,
+}
+
+/// Deterministic failure injection: the device goes silent (no leave frame,
+/// no further heartbeats) instead of processing the given round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureInjection {
+    /// Device to kill.
+    pub device_id: usize,
+    /// First (global) round id the device will not process. `0` means the
+    /// device is dead on arrival; a value past the last round means it never
+    /// dies.
+    pub at_round: u64,
+}
+
+/// Configuration of one streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Samples per round (≥ 1).
+    pub round_size: usize,
+    /// How many undrained rounds a device may buffer ahead of the fusion
+    /// worker before `send` blocks (≥ 1; forced to 1 in
+    /// [`ScheduleMode::Barrier`]). Counting the round being computed, a
+    /// device can be up to `pipeline_depth + 1` rounds past the fused
+    /// frontier.
+    pub pipeline_depth: usize,
+    /// Barrier or pipelined scheduling.
+    pub mode: ScheduleMode,
+    /// Heartbeat deadline, in rounds: a device whose next heartbeat is this
+    /// many round intervals overdue is declared dead. Governs the virtual
+    /// detection latency charged to `recovery_seconds`.
+    pub grace_rounds: u64,
+    /// Network model used for the virtual timing.
+    pub network: NetworkConfig,
+    /// Analytic fusion cost per sample in MAC-FLOPs; 0 uses the latency
+    /// model's default formula.
+    pub fusion_flops: u64,
+    /// Virtual seconds charged for one run of the re-planner.
+    pub replan_seconds: f64,
+    /// The planner's `L` (samples per energy-budget window) handed to the
+    /// greedy assignment when re-planning onto survivors. This is *not* the
+    /// wire round size: `L` prices energy, `round_size` prices batching.
+    pub energy_samples_per_round: u64,
+    /// Scripted device deaths.
+    pub failures: Vec<FailureInjection>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            round_size: 4,
+            pipeline_depth: 2,
+            mode: ScheduleMode::Pipelined,
+            grace_rounds: 2,
+            network: NetworkConfig::paper_default(),
+            fusion_flops: 0,
+            replan_seconds: 0.05,
+            energy_samples_per_round: 1,
+            failures: Vec::new(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Switches to barrier scheduling (the pre-streaming behaviour).
+    pub fn barrier(mut self) -> Self {
+        self.mode = ScheduleMode::Barrier;
+        self
+    }
+
+    /// Adds a scripted device death before the given global round.
+    pub fn with_failure(mut self, device_id: usize, at_round: u64) -> Self {
+        self.failures.push(FailureInjection {
+            device_id,
+            at_round,
+        });
+        self
+    }
+}
+
+/// Everything a streaming run reports: fused outputs plus membership, health
+/// and virtual-timing accounting.
+#[derive(Debug)]
+pub struct StreamReport {
+    /// Fused output per input sample, in input order. Every sample appears
+    /// exactly once — the scheduler errors out rather than dropping or
+    /// double-fusing a sample across a repartition.
+    pub outputs: Vec<Tensor>,
+    /// Scheduling mode of the run.
+    pub mode: ScheduleMode,
+    /// Samples per round.
+    pub round_size: usize,
+    /// Total rounds fused.
+    pub rounds: usize,
+    /// Membership epochs executed (1 + number of repartitions).
+    pub epochs: usize,
+    /// Most rounds simultaneously in flight (produced by some device but not
+    /// yet fused), as observed by the fusion worker. This is the one
+    /// scheduling-dependent statistic in the report — bounded by
+    /// `pipeline_depth + 1`, but where it lands inside that bound depends on
+    /// OS thread interleaving; every timing and replay number is
+    /// deterministic.
+    pub max_rounds_in_flight: usize,
+    /// Heartbeat control frames observed.
+    pub heartbeats_seen: u64,
+    /// All control frames observed (join + leave + heartbeat).
+    pub control_frames: usize,
+    /// Feature-batch data frames observed.
+    pub data_frames: usize,
+    /// Encoded bytes shipped over the channel (data + control frames).
+    pub bytes_on_wire: u64,
+    /// Encoded bytes each device shipped, keyed by device id. Devices that
+    /// joined in any epoch appear, including ones that later died.
+    pub per_device_wire_bytes: BTreeMap<usize, u64>,
+    /// Rounds each device delivered (heartbeats received from it), keyed by
+    /// device id and accumulated across epochs.
+    pub per_device_rounds: BTreeMap<usize, u64>,
+    /// Devices declared dead, in detection order.
+    pub devices_lost: Vec<usize>,
+    /// Times the planner re-assigned sub-models onto survivors.
+    pub repartitions: usize,
+    /// Samples that were in flight at a death and had to be recomputed.
+    pub samples_replayed: usize,
+    /// Virtual seconds from a device's death to its sub-models producing
+    /// fused output again: detection (the missed heartbeat plus the
+    /// `grace_rounds` deadline) + re-planning + replaying the in-flight
+    /// rounds. Zero when no device died.
+    pub recovery_seconds: f64,
+    /// Steady-state throughput of the final membership, from the analytic
+    /// stream timing.
+    pub steady_state_samples_per_second: f64,
+    /// Virtual end-to-end seconds on the [`SimClock`].
+    pub simulated_total_seconds: f64,
+    /// The plan in force when the stream finished (re-assigned if devices
+    /// died).
+    pub final_plan: SplitPlan,
+}
+
+impl StreamReport {
+    /// Argmax prediction per sample, for classification-style fusion outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any output is empty.
+    pub fn predictions(&self) -> Result<Vec<usize>> {
+        self.outputs
+            .iter()
+            .map(|o| {
+                o.argmax().map_err(|e| SchedError::Runtime {
+                    message: format!("empty fusion output: {e}"),
+                })
+            })
+            .collect()
+    }
+}
+
+/// What one epoch hands back to the scheduler loop.
+struct EpochOutcome {
+    newly_dead: Vec<usize>,
+    rounds_fused: usize,
+    /// Unfused rounds that had received at least one frame (in flight at the
+    /// death) — these are the replayed rounds.
+    partial_rounds: Vec<u64>,
+    heartbeats: u64,
+    control_frames: usize,
+    data_frames: usize,
+    bytes_on_wire: u64,
+    per_device_wire_bytes: BTreeMap<usize, u64>,
+    per_device_rounds: BTreeMap<usize, u64>,
+    max_in_flight: usize,
+}
+
+/// The streaming fault-tolerant scheduler.
+#[derive(Debug, Clone)]
+pub struct StreamScheduler {
+    plan: SplitPlan,
+    devices: Vec<DeviceSpec>,
+    config: StreamConfig,
+}
+
+impl StreamScheduler {
+    /// Creates a scheduler for `plan` deployed across `devices`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidConfig`] for empty device lists,
+    /// zero-sized rounds or zero pipeline depth.
+    pub fn new(plan: SplitPlan, devices: Vec<DeviceSpec>, config: StreamConfig) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(SchedError::InvalidConfig {
+                message: "no devices".to_string(),
+            });
+        }
+        if config.round_size == 0 {
+            return Err(SchedError::InvalidConfig {
+                message: "round size must be at least 1".to_string(),
+            });
+        }
+        if config.pipeline_depth == 0 {
+            return Err(SchedError::InvalidConfig {
+                message: "pipeline depth must be at least 1".to_string(),
+            });
+        }
+        Ok(StreamScheduler {
+            plan,
+            devices,
+            config,
+        })
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Runs the stream: every input sample is fused exactly once, across as
+    /// many membership epochs as device deaths require.
+    ///
+    /// `executors[i]` computes sub-model `i`'s feature vector for one sample;
+    /// there must be exactly one executor per sub-model in the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidConfig`] for empty inputs or a mismatched
+    /// executor count, [`SchedError::Runtime`] for executor/fusion failures
+    /// or violated exactly-once invariants, [`SchedError::Partition`] when
+    /// survivors cannot host the sub-models, and
+    /// [`SchedError::AllDevicesLost`] when every device dies.
+    pub fn run(
+        &self,
+        inputs: &[Tensor],
+        mut executors: Vec<SubModelFn>,
+        mut fusion: FusionFn,
+    ) -> Result<StreamReport> {
+        if inputs.is_empty() {
+            return Err(SchedError::InvalidConfig {
+                message: "no input samples".to_string(),
+            });
+        }
+        if executors.len() != self.plan.sub_models.len() {
+            return Err(SchedError::InvalidConfig {
+                message: format!(
+                    "{} executors for {} sub-models",
+                    executors.len(),
+                    self.plan.sub_models.len()
+                ),
+            });
+        }
+        let cfg = &self.config;
+        let round_size = cfg.round_size;
+        let total_rounds = inputs.len().div_ceil(round_size);
+        let failures: BTreeMap<usize, u64> = cfg
+            .failures
+            .iter()
+            .map(|f| (f.device_id, f.at_round))
+            .collect();
+
+        let mut current_plan = self.plan.clone();
+        let mut current_devices = self.devices.clone();
+        let mut pending: Vec<u64> = (0..total_rounds as u64).collect();
+        let mut fused: Vec<Option<Tensor>> = vec![None; inputs.len()];
+        let mut clock = SimClock::new();
+
+        let mut report = StreamReport {
+            outputs: Vec::new(),
+            mode: cfg.mode,
+            round_size,
+            rounds: total_rounds,
+            epochs: 0,
+            max_rounds_in_flight: 0,
+            heartbeats_seen: 0,
+            control_frames: 0,
+            data_frames: 0,
+            bytes_on_wire: 0,
+            per_device_wire_bytes: BTreeMap::new(),
+            per_device_rounds: BTreeMap::new(),
+            devices_lost: Vec::new(),
+            repartitions: 0,
+            samples_replayed: 0,
+            recovery_seconds: 0.0,
+            steady_state_samples_per_second: 0.0,
+            simulated_total_seconds: 0.0,
+            final_plan: current_plan.clone(),
+        };
+
+        loop {
+            report.epochs += 1;
+            let timing = self.timing(&current_plan, &current_devices)?;
+            let outcome = run_epoch(
+                &current_plan,
+                &current_devices,
+                &pending,
+                round_size,
+                cfg.effective_depth(),
+                inputs,
+                &mut executors,
+                &mut fusion,
+                &mut fused,
+                &failures,
+            )?;
+
+            report.heartbeats_seen += outcome.heartbeats;
+            report.control_frames += outcome.control_frames;
+            report.data_frames += outcome.data_frames;
+            report.bytes_on_wire += outcome.bytes_on_wire;
+            for (&device, &bytes) in &outcome.per_device_wire_bytes {
+                *report.per_device_wire_bytes.entry(device).or_insert(0) += bytes;
+            }
+            for (&device, &rounds) in &outcome.per_device_rounds {
+                *report.per_device_rounds.entry(device).or_insert(0) += rounds;
+            }
+            report.max_rounds_in_flight = report.max_rounds_in_flight.max(outcome.max_in_flight);
+            clock.advance(timing.total_seconds(outcome.rounds_fused));
+
+            pending.retain(|&round| round_unfused(&fused, round, round_size, inputs.len()));
+
+            if outcome.newly_dead.is_empty() {
+                if !pending.is_empty() {
+                    return Err(SchedError::Runtime {
+                        message: format!(
+                            "epoch ended with {} unfused round(s) but no device death",
+                            pending.len()
+                        ),
+                    });
+                }
+                report.steady_state_samples_per_second = timing.steady_state_samples_per_second();
+                break;
+            }
+
+            // ---- A death: repartition onto the survivors and replay. -------
+            report
+                .devices_lost
+                .extend(outcome.newly_dead.iter().copied());
+            current_devices.retain(|d| !outcome.newly_dead.contains(&d.id));
+            if current_devices.is_empty() {
+                return Err(SchedError::AllDevicesLost {
+                    lost: report.devices_lost.clone(),
+                });
+            }
+            current_plan = current_plan
+                .replan_for_survivors(&current_devices, cfg.energy_samples_per_round)?;
+            report.repartitions += 1;
+            report.samples_replayed += outcome
+                .partial_rounds
+                .iter()
+                .map(|&r| round_len(r, round_size, inputs.len()))
+                .sum::<usize>();
+
+            // Detection costs one round interval for the missed heartbeat to
+            // fall due plus `grace_rounds` intervals of deadline; then the
+            // planner runs; then the in-flight rounds replay on the new
+            // membership (their compute is charged to the next epoch's clock
+            // advance, but they are part of the recovery window).
+            let detection_seconds = (cfg.grace_rounds + 1) as f64 * timing.round_interval_seconds;
+            let new_timing = self.timing(&current_plan, &current_devices)?;
+            let replay_seconds =
+                outcome.partial_rounds.len() as f64 * new_timing.round_interval_seconds;
+            report.recovery_seconds += detection_seconds + cfg.replan_seconds + replay_seconds;
+            clock.advance(detection_seconds + cfg.replan_seconds);
+        }
+
+        report.simulated_total_seconds = clock.now();
+        report.final_plan = current_plan;
+        report.outputs = fused
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| SchedError::Runtime {
+                    message: format!("sample {i} was never fused"),
+                })
+            })
+            .collect::<Result<Vec<Tensor>>>()?;
+        Ok(report)
+    }
+
+    fn timing(&self, plan: &SplitPlan, devices: &[DeviceSpec]) -> Result<StreamTiming> {
+        let mut model = LatencyModel::new(self.config.network);
+        if self.config.fusion_flops > 0 {
+            model = model.with_fusion_flops(self.config.fusion_flops);
+        }
+        Ok(model.estimate_stream(
+            plan,
+            devices,
+            self.config.round_size,
+            self.config.mode == ScheduleMode::Pipelined,
+        )?)
+    }
+}
+
+impl StreamConfig {
+    /// Rounds in flight the mode actually allows: barrier forces 1.
+    fn effective_depth(&self) -> usize {
+        match self.mode {
+            ScheduleMode::Barrier => 1,
+            ScheduleMode::Pipelined => self.pipeline_depth,
+        }
+    }
+}
+
+/// Sample indices covered by the given global round.
+fn round_span(round: u64, round_size: usize, total_samples: usize) -> std::ops::Range<usize> {
+    let lo = round as usize * round_size;
+    let hi = (lo + round_size).min(total_samples);
+    lo..hi
+}
+
+fn round_len(round: u64, round_size: usize, total_samples: usize) -> usize {
+    round_span(round, round_size, total_samples).len()
+}
+
+fn round_unfused(
+    fused: &[Option<Tensor>],
+    round: u64,
+    round_size: usize,
+    total_samples: usize,
+) -> bool {
+    round_span(round, round_size, total_samples).any(|sample| fused[sample].is_none())
+}
+
+/// One membership epoch: spawns a worker thread per active device, consumes
+/// the per-device channels round by round on the calling thread, fuses each
+/// completed round, and reports any death (a device whose channel
+/// disconnected before it delivered all its rounds).
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    plan: &SplitPlan,
+    devices: &[DeviceSpec],
+    epoch_rounds: &[u64],
+    round_size: usize,
+    pipeline_depth: usize,
+    inputs: &[Tensor],
+    executors: &mut [SubModelFn],
+    fusion: &mut FusionFn,
+    fused: &mut [Option<Tensor>],
+    failures: &BTreeMap<usize, u64>,
+) -> Result<EpochOutcome> {
+    // Group the per-sub-model executors by hosting device. `iter_mut` hands
+    // out disjoint `&mut` borrows, so each worker thread exclusively owns the
+    // executors of its device for the duration of the epoch scope.
+    let mut by_device: BTreeMap<usize, Vec<(usize, &mut SubModelFn)>> = BTreeMap::new();
+    for (sub_index, executor) in executors.iter_mut().enumerate() {
+        let device_id =
+            plan.assignment
+                .device_for(sub_index)
+                .ok_or_else(|| SchedError::InvalidConfig {
+                    message: format!("sub-model {sub_index} has no assigned device"),
+                })?;
+        if !devices.iter().any(|d| d.id == device_id) {
+            return Err(SchedError::InvalidConfig {
+                message: format!("sub-model {sub_index} assigned to unknown device {device_id}"),
+            });
+        }
+        by_device
+            .entry(device_id)
+            .or_default()
+            .push((sub_index, executor));
+    }
+
+    let num_sub_models = plan.sub_models.len();
+    let total_samples = inputs.len();
+    // Highest round count any device has produced this epoch. Purely
+    // observational (it feeds the `max_rounds_in_flight` statistic, which is
+    // scheduling-dependent by nature); timing and replay accounting never
+    // read it, so they stay deterministic.
+    let produced_max = AtomicU64::new(0);
+    let produced_ref = &produced_max;
+
+    crossbeam::scope(|scope| -> Result<EpochOutcome> {
+        let mut receivers: BTreeMap<usize, channel::Receiver<DeviceToFusion>> = BTreeMap::new();
+        let device_ids: Vec<usize> = by_device.keys().copied().collect();
+        for device_id in device_ids {
+            let execs = by_device.remove(&device_id).expect("key enumerated above");
+            // Per-device bounded channel: `pipeline_depth` rounds of frames
+            // (data frames for each hosted sub-model plus the heartbeat),
+            // with two slots of slack for the join and leave announcements.
+            // Once the buffer is full the device blocks in `send` — explicit
+            // backpressure, and a hard bound on how far devices can skew.
+            let capacity = (execs.len() + 1) * pipeline_depth.max(1) + 2;
+            let (tx, rx) = channel::bounded::<DeviceToFusion>(capacity);
+            receivers.insert(device_id, rx);
+            let capacity_flops = devices
+                .iter()
+                .find(|d| d.id == device_id)
+                .map(|d| d.flops_per_second)
+                .unwrap_or(0.0);
+            let dies_at = failures.get(&device_id).copied();
+            scope.spawn(move |_| {
+                run_device_worker(
+                    device_id,
+                    execs,
+                    epoch_rounds,
+                    round_size,
+                    total_samples,
+                    inputs,
+                    capacity_flops,
+                    dies_at,
+                    produced_ref,
+                    &tx,
+                );
+            });
+        }
+
+        collect_epoch(
+            receivers,
+            epoch_rounds,
+            round_size,
+            num_sub_models,
+            total_samples,
+            fusion,
+            fused,
+            produced_ref,
+        )
+    })
+    .map_err(|_| SchedError::Runtime {
+        message: "a device worker thread panicked".to_string(),
+    })?
+}
+
+/// What travels from a device worker to the fusion worker: an encoded wire
+/// frame, or an executor failure that must abort the stream.
+type DeviceToFusion = std::result::Result<bytes::Bytes, String>;
+
+/// One device's epoch loop: per round, compute + ship every hosted
+/// sub-model's batch frame, then a heartbeat. A scripted death makes the
+/// worker return silently — no leave frame, no further beacons — so the
+/// fusion side observes exactly what a crashed device looks like: a channel
+/// that goes quiet and then disconnects.
+#[allow(clippy::too_many_arguments)]
+fn run_device_worker(
+    device_id: usize,
+    mut execs: Vec<(usize, &mut SubModelFn)>,
+    epoch_rounds: &[u64],
+    round_size: usize,
+    total_samples: usize,
+    inputs: &[Tensor],
+    capacity_flops: f64,
+    dies_at: Option<u64>,
+    produced_max: &AtomicU64,
+    tx: &channel::SyncSender<DeviceToFusion>,
+) {
+    // A closed channel means the collector bailed; stop quietly everywhere.
+    if tx
+        .send(Ok(ControlMessage::join(device_id, capacity_flops).encode()))
+        .is_err()
+    {
+        return;
+    }
+    let mut completed = 0u64;
+    for &round in epoch_rounds {
+        if dies_at.is_some_and(|at| round >= at) {
+            return; // scripted crash: silence, not a leave
+        }
+        let span = round_span(round, round_size, total_samples);
+        for (sub_index, executor) in execs.iter_mut() {
+            let mut batch: Option<FeatureBatchMessage> = None;
+            for sample in span.clone() {
+                let feature = match executor(&inputs[sample]) {
+                    Ok(f) => f,
+                    Err(message) => {
+                        let _ = tx.send(Err(format!("device {device_id}: {message}")));
+                        return;
+                    }
+                };
+                let slot = batch
+                    .get_or_insert_with(|| FeatureBatchMessage::new(*sub_index, feature.numel()));
+                if let Err(e) = slot.push_tensor(sample, &feature) {
+                    let _ = tx.send(Err(format!("device {device_id}: {e}")));
+                    return;
+                }
+            }
+            let Some(batch) = batch else { continue };
+            if tx.send(Ok(batch.encode())).is_err() {
+                return;
+            }
+        }
+        completed += 1;
+        produced_max.fetch_max(completed, Ordering::Relaxed);
+        if tx
+            .send(Ok(ControlMessage::heartbeat(
+                device_id,
+                completed,
+                capacity_flops,
+            )
+            .encode()))
+            .is_err()
+        {
+            return;
+        }
+    }
+    let _ = tx.send(Ok(ControlMessage::leave(device_id, completed).encode()));
+}
+
+/// The fusion worker's epoch loop: drain every device up to round *k*'s
+/// heartbeat, fuse round *k*, repeat. A disconnect before a device's
+/// heartbeat for the current round is that device's death.
+#[allow(clippy::too_many_arguments)]
+fn collect_epoch(
+    receivers: BTreeMap<usize, channel::Receiver<DeviceToFusion>>,
+    epoch_rounds: &[u64],
+    round_size: usize,
+    num_sub_models: usize,
+    total_samples: usize,
+    fusion: &mut FusionFn,
+    fused: &mut [Option<Tensor>],
+    produced_max: &AtomicU64,
+) -> Result<EpochOutcome> {
+    let mut tracker = HealthTracker::new();
+    for &device in receivers.keys() {
+        tracker.register(device);
+    }
+    // round -> sample -> (sub-model -> feature), ordered so fusion walks
+    // samples in input order.
+    let mut partial: BTreeMap<u64, BTreeMap<usize, BTreeMap<u32, Tensor>>> = BTreeMap::new();
+    let mut outcome = EpochOutcome {
+        newly_dead: Vec::new(),
+        rounds_fused: 0,
+        partial_rounds: Vec::new(),
+        heartbeats: 0,
+        control_frames: 0,
+        data_frames: 0,
+        bytes_on_wire: 0,
+        per_device_wire_bytes: BTreeMap::new(),
+        per_device_rounds: BTreeMap::new(),
+        max_in_flight: 0,
+    };
+
+    'rounds: for (position, &round) in epoch_rounds.iter().enumerate() {
+        let expected_sequence = position as u64 + 1;
+        for (&device, rx) in &receivers {
+            loop {
+                match rx.recv() {
+                    Ok(message) => {
+                        let seen = ingest(
+                            message,
+                            device,
+                            round_size,
+                            total_samples,
+                            &mut tracker,
+                            &mut partial,
+                            &mut outcome,
+                        )?;
+                        if matches!(seen, Seen::Heartbeat(seq) if seq >= expected_sequence) {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        // The device's sender dropped before this round's
+                        // heartbeat: its deadline passed. Terminal.
+                        tracker.declare_dead(device);
+                        outcome.newly_dead.push(device);
+                        break 'rounds;
+                    }
+                }
+            }
+        }
+        // Every device delivered the round; the in-flight window is however
+        // far the fastest producer has run ahead of fusion.
+        let produced = produced_max.load(Ordering::Relaxed) as usize;
+        outcome.max_in_flight = outcome
+            .max_in_flight
+            .max(produced.saturating_sub(outcome.rounds_fused));
+        fuse_round(
+            round,
+            round_size,
+            num_sub_models,
+            total_samples,
+            &mut partial,
+            fusion,
+            fused,
+        )?;
+        outcome.rounds_fused += 1;
+    }
+
+    if outcome.newly_dead.is_empty() {
+        // Graceful tail: consume the leave announcements.
+        for (&device, rx) in &receivers {
+            for message in rx.iter() {
+                ingest(
+                    message,
+                    device,
+                    round_size,
+                    total_samples,
+                    &mut tracker,
+                    &mut partial,
+                    &mut outcome,
+                )?;
+            }
+        }
+    } else if outcome.rounds_fused < epoch_rounds.len() {
+        // The replay set is what was in flight *at the fusion worker* when
+        // the death was declared: exactly the round under collection (earlier
+        // rounds were fused and removed, later rounds were never ingested —
+        // any frames for them still queued in survivor channels are dropped
+        // unread when the receivers fall at return, which also unblocks any
+        // survivor still in `send`). Deriving this from the collector's
+        // deterministic consumption order — never from how far worker
+        // threads happened to race ahead — keeps `samples_replayed` and
+        // `recovery_seconds` reproducible run to run and machine to machine.
+        outcome.partial_rounds = vec![epoch_rounds[outcome.rounds_fused]];
+    }
+    for &device in receivers.keys() {
+        outcome
+            .per_device_rounds
+            .insert(device, tracker.sequence_of(device));
+    }
+    Ok(outcome)
+}
+
+/// What one received message turned out to be.
+enum Seen {
+    Heartbeat(u64),
+    Other,
+}
+
+/// Decodes and accounts one frame: control frames update the health tracker,
+/// data frames are stashed for fusion.
+fn ingest(
+    message: DeviceToFusion,
+    device: usize,
+    round_size: usize,
+    total_samples: usize,
+    tracker: &mut HealthTracker,
+    partial: &mut BTreeMap<u64, BTreeMap<usize, BTreeMap<u32, Tensor>>>,
+    outcome: &mut EpochOutcome,
+) -> Result<Seen> {
+    let encoded = message.map_err(|message| SchedError::Runtime { message })?;
+    outcome.bytes_on_wire += encoded.len() as u64;
+    *outcome.per_device_wire_bytes.entry(device).or_insert(0) += encoded.len() as u64;
+    match WireFrame::decode(encoded).map_err(SchedError::Edge)? {
+        WireFrame::Control(control) => {
+            outcome.control_frames += 1;
+            match control.kind {
+                ControlKind::Join => {
+                    tracker.observe_join(
+                        control.device_id as usize,
+                        control.capacity_flops_per_second,
+                    );
+                    Ok(Seen::Other)
+                }
+                ControlKind::Heartbeat => {
+                    outcome.heartbeats += 1;
+                    tracker.observe_heartbeat(control.device_id as usize, control.sequence);
+                    Ok(Seen::Heartbeat(control.sequence))
+                }
+                ControlKind::Leave => {
+                    tracker.observe_leave(control.device_id as usize, control.sequence);
+                    Ok(Seen::Other)
+                }
+            }
+        }
+        WireFrame::FeatureBatch(batch) => {
+            outcome.data_frames += 1;
+            let sub_model = batch.sub_model;
+            for single in batch.into_messages() {
+                let sample = single.sample_index as usize;
+                if sample >= total_samples {
+                    return Err(SchedError::Runtime {
+                        message: format!(
+                            "frame references sample {sample} beyond the stream of {total_samples}"
+                        ),
+                    });
+                }
+                let round = (sample / round_size) as u64;
+                partial
+                    .entry(round)
+                    .or_default()
+                    .entry(sample)
+                    .or_default()
+                    .insert(sub_model, single.into_tensor());
+            }
+            Ok(Seen::Other)
+        }
+        WireFrame::Feature(_) => Err(SchedError::Runtime {
+            message: "device shipped a single-feature frame, expected batches".to_string(),
+        }),
+    }
+}
+
+/// Fuses `round`, which must be complete (every sample has every sub-model's
+/// feature — guaranteed once every device delivered its heartbeat for the
+/// round). Each output slot is written exactly once; a second write is a
+/// hard error.
+fn fuse_round(
+    round: u64,
+    round_size: usize,
+    num_sub_models: usize,
+    total_samples: usize,
+    partial: &mut BTreeMap<u64, BTreeMap<usize, BTreeMap<u32, Tensor>>>,
+    fusion: &mut FusionFn,
+    fused: &mut [Option<Tensor>],
+) -> Result<()> {
+    let span = round_span(round, round_size, total_samples);
+    let samples = partial.remove(&round).unwrap_or_default();
+    if span.len() != samples.len()
+        || samples
+            .values()
+            .any(|features| features.len() != num_sub_models)
+    {
+        return Err(SchedError::Runtime {
+            message: format!(
+                "round {round} incomplete after every device heartbeat: {}/{} samples present",
+                samples.len(),
+                span.len()
+            ),
+        });
+    }
+    for (sample, features) in samples {
+        if fused[sample].is_some() {
+            return Err(SchedError::Runtime {
+                message: format!(
+                    "sample {sample} would be fused twice (round {round} replayed after it was \
+                     already complete)"
+                ),
+            });
+        }
+        let refs: Vec<&Tensor> = features.values().collect();
+        let concatenated = Tensor::concat_last_axis(&refs).map_err(|e| SchedError::Runtime {
+            message: format!("feature concatenation failed: {e}"),
+        })?;
+        let output = fusion(&concatenated).map_err(|message| SchedError::Runtime { message })?;
+        fused[sample] = Some(output);
+    }
+    Ok(())
+}

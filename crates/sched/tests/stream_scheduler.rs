@@ -1,0 +1,268 @@
+//! Integration tests of the streaming scheduler: pipelined throughput beats
+//! the barrier bound on the simulated clock, and a device killed mid-stream
+//! triggers a repartition onto the survivors with zero lost or duplicated
+//! samples.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use edvit_edge::{FusionFn, SubModelFn};
+use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlan, SplitPlanner};
+use edvit_sched::{SchedError, ScheduleMode, StreamConfig, StreamScheduler};
+use edvit_tensor::Tensor;
+use edvit_vit::ViTConfig;
+
+fn plan_for(devices: &[DeviceSpec]) -> SplitPlan {
+    SplitPlanner::new(PlannerConfig::default())
+        .plan(&ViTConfig::vit_base(10), devices, 7)
+        .unwrap()
+}
+
+/// Deterministic executors: sub-model `i` maps a sample to
+/// `[sum(sample) + i, i]`, so fused outputs identify both the sample and the
+/// contributing sub-models. The shared counter records total invocations.
+fn executors_for(plan: &SplitPlan, calls: &Arc<AtomicUsize>) -> Vec<SubModelFn> {
+    (0..plan.sub_models.len())
+        .map(|i| -> SubModelFn {
+            let calls = Arc::clone(calls);
+            Box::new(move |sample: &Tensor| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok(Tensor::from_vec(vec![sample.sum() + i as f32, i as f32], &[2]).unwrap())
+            })
+        })
+        .collect()
+}
+
+fn concat_fusion() -> FusionFn {
+    Box::new(|concat: &Tensor| Ok(concat.clone()))
+}
+
+fn inputs(n: usize) -> Vec<Tensor> {
+    (0..n).map(|i| Tensor::full(&[3], i as f32)).collect()
+}
+
+#[test]
+fn pipelined_steady_state_beats_barrier_on_the_simulated_clock() {
+    let devices = DeviceSpec::raspberry_pi_cluster(4);
+    let plan = plan_for(&devices);
+    let samples = inputs(32);
+    let calls = Arc::new(AtomicUsize::new(0));
+
+    let barrier = StreamScheduler::new(
+        plan.clone(),
+        devices.clone(),
+        StreamConfig::default().barrier(),
+    )
+    .unwrap()
+    .run(&samples, executors_for(&plan, &calls), concat_fusion())
+    .unwrap();
+
+    let pipelined = StreamScheduler::new(plan.clone(), devices, StreamConfig::default())
+        .unwrap()
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap();
+
+    assert_eq!(barrier.mode, ScheduleMode::Barrier);
+    assert_eq!(pipelined.mode, ScheduleMode::Pipelined);
+    assert_eq!(barrier.outputs.len(), 32);
+    assert_eq!(pipelined.outputs.len(), 32);
+    // Same workload, same outputs, whatever the scheduling.
+    for (a, b) in barrier.outputs.iter().zip(&pipelined.outputs) {
+        assert_eq!(a.data(), b.data());
+    }
+    // The acceptance bar: pipelined steady-state throughput exceeds the
+    // barrier runtime's on the same workload, on the simulated clock.
+    assert!(
+        pipelined.steady_state_samples_per_second > barrier.steady_state_samples_per_second,
+        "pipelined {} !> barrier {}",
+        pipelined.steady_state_samples_per_second,
+        barrier.steady_state_samples_per_second
+    );
+    assert!(
+        pipelined.simulated_total_seconds < barrier.simulated_total_seconds,
+        "pipelined total {} !< barrier total {}",
+        pipelined.simulated_total_seconds,
+        barrier.simulated_total_seconds
+    );
+    // Accounting: 8 rounds × 4 devices heartbeats, one join + one leave per
+    // device, one data frame per sub-model per round.
+    assert_eq!(pipelined.rounds, 8);
+    assert_eq!(pipelined.heartbeats_seen, 8 * 4);
+    assert_eq!(pipelined.control_frames, 8 * 4 + 4 + 4);
+    assert_eq!(pipelined.data_frames, 8 * plan.sub_models.len());
+    assert!(pipelined.bytes_on_wire > 0);
+    // Per-device accounting: all four devices shipped bytes and delivered
+    // every round, and the per-device bytes sum to the wire total.
+    assert_eq!(pipelined.per_device_wire_bytes.len(), 4);
+    assert_eq!(
+        pipelined.per_device_wire_bytes.values().sum::<u64>(),
+        pipelined.bytes_on_wire
+    );
+    assert!(pipelined.per_device_rounds.values().all(|&r| r == 8));
+    assert!(pipelined.max_rounds_in_flight >= 1);
+    assert_eq!(pipelined.epochs, 1);
+    assert_eq!(pipelined.repartitions, 0);
+    assert_eq!(pipelined.recovery_seconds, 0.0);
+    assert!(pipelined.devices_lost.is_empty());
+}
+
+#[test]
+fn killing_a_device_mid_stream_repartitions_onto_survivors_with_exactly_once_fusion() {
+    let devices = DeviceSpec::raspberry_pi_cluster(4);
+    let plan = plan_for(&devices);
+    // Every device hosts at least one sub-model, so killing one matters.
+    for d in &devices {
+        assert!(
+            !plan.assignment.sub_models_on(d.id).is_empty(),
+            "device {} hosts nothing; the failure test would be vacuous",
+            d.id
+        );
+    }
+    let samples = inputs(40);
+    let calls = Arc::new(AtomicUsize::new(0));
+
+    // Reference run without failures.
+    let reference = StreamScheduler::new(plan.clone(), devices.clone(), StreamConfig::default())
+        .unwrap()
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap();
+
+    // Device 2 goes silent before processing round 3.
+    let chaos_calls = Arc::new(AtomicUsize::new(0));
+    let config = StreamConfig::default().with_failure(2, 3);
+    let report = StreamScheduler::new(plan.clone(), devices.clone(), config)
+        .unwrap()
+        .run(
+            &samples,
+            executors_for(&plan, &chaos_calls),
+            concat_fusion(),
+        )
+        .unwrap();
+
+    // Zero lost, zero duplicated: every sample fused exactly once, with the
+    // same value the healthy cluster produced.
+    assert_eq!(report.outputs.len(), samples.len());
+    for (i, (a, b)) in reference.outputs.iter().zip(&report.outputs).enumerate() {
+        assert_eq!(a.data(), b.data(), "sample {i} diverged after the failover");
+    }
+    assert_eq!(report.devices_lost, vec![2]);
+    assert_eq!(report.repartitions, 1);
+    assert_eq!(report.epochs, 2);
+    // The re-plan hosts every sub-model on the three survivors.
+    for sub in &report.final_plan.sub_models {
+        let host = report.final_plan.assignment.device_for(sub.index).unwrap();
+        assert_ne!(host, 2, "sub-model {} still on the dead device", sub.index);
+    }
+    let hosts: std::collections::BTreeSet<usize> = report
+        .final_plan
+        .sub_models
+        .iter()
+        .map(|s| report.final_plan.assignment.device_for(s.index).unwrap())
+        .collect();
+    assert!(hosts.iter().all(|&h| h != 2) && hosts.len() <= 3);
+    // Recovery is recorded on the simulated clock, and the in-flight work
+    // was replayed: round 3 (the one the dead device never delivered) was in
+    // flight when the death was declared, so at least its 4 samples
+    // recompute; survivors may have pipelined further ahead.
+    assert!(report.recovery_seconds > 0.0);
+    assert!(
+        report.samples_replayed >= 4,
+        "expected at least one in-flight round (4 samples) replayed, got {}",
+        report.samples_replayed
+    );
+    // Replays cost extra executor calls beyond the healthy run's, and the
+    // run is longer than the healthy one on the virtual clock.
+    assert!(chaos_calls.load(Ordering::SeqCst) > calls.load(Ordering::SeqCst) / 2);
+    assert!(report.simulated_total_seconds > 0.0);
+    assert!(report.heartbeats_seen > 0);
+    let predictions = report.predictions().unwrap();
+    assert_eq!(predictions.len(), samples.len());
+}
+
+#[test]
+fn death_on_arrival_fails_over_and_a_ragged_last_round_still_fuses() {
+    let devices = DeviceSpec::raspberry_pi_cluster(2);
+    let plan = plan_for(&devices);
+    let samples = inputs(10); // rounds of 4, 4, 2
+    let calls = Arc::new(AtomicUsize::new(0));
+    let config = StreamConfig::default().with_failure(0, 0);
+    let report = StreamScheduler::new(plan.clone(), devices, config)
+        .unwrap()
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap();
+    assert_eq!(report.outputs.len(), 10);
+    assert_eq!(report.devices_lost, vec![0]);
+    assert_eq!(report.repartitions, 1);
+    assert_eq!(report.rounds, 3);
+    for sub in &report.final_plan.sub_models {
+        assert_eq!(report.final_plan.assignment.device_for(sub.index), Some(1));
+    }
+}
+
+#[test]
+fn losing_every_device_is_a_typed_error() {
+    let devices = DeviceSpec::raspberry_pi_cluster(1);
+    let plan = plan_for(&devices);
+    let calls = Arc::new(AtomicUsize::new(0));
+    let config = StreamConfig::default().with_failure(0, 1);
+    let err = StreamScheduler::new(plan.clone(), devices, config)
+        .unwrap()
+        .run(&inputs(12), executors_for(&plan, &calls), concat_fusion())
+        .unwrap_err();
+    assert!(
+        matches!(err, SchedError::AllDevicesLost { ref lost } if lost == &vec![0]),
+        "{err}"
+    );
+}
+
+#[test]
+fn invalid_configurations_are_rejected() {
+    let devices = DeviceSpec::raspberry_pi_cluster(2);
+    let plan = plan_for(&devices);
+    let bad = StreamConfig {
+        round_size: 0,
+        ..StreamConfig::default()
+    };
+    assert!(StreamScheduler::new(plan.clone(), devices.clone(), bad).is_err());
+    let bad = StreamConfig {
+        pipeline_depth: 0,
+        ..StreamConfig::default()
+    };
+    assert!(StreamScheduler::new(plan.clone(), devices.clone(), bad).is_err());
+    assert!(StreamScheduler::new(plan.clone(), vec![], StreamConfig::default()).is_err());
+
+    let scheduler = StreamScheduler::new(plan.clone(), devices, StreamConfig::default()).unwrap();
+    // Executor count must match the plan.
+    let err = scheduler
+        .run(&inputs(4), vec![], concat_fusion())
+        .unwrap_err();
+    assert!(matches!(err, SchedError::InvalidConfig { .. }), "{err}");
+    // Empty inputs are rejected.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let err = scheduler
+        .run(&[], executors_for(&plan, &calls), concat_fusion())
+        .unwrap_err();
+    assert!(matches!(err, SchedError::InvalidConfig { .. }), "{err}");
+}
+
+#[test]
+fn executor_and_fusion_failures_propagate() {
+    let devices = DeviceSpec::raspberry_pi_cluster(2);
+    let plan = plan_for(&devices);
+    let scheduler =
+        StreamScheduler::new(plan.clone(), devices.clone(), StreamConfig::default()).unwrap();
+    let failing: Vec<SubModelFn> = (0..plan.sub_models.len())
+        .map(|_| -> SubModelFn { Box::new(|_: &Tensor| Err("device out of memory".into())) })
+        .collect();
+    let err = scheduler
+        .run(&inputs(4), failing, concat_fusion())
+        .unwrap_err();
+    assert!(err.to_string().contains("out of memory"), "{err}");
+
+    let calls = Arc::new(AtomicUsize::new(0));
+    let bad_fusion: FusionFn = Box::new(|_| Err("fusion MLP not trained".into()));
+    let err = scheduler
+        .run(&inputs(4), executors_for(&plan, &calls), bad_fusion)
+        .unwrap_err();
+    assert!(err.to_string().contains("fusion MLP"), "{err}");
+}

@@ -4,10 +4,20 @@
 //! functions, normalizations and reductions required by the Vision
 //! Transformer, the CNN/SNN baselines and the fusion MLP.
 
+use edvit_parallel::ParallelPool;
+
 use crate::{Tensor, TensorError};
 
 /// Numerical epsilon used by normalization kernels.
 pub const NORM_EPS: f32 = 1e-5;
+
+/// Minimum total elements before a row-wise activation/normalization kernel
+/// crosses the thread pool; below this, claiming overhead beats the win.
+const PAR_ELEMS_THRESHOLD: usize = 1 << 14;
+
+/// Target elements per claimed chunk, so the shared-counter claiming can
+/// balance uneven chunk costs without drowning in atomics.
+const PAR_CHUNK_ELEMS: usize = 4096;
 
 impl Tensor {
     // ------------------------------------------------------------------
@@ -20,9 +30,12 @@ impl Tensor {
     }
 
     /// Gaussian Error Linear Unit (tanh approximation), the activation used
-    /// inside ViT feed-forward blocks.
+    /// inside ViT feed-forward blocks. Large tensors split across the global
+    /// thread pool; results are bit-identical at every thread count.
     pub fn gelu(&self) -> Tensor {
-        self.map(gelu_scalar)
+        let mut out = self.clone();
+        gelu_map(out.data_mut(), ParallelPool::global());
+        out
     }
 
     /// Elementwise sigmoid.
@@ -59,9 +72,7 @@ impl Tensor {
     pub fn softmax_last_axis(&self) -> Result<Tensor, TensorError> {
         let last = self.last_axis_len("softmax_last_axis")?;
         let mut out = self.clone();
-        for chunk in out.data_mut().chunks_mut(last) {
-            softmax_slice(chunk);
-        }
+        softmax_rows(out.data_mut(), last, ParallelPool::global());
         Ok(out)
     }
 
@@ -103,15 +114,13 @@ impl Tensor {
             });
         }
         let mut out = self.clone();
-        for chunk in out.data_mut().chunks_mut(last) {
-            let mean: f32 = chunk.iter().sum::<f32>() / last as f32;
-            let var: f32 =
-                chunk.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / last as f32;
-            let denom = (var + NORM_EPS).sqrt();
-            for (i, v) in chunk.iter_mut().enumerate() {
-                *v = ((*v - mean) / denom) * gamma.data()[i] + beta.data()[i];
-            }
-        }
+        layer_norm_rows(
+            out.data_mut(),
+            last,
+            gamma.data(),
+            beta.data(),
+            ParallelPool::global(),
+        );
         Ok(out)
     }
 
@@ -413,6 +422,94 @@ pub fn softmax_slice(chunk: &mut [f32]) {
             *v /= sum;
         }
     }
+}
+
+/// In-place layer normalization of one row against `gamma`/`beta` (which must
+/// match the row length).
+pub fn layer_norm_slice(row: &mut [f32], gamma: &[f32], beta: &[f32]) {
+    let n = row.len();
+    if n == 0 {
+        return;
+    }
+    let mean: f32 = row.iter().sum::<f32>() / n as f32;
+    let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+    let denom = (var + NORM_EPS).sqrt();
+    for (i, v) in row.iter_mut().enumerate() {
+        *v = ((*v - mean) / denom) * gamma[i] + beta[i];
+    }
+}
+
+/// How many whole rows each parallel chunk should carry so a chunk holds
+/// roughly [`PAR_CHUNK_ELEMS`] elements.
+fn rows_per_chunk(row_len: usize) -> usize {
+    PAR_CHUNK_ELEMS.div_ceil(row_len.max(1)).max(1)
+}
+
+/// In-place row-wise softmax over `data` viewed as rows of `row_len`
+/// elements, split across `pool` one group of whole rows per chunk. Every row
+/// is normalized by the identical sequential code whatever the thread count,
+/// so results are *bit-identical* between `EDVIT_THREADS=1` and any other
+/// pool size.
+pub fn softmax_rows(data: &mut [f32], row_len: usize, pool: &ParallelPool) {
+    debug_assert!(row_len == 0 || data.len().is_multiple_of(row_len));
+    if row_len == 0 {
+        return;
+    }
+    if data.len() < PAR_ELEMS_THRESHOLD || pool.is_sequential() {
+        for row in data.chunks_mut(row_len) {
+            softmax_slice(row);
+        }
+        return;
+    }
+    pool.scope_chunks(data, rows_per_chunk(row_len) * row_len, |_, chunk| {
+        for row in chunk.chunks_mut(row_len) {
+            softmax_slice(row);
+        }
+    });
+}
+
+/// In-place row-wise layer normalization over `data` viewed as rows of
+/// `row_len` elements; same bit-identity guarantee as [`softmax_rows`].
+pub fn layer_norm_rows(
+    data: &mut [f32],
+    row_len: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    pool: &ParallelPool,
+) {
+    debug_assert!(row_len == 0 || data.len().is_multiple_of(row_len));
+    debug_assert!(gamma.len() == row_len && beta.len() == row_len);
+    if row_len == 0 {
+        return;
+    }
+    if data.len() < PAR_ELEMS_THRESHOLD || pool.is_sequential() {
+        for row in data.chunks_mut(row_len) {
+            layer_norm_slice(row, gamma, beta);
+        }
+        return;
+    }
+    pool.scope_chunks(data, rows_per_chunk(row_len) * row_len, |_, chunk| {
+        for row in chunk.chunks_mut(row_len) {
+            layer_norm_slice(row, gamma, beta);
+        }
+    });
+}
+
+/// In-place elementwise GELU over `data`, split across `pool`; elementwise,
+/// so chunk boundaries cannot change any value — bit-identical at every
+/// thread count.
+pub fn gelu_map(data: &mut [f32], pool: &ParallelPool) {
+    if data.len() < PAR_ELEMS_THRESHOLD || pool.is_sequential() {
+        for v in data.iter_mut() {
+            *v = gelu_scalar(*v);
+        }
+        return;
+    }
+    pool.scope_chunks(data, PAR_CHUNK_ELEMS, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = gelu_scalar(*v);
+        }
+    });
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! pit 1-thread and 8-thread pools against each other inside one process.
 
 use edvit_parallel::ParallelPool;
-use edvit_tensor::{init::TensorRng, kernels};
+use edvit_tensor::{init::TensorRng, kernels, ops};
 
 /// Relative tolerance: the blocked/FMA kernels re-associate sums, so results
 /// differ from the naive reference only by rounding.
@@ -176,6 +176,119 @@ fn tensor_level_ops_use_global_pool_and_match_reference() {
             &format!("Tensor::matmul_transposed {m}x{k}x{n}"),
         );
     }
+}
+
+/// Row-op shapes straddling the parallel threshold (2^14 elements) and the
+/// rows-per-chunk grouping: tiny rows, huge rows, a single row, ragged counts.
+fn row_shapes() -> Vec<(usize, usize)> {
+    vec![
+        (1, 8),
+        (3, 5),
+        (16, 16),    // 256 elements: sequential path
+        (196, 768),  // ViT-Base token grid: parallel path
+        (4096, 8),   // many tiny rows: chunk grouping
+        (1, 32_768), // one huge row: single chunk
+        (257, 129),  // ragged, threshold-straddling
+        (64, 256),   // exactly 2^14: boundary
+    ]
+}
+
+#[test]
+fn softmax_layernorm_gelu_are_bitwise_identical_across_thread_counts() {
+    // The EDVIT_THREADS=1 vs EDVIT_THREADS=4 contract for the row-wise
+    // activation/normalization kernels: chunk boundaries move with the
+    // thread count, but every row (or element, for GELU) is computed by the
+    // same sequential code — so the outputs must be bit-identical, not just
+    // close.
+    let seq_pool = ParallelPool::new(1);
+    let par_pool = ParallelPool::new(4);
+    let mut rng = TensorRng::new(0x50F7);
+    for (rows, cols) in row_shapes() {
+        let base = rng.randn(&[rows * cols], 0.0, 2.0).data().to_vec();
+        let gamma: Vec<f32> = rng.rand_uniform(&[cols], 0.5, 1.5).data().to_vec();
+        let beta: Vec<f32> = rng.rand_uniform(&[cols], -0.5, 0.5).data().to_vec();
+
+        let mut seq = base.clone();
+        ops::softmax_rows(&mut seq, cols, &seq_pool);
+        let mut par = base.clone();
+        ops::softmax_rows(&mut par, cols, &par_pool);
+        assert_eq!(
+            seq, par,
+            "softmax {rows}x{cols} differs across thread counts"
+        );
+        // Reference: the public per-row slice kernel, row by row.
+        let mut reference = base.clone();
+        for row in reference.chunks_mut(cols) {
+            ops::softmax_slice(row);
+        }
+        assert_eq!(
+            seq, reference,
+            "softmax {rows}x{cols} diverged from per-row kernel"
+        );
+
+        let mut seq = base.clone();
+        ops::layer_norm_rows(&mut seq, cols, &gamma, &beta, &seq_pool);
+        let mut par = base.clone();
+        ops::layer_norm_rows(&mut par, cols, &gamma, &beta, &par_pool);
+        assert_eq!(
+            seq, par,
+            "layernorm {rows}x{cols} differs across thread counts"
+        );
+        let mut reference = base.clone();
+        for row in reference.chunks_mut(cols) {
+            ops::layer_norm_slice(row, &gamma, &beta);
+        }
+        assert_eq!(
+            seq, reference,
+            "layernorm {rows}x{cols} diverged from per-row kernel"
+        );
+
+        let mut seq = base.clone();
+        ops::gelu_map(&mut seq, &seq_pool);
+        let mut par = base.clone();
+        ops::gelu_map(&mut par, &par_pool);
+        assert_eq!(seq, par, "gelu {rows}x{cols} differs across thread counts");
+        let reference: Vec<f32> = base.iter().map(|&x| ops::gelu_scalar(x)).collect();
+        assert_eq!(
+            seq, reference,
+            "gelu {rows}x{cols} diverged from scalar kernel"
+        );
+    }
+}
+
+#[test]
+fn tensor_row_ops_use_global_pool_and_stay_bitwise_stable() {
+    // Tensor::softmax_last_axis / layer_norm_last_axis / gelu go through
+    // ParallelPool::global(); whatever EDVIT_THREADS says, they must equal
+    // the sequential per-row kernels bit for bit (CI runs this under both
+    // EDVIT_THREADS=1 and =4).
+    use edvit_tensor::Tensor;
+    let mut rng = TensorRng::new(0xB17);
+    let x = rng.randn(&[196, 768], 0.0, 1.0);
+    let cols = 768;
+
+    let softmax = x.softmax_last_axis().unwrap();
+    let mut reference = x.data().to_vec();
+    for row in reference.chunks_mut(cols) {
+        ops::softmax_slice(row);
+    }
+    assert_eq!(softmax.data(), reference.as_slice());
+
+    let gamma = rng.rand_uniform(&[cols], 0.5, 1.5);
+    let beta = rng.rand_uniform(&[cols], -0.5, 0.5);
+    let normed = x.layer_norm_last_axis(&gamma, &beta).unwrap();
+    let mut reference = x.data().to_vec();
+    for row in reference.chunks_mut(cols) {
+        ops::layer_norm_slice(row, gamma.data(), beta.data());
+    }
+    assert_eq!(normed.data(), reference.as_slice());
+
+    let activated = x.gelu();
+    let reference: Vec<f32> = x.data().iter().map(|&v| ops::gelu_scalar(v)).collect();
+    assert_eq!(activated.data(), reference.as_slice());
+    // Shape-preserving, and empty tensors stay legal.
+    assert_eq!(activated.dims(), x.dims());
+    assert_eq!(Tensor::zeros(&[0]).gelu().numel(), 0);
 }
 
 #[test]

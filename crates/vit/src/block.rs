@@ -16,7 +16,7 @@ use crate::{Result, ViTError};
 /// The three prunable component groups of Fig. 2 map onto this structure:
 /// residual channels (the width `d` seen by both LayerNorms and the residual
 /// sums), MHSA head dimensions, and the FFN hidden width.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ViTBlock {
     ln1: LayerNorm,
     attn: MultiHeadSelfAttention,

@@ -34,7 +34,7 @@ const PAR_POOL_WORK: usize = 1 << 15;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VisionTransformer {
     config: ViTConfig,
     patch_embed: PatchEmbed,

@@ -26,7 +26,7 @@ use crate::{Result, ViTConfig, ViTError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PatchEmbed {
     projection: Linear,
     pos_embed: Parameter,

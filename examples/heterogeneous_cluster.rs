@@ -1,19 +1,22 @@
 //! Deploying onto a heterogeneous cluster: half the devices are
 //! "underclocked" Raspberry Pis with half the memory and compute. The greedy
 //! assignment of Algorithm 3 places the heavier sub-models on the stronger
-//! devices, and the distributed runtime executes the deployment across
-//! threads with serialized feature messages.
+//! devices; the streaming scheduler then runs pipelined rounds across the
+//! cluster and — when one device is killed mid-stream — detects the death
+//! from its missed heartbeat, re-plans onto the three survivors and replays
+//! the in-flight rounds without losing or duplicating a single sample.
 //!
 //! Run with: `cargo run -p edvit --example heterogeneous_cluster --release`
 
-use edvit::distributed::run_distributed;
-use edvit::edge::NetworkConfig;
 use edvit::partition::DeviceSpec;
 use edvit::pipeline::{EdVitConfig, EdVitPipeline};
+use edvit::sched::StreamConfig;
+use edvit::streaming::run_streaming;
 
 fn main() -> Result<(), edvit::EdVitError> {
     let mut config = EdVitConfig::tiny_demo(4);
     config.devices = DeviceSpec::heterogeneous_cluster(4);
+    let devices = config.devices.clone();
 
     let deployment = EdVitPipeline::new(config).run()?;
     println!("Heterogeneous 4-device deployment");
@@ -28,24 +31,58 @@ fn main() -> Result<(), edvit::EdVitError> {
         );
     }
 
-    // Run a handful of test samples through the threaded cluster runtime.
+    // Stream the test samples through the scheduler, and kill the device
+    // hosting sub-model 0 just after the pipeline warms up.
+    let victim = deployment
+        .plan
+        .assignment
+        .device_for(0)
+        .expect("sub-model 0 is assigned");
     let test = deployment.test_set.clone();
-    let n = test.len().min(4);
+    let n = test.len().min(8);
     let samples: Vec<_> = (0..n).map(|i| test.images().row(i).unwrap()).collect();
-    let report = run_distributed(deployment, &samples, NetworkConfig::paper_default())?;
-    println!("\nDistributed inference over the simulated switch (wire v2):");
-    println!("  samples processed   : {}", report.outputs.len());
-    println!("  batched frames      : {} (one per device)", report.frames);
-    println!("  feature payload     : {} bytes", report.payload_bytes);
-    println!("  bytes on wire       : {} bytes", report.bytes_on_wire);
+    let stream_config = StreamConfig {
+        round_size: 2,
+        ..StreamConfig::default()
+    }
+    .with_failure(victim, 1);
+    let report = run_streaming(deployment, &samples, devices, stream_config)?;
+
+    println!("\nStreaming inference with a mid-stream device death (wire v2):");
     println!(
-        "  simulated comm time : {:.2} ms (slowest device frame)",
-        report.simulated_communication_seconds * 1e3
+        "  samples fused        : {} (each exactly once)",
+        report.outputs.len()
     );
     println!(
-        "  measured throughput : {:.1} samples/s",
-        report.samples_per_second
+        "  rounds / epochs      : {} rounds across {} membership epochs",
+        report.rounds, report.epochs
     );
-    println!("  predictions         : {:?}", report.predictions()?);
+    println!(
+        "  frames               : {} data + {} control ({} heartbeats)",
+        report.data_frames, report.control_frames, report.heartbeats_seen
+    );
+    println!("  bytes on wire        : {}", report.bytes_on_wire);
+    println!(
+        "  device lost          : {:?} (killed before round 1)",
+        report.devices_lost
+    );
+    println!("  repartitions         : {}", report.repartitions);
+    println!("  samples replayed     : {}", report.samples_replayed);
+    println!(
+        "  recovery             : {:.2} s on the simulated clock (detect + re-plan + replay)",
+        report.recovery_seconds
+    );
+    println!(
+        "  steady-state         : {:.2} samples/s on the surviving cluster",
+        report.steady_state_samples_per_second
+    );
+    let survivors: Vec<usize> = report
+        .final_plan
+        .sub_models
+        .iter()
+        .filter_map(|s| report.final_plan.assignment.device_for(s.index))
+        .collect();
+    println!("  final hosts          : {survivors:?}");
+    println!("  predictions          : {:?}", report.predictions()?);
     Ok(())
 }

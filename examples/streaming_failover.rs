@@ -1,0 +1,124 @@
+//! Chaos drill for the streaming scheduler: deterministic, seeded device
+//! death mid-stream, with hard assertions that every sample is classified
+//! exactly once and that the failover produces the same predictions the
+//! healthy cluster would have.
+//!
+//! CI runs this as the `chaos` job. The seed (first CLI argument, or
+//! `EDVIT_CHAOS_SEED`, default 0) picks which device dies and when, so a
+//! failure is reproducible from the printed seed alone.
+//!
+//! Run with: `cargo run -p edvit --example streaming_failover --release -- 3`
+
+use edvit::pipeline::{EdVitConfig, EdVitPipeline};
+use edvit::sched::StreamConfig;
+use edvit::streaming::run_streaming;
+use edvit::tensor::Tensor;
+
+fn main() -> Result<(), edvit::EdVitError> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("EDVIT_CHAOS_SEED").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let config = EdVitConfig::tiny_demo(4).with_seed(seed);
+    let devices = config.devices.clone();
+
+    // Train once; the healthy reference run and the chaos run each stream
+    // through a clone (a run moves the sub-models onto its device threads).
+    let reference_deployment = EdVitPipeline::new(config).run()?;
+    let chaos_deployment = reference_deployment.clone();
+
+    let test = reference_deployment.test_set.clone();
+    let n = test.len().min(12);
+    let samples: Vec<Tensor> = (0..n)
+        .map(|i| test.images().row(i))
+        .collect::<Result<_, _>>()
+        .map_err(edvit::EdVitError::from)?;
+
+    // The seed deterministically picks the victim (a device that actually
+    // hosts a sub-model) and the round it dies before.
+    let plan = &reference_deployment.plan;
+    let victim_sub = (seed as usize) % plan.sub_models.len();
+    let victim = plan
+        .assignment
+        .device_for(victim_sub)
+        .expect("every sub-model is assigned");
+    let round_size = 2usize;
+    let rounds = n.div_ceil(round_size) as u64;
+    let death_round = 1 + (seed % rounds.saturating_sub(1).max(1));
+    println!(
+        "chaos seed {seed}: killing device {victim} (host of sub-model {victim_sub}) \
+         before round {death_round} of {rounds}"
+    );
+
+    let stream_config = StreamConfig {
+        round_size,
+        ..StreamConfig::default()
+    };
+    let healthy = run_streaming(
+        reference_deployment,
+        &samples,
+        devices.clone(),
+        stream_config.clone(),
+    )?;
+    let chaos = run_streaming(
+        chaos_deployment,
+        &samples,
+        devices,
+        stream_config.with_failure(victim, death_round),
+    )?;
+
+    // --- The assertions CI depends on. --------------------------------------
+    // Exactly once: one fused output per input sample. (The scheduler
+    // already hard-errors on a duplicate fusion; this checks nothing was
+    // dropped either.)
+    assert_eq!(
+        chaos.outputs.len(),
+        samples.len(),
+        "lost samples: {} outputs for {} inputs",
+        chaos.outputs.len(),
+        samples.len()
+    );
+    // The failover changed who computed, not what was computed: predictions
+    // must match the healthy cluster sample for sample.
+    let healthy_predictions = healthy.predictions()?;
+    let chaos_predictions = chaos.predictions()?;
+    assert_eq!(
+        healthy_predictions, chaos_predictions,
+        "failover changed predictions"
+    );
+    for (i, (a, b)) in healthy.outputs.iter().zip(&chaos.outputs).enumerate() {
+        assert_eq!(a.data(), b.data(), "sample {i} fused to different logits");
+    }
+    // The death actually happened and was handled.
+    assert_eq!(
+        chaos.devices_lost,
+        vec![victim],
+        "wrong device declared dead"
+    );
+    assert_eq!(chaos.repartitions, 1, "expected exactly one repartition");
+    assert!(
+        chaos.recovery_seconds > 0.0,
+        "recovery time must be recorded"
+    );
+    for sub in &chaos.final_plan.sub_models {
+        let host = chaos.final_plan.assignment.device_for(sub.index);
+        assert_ne!(
+            host,
+            Some(victim),
+            "sub-model {} still assigned to the dead device",
+            sub.index
+        );
+    }
+
+    println!(
+        "ok: {} samples fused exactly once across {} epochs; {} replayed; \
+         recovery {:.2} s; predictions identical to the healthy cluster",
+        chaos.outputs.len(),
+        chaos.epochs,
+        chaos.samples_replayed,
+        chaos.recovery_seconds
+    );
+    Ok(())
+}

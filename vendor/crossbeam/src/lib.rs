@@ -10,13 +10,21 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Unbounded MPSC channels, backed by [`std::sync::mpsc`].
+/// Unbounded and bounded MPSC channels, backed by [`std::sync::mpsc`].
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, SyncSender, TrySendError};
 
     /// Creates an unbounded channel; senders are cloneable.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// Creates a bounded channel of `capacity` slots; `send` blocks once the
+    /// buffer is full, which is how the streaming scheduler makes pipeline
+    /// backpressure explicit (a device cannot run ahead of the fusion worker
+    /// by more than the channel capacity).
+    pub fn bounded<T>(capacity: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(capacity)
     }
 }
 
@@ -80,6 +88,22 @@ mod tests {
             s.spawn(|_| panic!("worker died"));
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // A full buffer rejects a non-blocking send instead of queuing it.
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![2, 3]);
     }
 
     #[test]
