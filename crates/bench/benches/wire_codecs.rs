@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the wire payload codecs: encode and decode
+//! cost of f32 / f16 / f16+rle batch frames, on dense (incompressible) and
+//! sparse (rle-friendly) feature batches. The printed preamble reports the
+//! encoded sizes, so one run shows bytes-saved next to CPU cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edvit_edge::wire::{FeatureBatchMessage, PayloadCodec};
+use edvit_edge::WireFrame;
+use edvit_tensor::init::TensorRng;
+
+/// Paper-scale batch: 8 samples of a 384-dim feature (ViT-Base at s = 1/2).
+const SAMPLES: usize = 8;
+const DIM: usize = 384;
+
+/// Dense batch: Gaussian features, essentially incompressible.
+fn dense_batch() -> FeatureBatchMessage {
+    let mut rng = TensorRng::new(7);
+    let mut batch = FeatureBatchMessage::new(0, DIM);
+    for i in 0..SAMPLES {
+        batch
+            .push_tensor(i, &rng.randn(&[DIM], 0.0, 1.0))
+            .expect("dims match");
+    }
+    batch
+}
+
+/// Sparse batch: post-ReLU-style features where most values are zero — the
+/// low-entropy case the rle codec exists for.
+fn sparse_batch() -> FeatureBatchMessage {
+    let mut rng = TensorRng::new(11);
+    let mut batch = FeatureBatchMessage::new(0, DIM);
+    for i in 0..SAMPLES {
+        let dense = rng.randn(&[DIM], 0.0, 1.0);
+        let sparse: Vec<f32> = dense
+            .data()
+            .iter()
+            .map(|&v| if v > 1.0 { v } else { 0.0 })
+            .collect();
+        batch.push_feature(i, &sparse).expect("dims match");
+    }
+    batch
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    let dense = dense_batch();
+    for codec in PayloadCodec::ALL {
+        group.bench_function(format!("{codec}_{SAMPLES}x{DIM}"), |b| {
+            b.iter(|| dense.encode_with(codec))
+        });
+    }
+    let sparse = sparse_batch();
+    group.bench_function(format!("f16+rle_sparse_{SAMPLES}x{DIM}"), |b| {
+        b.iter(|| sparse.encode_with(PayloadCodec::F16Rle))
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    let dense = dense_batch();
+    for codec in PayloadCodec::ALL {
+        let encoded = dense.encode_with(codec);
+        group.bench_function(format!("{codec}_{SAMPLES}x{DIM}"), |b| {
+            b.iter(|| WireFrame::decode(encoded.clone()).expect("frame is well-formed"))
+        });
+    }
+    group.finish();
+}
+
+fn print_sizes() {
+    println!("wire codec sizes ({SAMPLES} samples x {DIM} values per batch frame):");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "codec", "dense (B)", "sparse (B)", "vs f32"
+    );
+    let dense = dense_batch();
+    let sparse = sparse_batch();
+    let f32_len = dense.encode_with(PayloadCodec::F32).len();
+    for codec in PayloadCodec::ALL {
+        let dense_len = dense.encode_with(codec).len();
+        let sparse_len = sparse.encode_with(codec).len();
+        println!(
+            "{:<12} {:>12} {:>12} {:>7.1}%",
+            codec.to_string(),
+            dense_len,
+            sparse_len,
+            100.0 * (1.0 - dense_len as f64 / f32_len as f64)
+        );
+    }
+}
+
+fn wire_codec_benches(c: &mut Criterion) {
+    print_sizes();
+    bench_encode(c);
+    bench_decode(c);
+}
+
+criterion_group!(benches, wire_codec_benches);
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! executes across worker threads with serialized feature messages — the
 //! software analogue of the paper's Raspberry-Pi prototype (Fig. 3).
 
-use edvit_edge::{ClusterRuntime, FusionFn, NetworkConfig, RuntimeReport, SubModelFn};
+use edvit_edge::{
+    ClusterRuntime, FusionFn, NetworkConfig, PayloadCodec, RuntimeReport, SubModelFn,
+};
 use edvit_tensor::Tensor;
 
 use crate::pipeline::EdVitDeployment;
@@ -65,13 +67,30 @@ pub fn run_distributed(
     samples: &[Tensor],
     network: NetworkConfig,
 ) -> Result<RuntimeReport> {
+    run_distributed_with_codec(deployment, samples, network, PayloadCodec::F32)
+}
+
+/// Like [`run_distributed`], but ships the feature batches under the given
+/// wire codec — f16 halves the value bytes on the wire (and on this demo
+/// pipeline does not change any top-1 prediction; see
+/// `crate::experiments::codec_comparison`).
+///
+/// # Errors
+///
+/// Returns an error when the runtime fails or the inputs are empty.
+pub fn run_distributed_with_codec(
+    deployment: EdVitDeployment,
+    samples: &[Tensor],
+    network: NetworkConfig,
+    codec: PayloadCodec,
+) -> Result<RuntimeReport> {
     if samples.is_empty() {
         return Err(EdVitError::InvalidConfig {
             message: "no samples to run through the cluster".to_string(),
         });
     }
     let (executors, fusion) = into_executors(deployment);
-    let runtime = ClusterRuntime::new(network);
+    let runtime = ClusterRuntime::new(network).with_codec(codec);
     Ok(runtime.run(samples, executors, fusion)?)
 }
 

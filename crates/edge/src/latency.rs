@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use edvit_partition::{DeviceSpec, SplitPlan};
 
-use crate::wire;
+use crate::wire::{self, PayloadCodec};
 use crate::{EdgeError, NetworkConfig, Result};
 
 /// Latency contribution of one edge device.
@@ -138,14 +138,20 @@ pub struct LatencyModel {
     /// FLOPs attributed to the fusion MLP per sample; derived from the fusion
     /// layer sizes (`N·d·s → λ·N·d·s → classes`, λ = 0.5).
     fusion_flops_override: Option<u64>,
+    /// Wire codec the deployment ships batch frames with; prices the frame
+    /// bytes in every estimate (pessimistically for the compressed codec,
+    /// whose true size is data-dependent).
+    codec: PayloadCodec,
 }
 
 impl LatencyModel {
-    /// Creates a latency model with the given network configuration.
+    /// Creates a latency model with the given network configuration and the
+    /// default [`PayloadCodec::F32`] wire codec.
     pub fn new(network: NetworkConfig) -> Self {
         LatencyModel {
             network,
             fusion_flops_override: None,
+            codec: PayloadCodec::F32,
         }
     }
 
@@ -156,9 +162,23 @@ impl LatencyModel {
         self
     }
 
+    /// Prices every estimate under the given wire codec: f16 halves the
+    /// per-value frame bytes, and the compressed codec is charged its
+    /// worst-case (all-literal) size, since the analytic model cannot know
+    /// the entropy of the features a deployment will ship.
+    pub fn with_codec(mut self, codec: PayloadCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// The network configuration in use.
     pub fn network(&self) -> &NetworkConfig {
         &self.network
+    }
+
+    /// The wire codec the model prices frames with.
+    pub fn codec(&self) -> PayloadCodec {
+        self.codec
     }
 
     /// Estimates the end-to-end latency of one inference sample under `plan`
@@ -230,8 +250,11 @@ impl LatencyModel {
                 .find(|p| p.device_id == device_id)
                 .expect("devices enumerated above");
             slot.compute_seconds += device.execution_seconds(sub.cost.flops);
-            let frame_bytes =
-                wire::batch_frame_len(samples_per_round, sub.pruned.feature_dim()) as u64;
+            let frame_bytes = wire::batch_frame_len_coded(
+                samples_per_round,
+                sub.pruned.feature_dim(),
+                self.codec,
+            ) as u64;
             slot.communication_seconds += self
                 .network
                 .amortized_transfer_seconds(frame_bytes, samples_per_round);
@@ -467,6 +490,52 @@ mod tests {
         }
         assert_eq!(pipelined.total_seconds(0), 0.0);
         assert!(pipelined.total_seconds(1) >= pipelined.device_round_seconds);
+    }
+
+    #[test]
+    fn f16_codec_shrinks_wire_bytes_and_communication_but_not_compute() {
+        let (plan, devices) = plan_for(4);
+        let f32_model = LatencyModel::new(NetworkConfig::paper_default());
+        let f16_model =
+            LatencyModel::new(NetworkConfig::paper_default()).with_codec(PayloadCodec::F16);
+        assert_eq!(f16_model.codec(), PayloadCodec::F16);
+        let base = f32_model.estimate_batched(&plan, &devices, 16).unwrap();
+        let coded = f16_model.estimate_batched(&plan, &devices, 16).unwrap();
+        for (a, b) in base.per_device.iter().zip(&coded.per_device) {
+            if a.wire_bytes == 0 {
+                continue;
+            }
+            assert!(b.wire_bytes < a.wire_bytes);
+            assert!(b.communication_seconds < a.communication_seconds);
+            assert_eq!(b.compute_seconds, a.compute_seconds);
+        }
+        // The value payload is exactly halved; only the fixed framing and
+        // sample indices keep the whole frame above 50%.
+        let dim_bytes: u64 = plan
+            .sub_models
+            .iter()
+            .map(|s| 16 * s.pruned.feature_dim() as u64)
+            .sum();
+        assert_eq!(
+            base.total_wire_bytes() - coded.total_wire_bytes(),
+            dim_bytes * 2
+        );
+        // The streaming estimate inherits the codec.
+        let base_stream = f32_model
+            .estimate_stream(&plan, &devices, 16, true)
+            .unwrap();
+        let coded_stream = f16_model
+            .estimate_stream(&plan, &devices, 16, true)
+            .unwrap();
+        assert!(coded_stream.per_round_wire_bytes < base_stream.per_round_wire_bytes);
+        assert!(coded_stream.device_round_seconds <= base_stream.device_round_seconds);
+        // The pessimistic rle bound never beats plain f16 analytically.
+        let rle = LatencyModel::new(NetworkConfig::paper_default())
+            .with_codec(PayloadCodec::F16Rle)
+            .estimate_batched(&plan, &devices, 16)
+            .unwrap();
+        assert!(rle.total_wire_bytes() >= coded.total_wire_bytes());
+        assert!(rle.total_wire_bytes() < base.total_wire_bytes());
     }
 
     #[test]

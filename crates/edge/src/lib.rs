@@ -45,7 +45,8 @@ pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency, StreamTiming
 pub use network::NetworkConfig;
 pub use runtime::{ClusterRuntime, FusionFn, RuntimeReport, SubModelFn};
 pub use wire::{
-    ControlKind, ControlMessage, FeatureBatchMessage, FeatureMessage, FrameKind, WireFrame,
+    ControlKind, ControlMessage, FeatureBatchMessage, FeatureMessage, FrameKind, PayloadCodec,
+    WireFrame,
 };
 
 /// Convenience result alias for edge-simulation operations.

@@ -18,7 +18,7 @@ use std::time::Instant;
 use crossbeam::channel;
 use edvit_tensor::Tensor;
 
-use crate::{EdgeError, FeatureBatchMessage, NetworkConfig, Result, WireFrame};
+use crate::{EdgeError, FeatureBatchMessage, NetworkConfig, PayloadCodec, Result, WireFrame};
 
 /// A sub-model executor: maps one input sample to a feature vector.
 ///
@@ -45,11 +45,16 @@ pub struct RuntimeReport {
     /// Number of wire frames exchanged: one batched frame per device per
     /// round (not one per sample, as the v1 protocol shipped).
     pub frames: usize,
-    /// Total bytes of feature values transferred to the fusion device
-    /// (`4 × dim` per sample, the quantity the paper reports).
+    /// Wire codec the devices encoded their batch frames with.
+    pub codec: PayloadCodec,
+    /// Total bytes of feature values transferred to the fusion device,
+    /// counted at `f32` width (`4 × dim` per sample, the quantity the paper
+    /// reports) whatever the wire codec — compare against
+    /// [`RuntimeReport::bytes_on_wire`] to see the codec's saving.
     pub payload_bytes: u64,
     /// Total encoded bytes on the wire, including v2 frame headers, sample
-    /// indices and checksums.
+    /// indices and checksums — under the active codec, so this is where f16
+    /// quantization and compression show up.
     pub bytes_on_wire: u64,
     /// Encoded frame bytes each device shipped (indexed by sub-model).
     pub per_device_wire_bytes: Vec<u64>,
@@ -103,12 +108,30 @@ impl RuntimeReport {
 #[derive(Debug, Clone)]
 pub struct ClusterRuntime {
     network: NetworkConfig,
+    codec: PayloadCodec,
 }
 
 impl ClusterRuntime {
-    /// Creates a runtime with the given network model.
+    /// Creates a runtime with the given network model and the default
+    /// [`PayloadCodec::F32`] wire codec.
     pub fn new(network: NetworkConfig) -> Self {
-        ClusterRuntime { network }
+        ClusterRuntime {
+            network,
+            codec: PayloadCodec::F32,
+        }
+    }
+
+    /// Selects the wire codec every device encodes its batch frames with.
+    /// The fusion worker decodes whatever codec the frame header declares, so
+    /// this only changes what goes on the wire, not the call contract.
+    pub fn with_codec(mut self, codec: PayloadCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The wire codec this runtime deploys.
+    pub fn codec(&self) -> PayloadCodec {
+        self.codec
     }
 
     /// Runs every input sample through every sub-model executor concurrently,
@@ -146,6 +169,7 @@ impl ClusterRuntime {
         let (tx, rx) = channel::unbounded::<std::result::Result<bytes::Bytes, String>>();
         let (timing_tx, timing_rx) = channel::unbounded::<(usize, f64)>();
 
+        let codec = self.codec;
         crossbeam::scope(|scope| -> Result<()> {
             for (sub_model_index, mut executor) in executors.into_iter().enumerate() {
                 let tx = tx.clone();
@@ -153,7 +177,7 @@ impl ClusterRuntime {
                 let inputs = Arc::clone(&shared_inputs);
                 scope.spawn(move |_| {
                     let device_started = Instant::now();
-                    let result = run_device(sub_model_index, &mut executor, &inputs);
+                    let result = run_device(sub_model_index, &mut executor, &inputs, codec);
                     // A closed channel means the collector already failed;
                     // stop quietly.
                     let _ = tx.send(result);
@@ -251,6 +275,7 @@ impl ClusterRuntime {
             worker_threads: num_sub_models,
             per_device_compute_seconds,
             frames,
+            codec: self.codec,
             payload_bytes,
             bytes_on_wire,
             per_device_wire_bytes,
@@ -267,6 +292,7 @@ fn run_device(
     sub_model_index: usize,
     executor: &mut SubModelFn,
     inputs: &[Tensor],
+    codec: PayloadCodec,
 ) -> std::result::Result<bytes::Bytes, String> {
     let mut batch: Option<FeatureBatchMessage> = None;
     for (sample_index, sample) in inputs.iter().enumerate() {
@@ -277,7 +303,7 @@ fn run_device(
             .map_err(|e| format!("device {sub_model_index}: {e}"))?;
     }
     let batch = batch.ok_or_else(|| format!("device {sub_model_index} saw no samples"))?;
-    Ok(batch.encode())
+    Ok(batch.encode_with(codec))
 }
 
 #[cfg(test)]
@@ -345,6 +371,40 @@ mod tests {
             "{} !< {per_sample_frames}",
             report.bytes_on_wire
         );
+    }
+
+    #[test]
+    fn f16_codec_run_shrinks_wire_bytes_with_identical_fusion_inputs() {
+        let inputs: Vec<Tensor> = (0..4).map(|_| Tensor::zeros(&[1])).collect();
+        let dim = 32usize;
+        // 0.5 is exactly representable in f16, so quantization is lossless
+        // here and the fused outputs must be bitwise identical.
+        let run = |codec: PayloadCodec| {
+            let runtime = ClusterRuntime::new(NetworkConfig::paper_default()).with_codec(codec);
+            assert_eq!(runtime.codec(), codec);
+            let executors = vec![constant_executor(0.5, dim), constant_executor(-2.0, dim)];
+            let fusion: FusionFn = Box::new(|concat: &Tensor| Ok(concat.clone()));
+            runtime.run(&inputs, executors, fusion).unwrap()
+        };
+        let base = run(PayloadCodec::F32);
+        let coded = run(PayloadCodec::F16);
+        assert_eq!(base.codec, PayloadCodec::F32);
+        assert_eq!(coded.codec, PayloadCodec::F16);
+        for (a, b) in base.outputs.iter().zip(&coded.outputs) {
+            assert_eq!(a.data(), b.data());
+        }
+        // payload_bytes stays the paper's f32-width quantity; the wire shrinks
+        // by exactly two bytes per value.
+        assert_eq!(coded.payload_bytes, base.payload_bytes);
+        let values = (2 * 4 * dim) as u64;
+        assert_eq!(base.bytes_on_wire - coded.bytes_on_wire, values * 2);
+        assert!(coded.simulated_communication_seconds < base.simulated_communication_seconds);
+        // Constant features collapse under the rle codec.
+        let rle = run(PayloadCodec::F16Rle);
+        assert!(rle.bytes_on_wire < coded.bytes_on_wire);
+        for (a, b) in base.outputs.iter().zip(&rle.outputs) {
+            assert_eq!(a.data(), b.data());
+        }
     }
 
     #[test]

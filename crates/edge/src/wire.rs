@@ -17,6 +17,14 @@
 //!   exactly like data frames, because a corrupted heartbeat must not be able
 //!   to keep a dead device looking alive.
 //!
+//! Bits 1–2 of the flags byte negotiate the **payload codec** of batch
+//! frames ([`PayloadCodec`]): raw `f32` (codec 0, the layout every pre-codec
+//! encoder emitted), `f16` quantization (halves the value bytes, relative
+//! error ≤ 2⁻¹⁰), or `f16` plus delta/run-length compression for low-entropy
+//! features. The CRC always covers the encoded payload, so corruption is
+//! detected before dequantization; single-feature and control frames must
+//! carry codec 0 (anything else is an [`EdgeError::Protocol`] violation).
+//!
 //! **Compatibility rule:** a buffer whose first four bytes equal the magic is
 //! parsed as v2 (and must satisfy the v2 header rules); anything else is
 //! parsed as v1. A v1 message would only be misclassified if its `sub_model`
@@ -28,7 +36,7 @@
 //!
 //! The full byte-level layouts are diagrammed in `crates/edge/README.md`.
 
-use bytes::{crc32, Buf, BufMut, Bytes, BytesMut};
+use bytes::{crc32, f16_bits_to_f32, f32_to_f16_bits, Buf, BufMut, Bytes, BytesMut};
 
 use edvit_tensor::Tensor;
 
@@ -65,11 +73,112 @@ pub const CONTROL_FRAME_LEN: usize = V2_HEADER_LEN + CONTROL_PAYLOAD_LEN;
 /// integrity check off.
 pub const FLAG_CHECKSUM: u8 = 0b0000_0001;
 
+/// Flag bits 1–2: the payload codec of a [`FrameKind::FeatureBatch`] frame
+/// (see [`PayloadCodec`]). Zero — the default — is the uncompressed `f32`
+/// layout every pre-codec encoder emitted, so old frames decode unchanged.
+pub const FLAG_CODEC_MASK: u8 = 0b0000_0110;
+
+/// Bit position of the codec field inside the flags byte.
+pub const FLAG_CODEC_SHIFT: u8 = 1;
+
+/// How the feature values of a batch frame are laid out on the wire.
+///
+/// The codec rides in bits 1–2 of the v2 header's `flags` byte and applies to
+/// [`FrameKind::FeatureBatch`] payloads only: single-feature and control
+/// frames must carry codec 0, and a non-zero codec there is an
+/// [`EdgeError::Protocol`] violation. Whatever the codec, the CRC-32 covers
+/// the *encoded* payload bytes, so corruption is detected before any
+/// dequantization or decompression runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum PayloadCodec {
+    /// Raw little-endian `f32` values — the identity codec (bit-exact, and
+    /// encoded straight from the tensor's backing slice with no intermediate
+    /// copy of the values).
+    #[default]
+    F32 = 0,
+    /// IEEE 754 binary16 values (round-to-nearest-even): half the value
+    /// bytes, relative error ≤ 2⁻¹⁰ for in-range values.
+    F16 = 1,
+    /// Binary16 values, delta-coded and run-length compressed — pays off on
+    /// low-entropy feature vectors (repeated or slowly-varying values, e.g.
+    /// post-ReLU sparsity); worst case ≈ 0.4% larger than [`PayloadCodec::F16`].
+    F16Rle = 2,
+}
+
+impl PayloadCodec {
+    /// All codecs, in wire order — handy for sweeps and conformance tests.
+    pub const ALL: [PayloadCodec; 3] = [PayloadCodec::F32, PayloadCodec::F16, PayloadCodec::F16Rle];
+
+    /// The codec's contribution to the header flags byte.
+    pub fn flag_bits(self) -> u8 {
+        (self as u8) << FLAG_CODEC_SHIFT
+    }
+
+    /// Extracts the codec from a v2 header flags byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeError::Protocol`] for the reserved codec value 3: the
+    /// frame is intact (the bits are not CRC-protected, but a conforming
+    /// encoder can never emit it), so this is a peer speaking a newer or
+    /// broken dialect, not wire noise.
+    pub fn from_flags(flags: u8) -> Result<Self> {
+        match (flags & FLAG_CODEC_MASK) >> FLAG_CODEC_SHIFT {
+            0 => Ok(PayloadCodec::F32),
+            1 => Ok(PayloadCodec::F16),
+            2 => Ok(PayloadCodec::F16Rle),
+            other => Err(protocol_err(format!("unknown payload codec {other}"))),
+        }
+    }
+
+    /// Bytes per feature value as laid out by this codec before any
+    /// compression (4 for `f32`, 2 for the f16 family).
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            PayloadCodec::F32 => 4,
+            PayloadCodec::F16 | PayloadCodec::F16Rle => 2,
+        }
+    }
+
+    /// Short lower-case name, for reports and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            PayloadCodec::F32 => "f32",
+            PayloadCodec::F16 => "f16",
+            PayloadCodec::F16Rle => "f16+rle",
+        }
+    }
+}
+
+impl std::fmt::Display for PayloadCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Encoded size of a v2 batch frame carrying `num_samples` features of
 /// `feature_dim` `f32`s each (header + batch body + one `u32` sample index
 /// and `4 × feature_dim` payload bytes per sample).
 pub fn batch_frame_len(num_samples: usize, feature_dim: usize) -> usize {
-    V2_HEADER_LEN + BATCH_FIXED_LEN + num_samples * (4 + feature_dim * 4)
+    batch_frame_len_coded(num_samples, feature_dim, PayloadCodec::F32)
+}
+
+/// Analytic encoded size of a v2 batch frame under `codec`. For the fixed-
+/// width codecs this is exact; for [`PayloadCodec::F16Rle`] the actual size
+/// is data-dependent, so this returns the *worst case* (all-literal token
+/// stream) — the latency model prices compression pessimistically and lets
+/// the measured `bytes_on_wire` report the real savings.
+pub fn batch_frame_len_coded(num_samples: usize, feature_dim: usize, codec: PayloadCodec) -> usize {
+    let values = num_samples * feature_dim;
+    let value_bytes = match codec {
+        PayloadCodec::F32 => values * 4,
+        PayloadCodec::F16 => values * 2,
+        // comp_len word + worst-case token stream: one control byte per run
+        // of up to RLE_MAX_LITERALS values, two bytes per value.
+        PayloadCodec::F16Rle => 4 + values * 2 + values.div_ceil(RLE_MAX_LITERALS),
+    };
+    V2_HEADER_LEN + BATCH_FIXED_LEN + num_samples * 4 + value_bytes
 }
 
 /// What a v2 frame carries.
@@ -237,15 +346,23 @@ fn protocol_err(message: impl Into<String>) -> EdgeError {
     }
 }
 
-/// Wraps a payload into a v2 frame: header (with CRC-32 of `payload`)
-/// followed by the payload bytes.
+/// Wraps a payload into a v2 frame with codec 0: header (with CRC-32 of
+/// `payload`) followed by the payload bytes.
+fn encode_v2_frame(kind: FrameKind, payload: &[u8]) -> Bytes {
+    encode_v2_frame_flags(kind, FLAG_CHECKSUM, payload)
+}
+
+/// Wraps a payload into a v2 frame carrying the given `flags` byte. The
+/// CRC-32 is computed over the payload exactly as handed in — for coded batch
+/// frames that is the *encoded* (quantized / compressed) bytes, so corruption
+/// is caught before any dequantization runs.
 ///
 /// # Panics
 ///
 /// Panics when the payload exceeds the 4 GiB the header's `u32` length field
 /// can describe — failing loudly at encode time beats emitting a frame whose
 /// length field silently wrapped.
-fn encode_v2_frame(kind: FrameKind, payload: &[u8]) -> Bytes {
+fn encode_v2_frame_flags(kind: FrameKind, flags: u8, payload: &[u8]) -> Bytes {
     assert!(
         payload.len() <= u32::MAX as usize,
         "frame payload of {} bytes exceeds the u32 length field; split the batch",
@@ -254,13 +371,116 @@ fn encode_v2_frame(kind: FrameKind, payload: &[u8]) -> Bytes {
     let mut buf = BytesMut::with_capacity(V2_HEADER_LEN + payload.len());
     buf.put_slice(&WIRE_MAGIC);
     buf.put_u8(WIRE_VERSION);
-    buf.put_u8(FLAG_CHECKSUM);
+    buf.put_u8(flags);
     buf.put_u8(kind as u8);
     buf.put_u8(0); // reserved
     buf.put_u32_le(payload.len() as u32);
     buf.put_u32_le(crc32(payload));
     buf.put_slice(payload);
     buf.freeze()
+}
+
+// ---------------------------------------------------------------------------
+// F16Rle token stream
+// ---------------------------------------------------------------------------
+//
+// The compressed value block of a [`PayloadCodec::F16Rle`] batch encodes the
+// *delta* sequence of the f16 bit patterns (`d[0] = v[0]`,
+// `d[i] = v[i] − v[i−1]`, wrapping), so runs of equal or linearly-ramping
+// values become runs of equal deltas. The token stream over the deltas:
+//
+// * control byte `c < 0x80`: a literal run of `c + 1` (1..=128) u16 values;
+// * control byte `c ≥ 0x80`: a repeat run of `(c & 0x7F) + 2` (2..=129)
+//   copies of the single u16 that follows.
+//
+// The encoder is greedy and deterministic (repeat runs are only taken at
+// length ≥ 3, where they beat literals), so decode→re-encode reproduces the
+// bytes exactly — the property the conformance fixtures pin down.
+
+/// Longest literal run one control byte can describe.
+const RLE_MAX_LITERALS: usize = 128;
+
+/// Longest repeat run one control byte can describe.
+const RLE_MAX_REPEAT: usize = 129;
+
+/// Shortest run worth a repeat token (3 values: 3 bytes vs 6 literal bytes).
+const RLE_MIN_REPEAT: usize = 3;
+
+/// Compresses the delta stream into `out`.
+fn rle_compress(deltas: &[u16], out: &mut BytesMut) {
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+    while i < deltas.len() {
+        let mut run = 1usize;
+        while run < RLE_MAX_REPEAT && i + run < deltas.len() && deltas[i + run] == deltas[i] {
+            run += 1;
+        }
+        if run >= RLE_MIN_REPEAT {
+            rle_flush_literals(&deltas[literal_start..i], out);
+            out.put_u8(0x80 | (run - 2) as u8);
+            out.put_u16_le(deltas[i]);
+            i += run;
+            literal_start = i;
+        } else {
+            i += run;
+        }
+    }
+    rle_flush_literals(&deltas[literal_start..], out);
+}
+
+/// Emits pending literal values as maximal literal tokens.
+fn rle_flush_literals(mut pending: &[u16], out: &mut BytesMut) {
+    while !pending.is_empty() {
+        let n = pending.len().min(RLE_MAX_LITERALS);
+        out.put_u8((n - 1) as u8);
+        for &value in &pending[..n] {
+            out.put_u16_le(value);
+        }
+        pending = &pending[n..];
+    }
+}
+
+/// Decompresses exactly `expected_values` u16 deltas from `bytes`, which must
+/// hold exactly the token stream (strict: trailing bytes, truncation and
+/// over-long runs are all [`EdgeError::Decode`]). Never panics.
+fn rle_decompress(bytes: &mut Bytes, expected_values: usize) -> Result<Vec<u16>> {
+    let mut out = Vec::with_capacity(expected_values);
+    while out.len() < expected_values {
+        let control = bytes
+            .try_get_u8()
+            .ok_or_else(|| decode_err("compressed value stream ends mid-token"))?;
+        if control & 0x80 == 0 {
+            let n = control as usize + 1;
+            if out.len() + n > expected_values {
+                return Err(decode_err(format!(
+                    "literal run of {n} values overflows the {expected_values}-value block"
+                )));
+            }
+            for _ in 0..n {
+                out.push(bytes.try_get_u16_le().ok_or_else(|| {
+                    decode_err("compressed value stream truncated inside a literal run")
+                })?);
+            }
+        } else {
+            let n = (control & 0x7F) as usize + 2;
+            if out.len() + n > expected_values {
+                return Err(decode_err(format!(
+                    "repeat run of {n} values overflows the {expected_values}-value block"
+                )));
+            }
+            let value = bytes
+                .try_get_u16_le()
+                .ok_or_else(|| decode_err("compressed value stream truncated inside a repeat"))?;
+            out.resize(out.len() + n, value);
+        }
+    }
+    if bytes.remaining() != 0 {
+        return Err(decode_err(format!(
+            "{} trailing byte(s) after the compressed value stream",
+            bytes.remaining()
+        )));
+    }
+    Ok(out)
 }
 
 /// A serialized feature vector sent from an edge device to the fusion device.
@@ -449,17 +669,55 @@ impl FeatureBatchMessage {
         batch_frame_len(self.num_samples(), self.feature_dim as usize)
     }
 
-    /// Encodes the batch as a v2 [`FrameKind::FeatureBatch`] frame.
+    /// Encodes the batch as a v2 [`FrameKind::FeatureBatch`] frame in the
+    /// default [`PayloadCodec::F32`] layout (bit-exact, zero quantization).
     pub fn encode(&self) -> Bytes {
-        let mut payload = BytesMut::with_capacity(self.encoded_len() - V2_HEADER_LEN);
+        self.encode_with(PayloadCodec::F32)
+    }
+
+    /// Encodes the batch under `codec`, recording the codec in the header
+    /// flags so [`WireFrame::decode`] can reverse it. The `f32` path writes
+    /// straight from the backing slice (identity codec, no value copy); the
+    /// f16 paths quantize with round-to-nearest-even, and [`PayloadCodec::F16Rle`]
+    /// additionally delta-codes and run-length compresses the quantized bits.
+    pub fn encode_with(&self, codec: PayloadCodec) -> Bytes {
+        let mut payload = BytesMut::with_capacity(
+            BATCH_FIXED_LEN
+                + self.sample_indices.len() * 4
+                + self.features.len() * codec.bytes_per_value(),
+        );
         payload.put_u32_le(self.sub_model);
         payload.put_u32_le(self.feature_dim);
         payload.put_u32_le(self.sample_indices.len() as u32);
         for &index in &self.sample_indices {
             payload.put_u32_le(index);
         }
-        payload.put_f32_slice_le(&self.features);
-        encode_v2_frame(FrameKind::FeatureBatch, payload.as_ref())
+        match codec {
+            PayloadCodec::F32 => payload.put_f32_slice_le(&self.features),
+            PayloadCodec::F16 => payload.put_f16_slice_le(&self.features),
+            PayloadCodec::F16Rle => {
+                let mut previous = 0u16;
+                let deltas: Vec<u16> = self
+                    .features
+                    .iter()
+                    .map(|&v| {
+                        let bits = f32_to_f16_bits(v);
+                        let delta = bits.wrapping_sub(previous);
+                        previous = bits;
+                        delta
+                    })
+                    .collect();
+                let mut stream = BytesMut::new();
+                rle_compress(&deltas, &mut stream);
+                payload.put_u32_le(stream.len() as u32);
+                payload.put_slice(stream.as_ref());
+            }
+        }
+        encode_v2_frame_flags(
+            FrameKind::FeatureBatch,
+            FLAG_CHECKSUM | codec.flag_bits(),
+            payload.as_ref(),
+        )
     }
 
     /// Splits the batch into one [`FeatureMessage`] per sample (pack order) —
@@ -576,10 +834,23 @@ impl WireFrame {
         }
         let kind = FrameKind::from_byte(kind_byte)
             .ok_or_else(|| decode_err(format!("unknown frame kind {kind_byte}")))?;
+        let codec = PayloadCodec::from_flags(flags)?;
+        if codec != PayloadCodec::F32 && kind != FrameKind::FeatureBatch {
+            // Codec negotiation applies to batch payloads only; a coded
+            // control or single-feature frame is a non-conforming encoder.
+            return Err(protocol_err(format!(
+                "{} frames must use codec 0, found {codec}",
+                match kind {
+                    FrameKind::Feature => "single-feature",
+                    FrameKind::Control => "control",
+                    FrameKind::FeatureBatch => unreachable!("excluded above"),
+                }
+            )));
+        }
         match kind {
             FrameKind::Feature => decode_v1(&mut bytes).map(WireFrame::Feature),
             FrameKind::FeatureBatch => {
-                decode_batch_payload(&mut bytes).map(WireFrame::FeatureBatch)
+                decode_batch_payload(&mut bytes, codec).map(WireFrame::FeatureBatch)
             }
             FrameKind::Control => decode_control_payload(&mut bytes).map(WireFrame::Control),
         }
@@ -619,8 +890,8 @@ fn decode_v1(bytes: &mut Bytes) -> Result<FeatureMessage> {
     })
 }
 
-/// Parses a v2 `FeatureBatch` payload.
-fn decode_batch_payload(bytes: &mut Bytes) -> Result<FeatureBatchMessage> {
+/// Parses a v2 `FeatureBatch` payload laid out under `codec`.
+fn decode_batch_payload(bytes: &mut Bytes, codec: PayloadCodec) -> Result<FeatureBatchMessage> {
     let total = bytes.len();
     let (Some(sub_model), Some(feature_dim), Some(num_samples)) = (
         bytes.try_get_u32_le(),
@@ -633,25 +904,85 @@ fn decode_batch_payload(bytes: &mut Bytes) -> Result<FeatureBatchMessage> {
     };
     let n = num_samples as usize;
     let dim = feature_dim as usize;
-    let value_bytes = (n as u64)
+    let values = (n as u64)
         .checked_mul(dim as u64)
-        .and_then(|values| values.checked_mul(4))
         .ok_or_else(|| decode_err("batch dimensions overflow".to_string()))?;
-    let expected = (n as u64) * 4 + value_bytes;
-    if bytes.remaining() as u64 != expected {
-        return Err(decode_err(format!(
-            "batch of {n} samples × {dim} values needs {expected} payload bytes, found {}",
-            bytes.remaining()
-        )));
+    if codec != PayloadCodec::F16Rle {
+        // Fixed-width codecs: the payload length is implied by the counts.
+        // Checked math: `values` can be close to u64::MAX, so scaling by the
+        // value width must not wrap (it would panic in debug builds).
+        let expected = values
+            .checked_mul(codec.bytes_per_value() as u64)
+            .and_then(|value_bytes| value_bytes.checked_add((n as u64) * 4))
+            .ok_or_else(|| decode_err("batch dimensions overflow".to_string()))?;
+        if bytes.remaining() as u64 != expected {
+            return Err(decode_err(format!(
+                "{codec} batch of {n} samples × {dim} values needs {expected} payload bytes, \
+                 found {}",
+                bytes.remaining()
+            )));
+        }
+    } else {
+        if (bytes.remaining() as u64) < (n as u64) * 4 + 4 {
+            return Err(decode_err(format!(
+                "compressed batch of {n} samples needs at least {} payload bytes, found {}",
+                (n as u64) * 4 + 4, // u64: n·4 can exceed a 32-bit usize
+                bytes.remaining()
+            )));
+        }
+        // Decompression-bomb guard: a legal token stream yields at most
+        // RLE_MAX_REPEAT values per 3-byte repeat token, so a payload of
+        // `total` bytes can never satisfy more than `total/3 × 129` values.
+        // Rejecting here keeps a tiny hostile frame with a huge promised
+        // value count from forcing a multi-gigabyte allocation in
+        // `rle_decompress` (and keeps the later usize cast exact on 32-bit).
+        let max_values = (total as u64 / 3).saturating_mul(RLE_MAX_REPEAT as u64);
+        if values > max_values || values > usize::MAX as u64 {
+            return Err(decode_err(format!(
+                "compressed batch promises {values} values, but a {total}-byte payload \
+                 can encode at most {max_values}"
+            )));
+        }
     }
     let mut sample_indices = Vec::with_capacity(n);
     for _ in 0..n {
         sample_indices.push(bytes.get_u32_le());
     }
-    let mut features = Vec::with_capacity(n * dim);
-    for _ in 0..n * dim {
-        features.push(bytes.get_f32_le());
-    }
+    let values = values as usize;
+    let features = match codec {
+        PayloadCodec::F32 => {
+            let mut features = Vec::with_capacity(values);
+            for _ in 0..values {
+                features.push(bytes.get_f32_le());
+            }
+            features
+        }
+        PayloadCodec::F16 => {
+            let mut features = Vec::with_capacity(values);
+            for _ in 0..values {
+                features.push(f16_bits_to_f32(bytes.get_u16_le()));
+            }
+            features
+        }
+        PayloadCodec::F16Rle => {
+            let comp_len = bytes.get_u32_le() as usize;
+            if bytes.remaining() != comp_len {
+                return Err(decode_err(format!(
+                    "compressed block promises {comp_len} bytes, payload holds {}",
+                    bytes.remaining()
+                )));
+            }
+            let deltas = rle_decompress(bytes, values)?;
+            let mut previous = 0u16;
+            deltas
+                .into_iter()
+                .map(|delta| {
+                    previous = previous.wrapping_add(delta);
+                    f16_bits_to_f32(previous)
+                })
+                .collect()
+        }
+    };
     Ok(FeatureBatchMessage {
         sub_model,
         feature_dim,
@@ -807,6 +1138,238 @@ mod tests {
         assert_eq!(singles[0].sub_model, 3);
         assert_eq!(singles[1].sample_index, 1);
         assert_eq!(singles[1].feature, vec![3.0, 4.0]);
+    }
+
+    fn decode_batch(bytes: Bytes) -> FeatureBatchMessage {
+        match WireFrame::decode(bytes).unwrap() {
+            WireFrame::FeatureBatch(b) => b,
+            other => panic!("expected a batch frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn f16_codec_halves_value_bytes_and_round_trips_quantized() {
+        let mut batch = FeatureBatchMessage::new(1, 3);
+        batch.push_feature(0, &[1.0, -0.5, 1536.0]).unwrap();
+        batch.push_feature(1, &[0.1, 0.2, 0.3]).unwrap();
+        let f32_frame = batch.encode_with(PayloadCodec::F32);
+        let f16_frame = batch.encode_with(PayloadCodec::F16);
+        assert_eq!(
+            f32_frame,
+            batch.encode(),
+            "codec 0 must be the legacy layout"
+        );
+        assert_eq!(
+            f16_frame.len(),
+            batch_frame_len_coded(2, 3, PayloadCodec::F16)
+        );
+        // Exactly 2 bytes saved per value, nothing else changes.
+        assert_eq!(f32_frame.len() - f16_frame.len(), 6 * 2);
+        assert_eq!(
+            PayloadCodec::from_flags(f16_frame.as_slice()[5]).unwrap(),
+            PayloadCodec::F16
+        );
+        let decoded = decode_batch(f16_frame);
+        assert_eq!(decoded.sub_model, 1);
+        assert_eq!(decoded.sample_indices, vec![0, 1]);
+        // Exactly-representable halves survive bit-for-bit; the rest within
+        // the 2⁻¹⁰ relative-error contract.
+        assert_eq!(decoded.feature_row(0), &[1.0, -0.5, 1536.0]);
+        for (&q, &v) in decoded.feature_row(1).iter().zip(&[0.1f32, 0.2, 0.3]) {
+            assert!(((q - v) / v).abs() <= 2f32.powi(-10), "{q} vs {v}");
+        }
+        // Re-encoding the decoded (already-quantized) batch is byte-stable.
+        assert_eq!(
+            decoded.encode_with(PayloadCodec::F16),
+            batch.encode_with(PayloadCodec::F16)
+        );
+    }
+
+    #[test]
+    fn rle_codec_compresses_runs_and_decodes_to_the_f16_values() {
+        // Constant rows: deltas collapse to zero-runs, so the compressed
+        // frame undercuts both f32 and f16; ramps compress too (equal deltas).
+        let mut batch = FeatureBatchMessage::new(0, 64);
+        batch.push_feature(0, &[0.0f32; 64]).unwrap();
+        let ramp: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        batch.push_feature(1, &ramp).unwrap();
+        let f32_frame = batch.encode_with(PayloadCodec::F32);
+        let f16_frame = batch.encode_with(PayloadCodec::F16);
+        let rle_frame = batch.encode_with(PayloadCodec::F16Rle);
+        assert!(
+            rle_frame.len() < f16_frame.len(),
+            "{} !< {}",
+            rle_frame.len(),
+            f16_frame.len()
+        );
+        assert!(rle_frame.len() < f32_frame.len() / 2);
+        assert!(rle_frame.len() <= batch_frame_len_coded(2, 64, PayloadCodec::F16Rle));
+        let from_rle = decode_batch(rle_frame);
+        let from_f16 = decode_batch(f16_frame);
+        assert_eq!(from_rle, from_f16, "rle must be lossless on top of f16");
+    }
+
+    #[test]
+    fn rle_worst_case_stays_within_the_analytic_bound() {
+        // Incompressible values: every delta distinct, all-literal stream.
+        let mut batch = FeatureBatchMessage::new(0, 300);
+        let noisy: Vec<f32> = (0..300).map(|i| (i as f32 * 0.7311).sin() * 31.0).collect();
+        batch.push_feature(9, &noisy).unwrap();
+        let rle_frame = batch.encode_with(PayloadCodec::F16Rle);
+        assert!(rle_frame.len() <= batch_frame_len_coded(1, 300, PayloadCodec::F16Rle));
+        assert_eq!(
+            decode_batch(rle_frame),
+            decode_batch(batch.encode_with(PayloadCodec::F16))
+        );
+    }
+
+    #[test]
+    fn coded_empty_batches_are_legal() {
+        for codec in PayloadCodec::ALL {
+            let batch = FeatureBatchMessage::new(2, 7);
+            let decoded = decode_batch(batch.encode_with(codec));
+            assert!(decoded.is_empty(), "{codec}");
+            assert_eq!(decoded.feature_dim, 7);
+        }
+    }
+
+    #[test]
+    fn unknown_codec_bits_are_a_protocol_error() {
+        let mut batch = FeatureBatchMessage::new(0, 2);
+        batch.push_feature(0, &[1.0, 2.0]).unwrap();
+        let mut bytes = batch.encode().as_slice().to_vec();
+        bytes[5] |= FLAG_CODEC_MASK; // reserved codec value 3
+        let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, EdgeError::Protocol { .. }), "{err}");
+        assert!(err.to_string().contains("codec"), "{err}");
+    }
+
+    #[test]
+    fn coded_control_and_feature_frames_are_protocol_errors() {
+        for good in [
+            ControlMessage::heartbeat(1, 2, 3.0).encode(),
+            FeatureMessage {
+                sub_model: 0,
+                sample_index: 0,
+                feature: vec![1.0],
+            }
+            .encode(),
+        ] {
+            let mut bytes = good.as_slice().to_vec();
+            bytes[5] |= PayloadCodec::F16.flag_bits();
+            let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
+            assert!(matches!(err, EdgeError::Protocol { .. }), "{err}");
+            assert!(err.to_string().contains("codec 0"), "{err}");
+        }
+    }
+
+    #[test]
+    fn wrong_codec_flag_cannot_silently_mis_decode() {
+        // An f32 batch re-labelled as f16: the strict value-byte count check
+        // rejects it (4·n·d can never equal 2·n·d for n·d > 0).
+        let mut batch = FeatureBatchMessage::new(0, 4);
+        batch.push_feature(0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut bytes = batch.encode().as_slice().to_vec();
+        bytes[5] = FLAG_CHECKSUM | PayloadCodec::F16.flag_bits();
+        let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, EdgeError::Decode { .. }), "{err}");
+    }
+
+    #[test]
+    fn batch_dimensions_that_overflow_u64_are_a_decode_error_not_a_panic() {
+        // num_samples = feature_dim = u32::MAX: n·d fits u64 but n·d·4 does
+        // not — the checked length math must reject it, not wrap or panic.
+        for codec in [PayloadCodec::F32, PayloadCodec::F16] {
+            let mut payload = BytesMut::new();
+            payload.put_u32_le(0); // sub_model
+            payload.put_u32_le(u32::MAX); // feature_dim
+            payload.put_u32_le(u32::MAX); // num_samples
+            let mut frame = BytesMut::new();
+            frame.put_slice(&WIRE_MAGIC);
+            frame.put_u8(WIRE_VERSION);
+            frame.put_u8(FLAG_CHECKSUM | codec.flag_bits());
+            frame.put_u8(FrameKind::FeatureBatch as u8);
+            frame.put_u8(0);
+            frame.put_u32_le(payload.len() as u32);
+            frame.put_u32_le(crc32(payload.as_ref()));
+            frame.put_slice(payload.as_ref());
+            let err = WireFrame::decode(frame.freeze()).unwrap_err();
+            assert!(matches!(err, EdgeError::Decode { .. }), "{codec}: {err}");
+        }
+    }
+
+    #[test]
+    fn rle_frame_with_huge_promised_value_count_is_rejected_before_allocating() {
+        // A sub-100-byte hostile frame: codec = F16Rle, one sample claiming a
+        // u32::MAX feature dimension, a 3-byte token stream, and a valid CRC.
+        // Every header check passes; only the decompression-bomb guard can
+        // reject it — and it must do so without committing gigabytes to
+        // `Vec::with_capacity` first.
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(0); // sub_model
+        payload.put_u32_le(u32::MAX); // feature_dim
+        payload.put_u32_le(1); // num_samples
+        payload.put_u32_le(0); // sample index
+        payload.put_u32_le(3); // comp_len
+        payload.put_u8(0x80 | 127); // repeat token: 129 values…
+        payload.put_u16_le(0x3C00); // …of 1.0 — far short of u32::MAX
+        let mut frame = BytesMut::new();
+        frame.put_slice(&WIRE_MAGIC);
+        frame.put_u8(WIRE_VERSION);
+        frame.put_u8(FLAG_CHECKSUM | PayloadCodec::F16Rle.flag_bits());
+        frame.put_u8(FrameKind::FeatureBatch as u8);
+        frame.put_u8(0);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crc32(payload.as_ref()));
+        frame.put_slice(payload.as_ref());
+        let err = WireFrame::decode(frame.freeze()).unwrap_err();
+        assert!(matches!(err, EdgeError::Decode { .. }), "{err}");
+        assert!(err.to_string().contains("can encode at most"), "{err}");
+    }
+
+    #[test]
+    fn truncated_rle_stream_is_rejected_not_panicking() {
+        let mut batch = FeatureBatchMessage::new(0, 8);
+        batch.push_feature(0, &[5.0f32; 8]).unwrap();
+        let encoded = batch.encode_with(PayloadCodec::F16Rle);
+        // Chop bytes off the compressed tail, fixing up payload_len, comp_len
+        // and the CRC so only the stream parser itself can reject it.
+        let full = encoded.as_slice().to_vec();
+        for cut in 1..4usize {
+            let mut bytes = full[..full.len() - cut].to_vec();
+            let payload_len = (bytes.len() - V2_HEADER_LEN) as u32;
+            bytes[8..12].copy_from_slice(&payload_len.to_le_bytes());
+            let comp_start = V2_HEADER_LEN + BATCH_FIXED_LEN + 4;
+            let comp_len = (bytes.len() - comp_start - 4) as u32;
+            bytes[comp_start..comp_start + 4].copy_from_slice(&comp_len.to_le_bytes());
+            let crc = crc32(&bytes[V2_HEADER_LEN..]).to_le_bytes();
+            bytes[12..16].copy_from_slice(&crc);
+            let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
+            assert!(matches!(err, EdgeError::Decode { .. }), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn codec_metadata_accessors() {
+        assert_eq!(PayloadCodec::default(), PayloadCodec::F32);
+        assert_eq!(PayloadCodec::F32.bytes_per_value(), 4);
+        assert_eq!(PayloadCodec::F16.bytes_per_value(), 2);
+        assert_eq!(PayloadCodec::F16Rle.to_string(), "f16+rle");
+        for codec in PayloadCodec::ALL {
+            assert_eq!(
+                PayloadCodec::from_flags(FLAG_CHECKSUM | codec.flag_bits()).unwrap(),
+                codec
+            );
+        }
+        assert_eq!(
+            batch_frame_len(3, 5),
+            batch_frame_len_coded(3, 5, PayloadCodec::F32)
+        );
+        assert!(
+            batch_frame_len_coded(3, 5, PayloadCodec::F16Rle)
+                > batch_frame_len_coded(3, 5, PayloadCodec::F16),
+            "the analytic rle bound is the pessimistic all-literal stream"
+        );
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! buffers, v1 and v2 encodings are equivalent, and latency estimates respect
 //! the structure of the plan.
 
-use bytes::{crc32, Bytes};
-use edvit_edge::wire::{CONTROL_FRAME_LEN, V2_HEADER_LEN, WIRE_MAGIC};
+use bytes::{crc32, f16_bits_to_f32, f32_to_f16_bits, Bytes};
+use edvit_edge::wire::{
+    batch_frame_len_coded, CONTROL_FRAME_LEN, FLAG_CHECKSUM, V2_HEADER_LEN, WIRE_MAGIC,
+};
 use edvit_edge::{
     ControlKind, ControlMessage, EdgeError, FeatureBatchMessage, FeatureMessage, LatencyModel,
-    NetworkConfig, WireFrame,
+    NetworkConfig, PayloadCodec, WireFrame,
 };
 use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlanner};
 use edvit_tensor::{init::TensorRng, Tensor};
@@ -123,6 +125,214 @@ proptest! {
             prop_assert_eq!(single.feature.as_slice(), batch.feature_row(i));
             let reencoded = FeatureMessage::decode(single.encode_v1()).unwrap();
             prop_assert_eq!(&reencoded, &single);
+        }
+    }
+
+    #[test]
+    fn f32_codec_round_trip_is_bitwise(
+        dim in 0usize..64,
+        samples in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let batch = sample_batch(seed, 1, samples, dim);
+        let encoded = batch.encode_with(PayloadCodec::F32);
+        prop_assert_eq!(encoded.len(), batch_frame_len_coded(samples, dim, PayloadCodec::F32));
+        // Codec 0 is the pre-codec layout, bit for bit.
+        prop_assert_eq!(&encoded, &batch.encode());
+        let decoded = match WireFrame::decode(encoded).unwrap() {
+            WireFrame::FeatureBatch(b) => b,
+            other => panic!("expected a batch, got {other:?}"),
+        };
+        prop_assert_eq!(decoded, batch);
+    }
+
+    #[test]
+    fn f16_codec_round_trip_error_is_within_contract(
+        dim in 1usize..64,
+        samples in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        // Magnitudes inside the half-precision *normal* range, where the
+        // codec's ≤ 2⁻¹⁰ relative-error contract applies.
+        let mut rng = TensorRng::new(seed ^ 0xF16);
+        let mut batch = FeatureBatchMessage::new(0, dim);
+        for sample in 0..samples {
+            let magnitudes = rng.rand_uniform(&[dim], -3.0, 3.0);
+            let values: Vec<f32> = magnitudes
+                .data()
+                .iter()
+                .map(|&m| if m >= 0.0 { 10f32.powf(m) } else { -(10f32.powf(-m)) })
+                .collect();
+            batch.push_feature(sample, &values).unwrap();
+        }
+        let encoded = batch.encode_with(PayloadCodec::F16);
+        prop_assert_eq!(encoded.len(), batch_frame_len_coded(samples, dim, PayloadCodec::F16));
+        let decoded = match WireFrame::decode(encoded).unwrap() {
+            WireFrame::FeatureBatch(b) => b,
+            other => panic!("expected a batch, got {other:?}"),
+        };
+        prop_assert_eq!(decoded.sample_indices.clone(), batch.sample_indices.clone());
+        for (&q, &v) in decoded.features.iter().zip(&batch.features) {
+            let rel = ((q - v) / v).abs();
+            prop_assert!(rel <= 2f32.powi(-10), "value {} round-tripped to {} (rel {})", v, q, rel);
+        }
+        // Quantization is idempotent: re-encoding the decoded batch is
+        // byte-identical (the conformance property the fixtures pin down).
+        prop_assert_eq!(decoded.encode_with(PayloadCodec::F16), batch.encode_with(PayloadCodec::F16));
+    }
+
+    #[test]
+    fn compressed_frames_always_decode_and_match_plain_f16(
+        dim in 0usize..48,
+        samples in 1usize..8,
+        seed in 0u64..500,
+        sparsity_percent in 0usize..101,
+    ) {
+        // Mix dense and sparse batches: zero runs exercise the repeat tokens,
+        // dense stretches the literal tokens.
+        let mut rng = TensorRng::new(seed);
+        let mut batch = FeatureBatchMessage::new(3, dim);
+        for sample in 0..samples {
+            let dense = if dim == 0 {
+                Tensor::zeros(&[0])
+            } else {
+                rng.randn(&[dim], 0.0, 1.0)
+            };
+            let gates = if dim == 0 {
+                Tensor::zeros(&[0])
+            } else {
+                rng.rand_uniform(&[dim], 0.0, 100.0)
+            };
+            let values: Vec<f32> = dense
+                .data()
+                .iter()
+                .zip(gates.data())
+                .map(|(&v, &g)| if (g as usize) < sparsity_percent { 0.0 } else { v })
+                .collect();
+            batch.push_feature(sample, &values).unwrap();
+        }
+        let compressed = batch.encode_with(PayloadCodec::F16Rle);
+        prop_assert!(compressed.len() <= batch_frame_len_coded(samples, dim, PayloadCodec::F16Rle));
+        let from_rle = match WireFrame::decode(compressed).unwrap() {
+            WireFrame::FeatureBatch(b) => b,
+            other => panic!("expected a batch, got {other:?}"),
+        };
+        let from_f16 = match WireFrame::decode(batch.encode_with(PayloadCodec::F16)).unwrap() {
+            WireFrame::FeatureBatch(b) => b,
+            other => panic!("expected a batch, got {other:?}"),
+        };
+        prop_assert_eq!(&from_rle, &from_f16, "rle must be lossless on top of f16");
+        // And byte-stable under decode → re-encode.
+        prop_assert_eq!(
+            from_rle.encode_with(PayloadCodec::F16Rle),
+            batch.encode_with(PayloadCodec::F16Rle)
+        );
+    }
+
+    #[test]
+    fn truncated_coded_frames_never_panic_and_are_rejected(
+        dim in 0usize..32,
+        samples in 1usize..8,
+        seed in 0u64..500,
+        cut_seed in 0u64..10_000,
+        codec_index in 0usize..3,
+    ) {
+        let codec = PayloadCodec::ALL[codec_index];
+        let encoded = sample_batch(seed, 3, samples, dim).encode_with(codec);
+        let full = encoded.as_slice().to_vec();
+        let cut = cut_seed as usize % full.len();
+        prop_assert!(WireFrame::decode(Bytes::from(full[..cut].to_vec())).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_coded_frames_never_panic_and_payload_flips_trip_the_crc(
+        dim in 1usize..32,
+        samples in 1usize..8,
+        seed in 0u64..500,
+        flip_seed in 0u64..100_000,
+        codec_index in 0usize..3,
+    ) {
+        let codec = PayloadCodec::ALL[codec_index];
+        let encoded = sample_batch(seed, 5, samples, dim).encode_with(codec);
+        let mut bytes = encoded.as_slice().to_vec();
+        let bit = flip_seed as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let in_payload = bit / 8 >= V2_HEADER_LEN;
+        match WireFrame::decode(Bytes::from(bytes)) {
+            // Header flips (reserved byte, codec/flag bits) may surface as any
+            // typed error or — where layouts coincide — a legal decode; the
+            // CRC guards the payload, not the header.
+            Ok(_) => prop_assert!(!in_payload, "corrupted payload decoded successfully"),
+            Err(err) => {
+                if in_payload {
+                    prop_assert!(
+                        matches!(err, EdgeError::ChecksumMismatch { .. }),
+                        "payload flip under codec {} surfaced as {} instead of a checksum mismatch",
+                        codec,
+                        err
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_codec_flags_never_panic_and_never_misdecode_values(
+        dim in 1usize..32,
+        samples in 1usize..8,
+        seed in 0u64..500,
+        true_codec_index in 0usize..3,
+        flag_bits in 0u8..4,
+    ) {
+        // Re-label an intact frame with every possible codec field value
+        // (including the reserved value 3). The CRC still passes — only the
+        // codec interpretation changes — so the decoder must either reject
+        // (length/protocol/stream error) or decode the *same* values it
+        // would under the true codec. It must never panic or produce a
+        // quietly different batch.
+        let true_codec = PayloadCodec::ALL[true_codec_index];
+        let batch = sample_batch(seed, 2, samples, dim);
+        let encoded = batch.encode_with(true_codec);
+        let mut bytes = encoded.as_slice().to_vec();
+        bytes[5] = FLAG_CHECKSUM | (flag_bits << 1);
+        let relabeled = WireFrame::decode(Bytes::from(bytes));
+        if flag_bits as usize == true_codec as usize {
+            prop_assert!(relabeled.is_ok(), "true codec must still decode");
+        } else if flag_bits == 3 {
+            let err = relabeled.unwrap_err();
+            prop_assert!(matches!(err, EdgeError::Protocol { .. }), "{}", err);
+        } else if matches!(
+            (true_codec, flag_bits),
+            (PayloadCodec::F32, 1) | (PayloadCodec::F16, 0)
+        ) {
+            // Between the fixed-width codecs the strict value-byte count
+            // check makes mis-decoding impossible: 4·n·d = 2·n·d only when
+            // the batch carries no values, in which case the layouts agree.
+            if let Ok(WireFrame::FeatureBatch(decoded)) = relabeled {
+                prop_assert!(decoded.features.is_empty(), "codec mislabel decoded values");
+                let truth = match WireFrame::decode(encoded).unwrap() {
+                    WireFrame::FeatureBatch(b) => b,
+                    other => panic!("expected a batch, got {other:?}"),
+                };
+                prop_assert_eq!(decoded, truth);
+            }
+        }
+        // Mislabels involving the compressed codec must not panic either —
+        // returning at all (Ok or Err) is the property; the rle stream's
+        // strict length accounting rejects them in practice.
+    }
+
+    #[test]
+    fn f16_bits_round_trip_through_the_vendored_helpers(
+        bits in 0u16..=u16::MAX,
+    ) {
+        // The wire codec's quantizer and dequantizer are exact inverses on
+        // every non-NaN half bit pattern.
+        let value = f16_bits_to_f32(bits);
+        if value.is_nan() {
+            prop_assert_eq!(f32_to_f16_bits(value), 0x7E00 | (bits & 0x8000));
+        } else {
+            prop_assert_eq!(f32_to_f16_bits(value), bits);
         }
     }
 

@@ -69,5 +69,9 @@ pub use error::SchedError;
 pub use health::{DeviceHealth, HealthTracker};
 pub use stream::{FailureInjection, ScheduleMode, StreamConfig, StreamReport, StreamScheduler};
 
+// Re-exported so stream configurations can pick a wire codec without a
+// direct `edvit-edge` dependency at the call site.
+pub use edvit_edge::PayloadCodec;
+
 /// Convenience result alias for scheduler operations.
 pub type Result<T> = std::result::Result<T, SchedError>;

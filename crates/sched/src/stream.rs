@@ -43,8 +43,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crossbeam::channel;
 use edvit_edge::wire::FeatureBatchMessage;
 use edvit_edge::{
-    ControlKind, ControlMessage, FusionFn, LatencyModel, NetworkConfig, StreamTiming, SubModelFn,
-    WireFrame,
+    ControlKind, ControlMessage, FusionFn, LatencyModel, NetworkConfig, PayloadCodec, StreamTiming,
+    SubModelFn, WireFrame,
 };
 use edvit_partition::{DeviceSpec, SplitPlan};
 use edvit_tensor::Tensor;
@@ -105,6 +105,10 @@ pub struct StreamConfig {
     /// greedy assignment when re-planning onto survivors. This is *not* the
     /// wire round size: `L` prices energy, `round_size` prices batching.
     pub energy_samples_per_round: u64,
+    /// Wire codec every device encodes its batch frames with (control frames
+    /// always ship codec 0). Also prices the virtual timing via
+    /// [`LatencyModel::with_codec`].
+    pub codec: PayloadCodec,
     /// Scripted device deaths.
     pub failures: Vec<FailureInjection>,
 }
@@ -120,6 +124,7 @@ impl Default for StreamConfig {
             fusion_flops: 0,
             replan_seconds: 0.05,
             energy_samples_per_round: 1,
+            codec: PayloadCodec::F32,
             failures: Vec::new(),
         }
     }
@@ -129,6 +134,12 @@ impl StreamConfig {
     /// Switches to barrier scheduling (the pre-streaming behaviour).
     pub fn barrier(mut self) -> Self {
         self.mode = ScheduleMode::Barrier;
+        self
+    }
+
+    /// Selects the wire codec the deployment ships batch frames with.
+    pub fn with_codec(mut self, codec: PayloadCodec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -154,6 +165,8 @@ pub struct StreamReport {
     pub mode: ScheduleMode,
     /// Samples per round.
     pub round_size: usize,
+    /// Wire codec the devices encoded their batch frames with.
+    pub codec: PayloadCodec,
     /// Total rounds fused.
     pub rounds: usize,
     /// Membership epochs executed (1 + number of repartitions).
@@ -329,6 +342,7 @@ impl StreamScheduler {
             outputs: Vec::new(),
             mode: cfg.mode,
             round_size,
+            codec: cfg.codec,
             rounds: total_rounds,
             epochs: 0,
             max_rounds_in_flight: 0,
@@ -356,6 +370,7 @@ impl StreamScheduler {
                 &pending,
                 round_size,
                 cfg.effective_depth(),
+                cfg.codec,
                 inputs,
                 &mut executors,
                 &mut fusion,
@@ -438,7 +453,7 @@ impl StreamScheduler {
     }
 
     fn timing(&self, plan: &SplitPlan, devices: &[DeviceSpec]) -> Result<StreamTiming> {
-        let mut model = LatencyModel::new(self.config.network);
+        let mut model = LatencyModel::new(self.config.network).with_codec(self.config.codec);
         if self.config.fusion_flops > 0 {
             model = model.with_fusion_flops(self.config.fusion_flops);
         }
@@ -492,6 +507,7 @@ fn run_epoch(
     epoch_rounds: &[u64],
     round_size: usize,
     pipeline_depth: usize,
+    codec: PayloadCodec,
     inputs: &[Tensor],
     executors: &mut [SubModelFn],
     fusion: &mut FusionFn,
@@ -555,6 +571,7 @@ fn run_epoch(
                     epoch_rounds,
                     round_size,
                     total_samples,
+                    codec,
                     inputs,
                     capacity_flops,
                     dies_at,
@@ -596,6 +613,7 @@ fn run_device_worker(
     epoch_rounds: &[u64],
     round_size: usize,
     total_samples: usize,
+    codec: PayloadCodec,
     inputs: &[Tensor],
     capacity_flops: f64,
     dies_at: Option<u64>,
@@ -633,7 +651,7 @@ fn run_device_worker(
                 }
             }
             let Some(batch) = batch else { continue };
-            if tx.send(Ok(batch.encode())).is_err() {
+            if tx.send(Ok(batch.encode_with(codec))).is_err() {
                 return;
             }
         }

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use edvit_edge::{FusionFn, SubModelFn};
 use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlan, SplitPlanner};
-use edvit_sched::{SchedError, ScheduleMode, StreamConfig, StreamScheduler};
+use edvit_sched::{PayloadCodec, SchedError, ScheduleMode, StreamConfig, StreamScheduler};
 use edvit_tensor::Tensor;
 use edvit_vit::ViTConfig;
 
@@ -265,4 +265,79 @@ fn executor_and_fusion_failures_propagate() {
         .run(&inputs(4), executors_for(&plan, &calls), bad_fusion)
         .unwrap_err();
     assert!(err.to_string().contains("fusion MLP"), "{err}");
+}
+
+#[test]
+fn f16_codec_streams_shrink_the_wire_with_identical_fusion_outputs() {
+    // The deterministic executors emit integer-valued features, which are
+    // exactly representable in f16 — so the coded stream must fuse to
+    // bitwise-identical outputs while shipping fewer data bytes.
+    let devices = DeviceSpec::raspberry_pi_cluster(3);
+    let plan = plan_for(&devices);
+    let samples = inputs(12);
+
+    let run = |codec: PayloadCodec| {
+        let calls = Arc::new(AtomicUsize::new(0));
+        StreamScheduler::new(
+            plan.clone(),
+            devices.clone(),
+            StreamConfig::default().with_codec(codec),
+        )
+        .unwrap()
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap()
+    };
+    let base = run(PayloadCodec::F32);
+    let coded = run(PayloadCodec::F16);
+    assert_eq!(base.codec, PayloadCodec::F32);
+    assert_eq!(coded.codec, PayloadCodec::F16);
+    assert_eq!(base.outputs.len(), coded.outputs.len());
+    for (a, b) in base.outputs.iter().zip(&coded.outputs) {
+        assert_eq!(a.data(), b.data());
+    }
+    // Same frame counts, fewer bytes: only the value encoding changed.
+    assert_eq!(base.data_frames, coded.data_frames);
+    assert_eq!(base.control_frames, coded.control_frames);
+    assert!(
+        coded.bytes_on_wire < base.bytes_on_wire,
+        "{} !< {}",
+        coded.bytes_on_wire,
+        base.bytes_on_wire
+    );
+    // The virtual timing prices the smaller frames too.
+    assert!(coded.steady_state_samples_per_second >= base.steady_state_samples_per_second);
+}
+
+#[test]
+fn coded_streams_survive_a_death_with_identical_predictions() {
+    let devices = DeviceSpec::raspberry_pi_cluster(3);
+    let plan = plan_for(&devices);
+    let samples = inputs(12);
+    let victim = plan.assignment.device_for(0).unwrap();
+    for codec in PayloadCodec::ALL {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let healthy = StreamScheduler::new(
+            plan.clone(),
+            devices.clone(),
+            StreamConfig::default().with_codec(codec),
+        )
+        .unwrap()
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap();
+        let chaotic = StreamScheduler::new(
+            plan.clone(),
+            devices.clone(),
+            StreamConfig::default()
+                .with_codec(codec)
+                .with_failure(victim, 2),
+        )
+        .unwrap()
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap();
+        assert_eq!(chaotic.devices_lost, vec![victim], "{codec}");
+        assert_eq!(chaotic.outputs.len(), samples.len(), "{codec}");
+        for (a, b) in healthy.outputs.iter().zip(&chaotic.outputs) {
+            assert_eq!(a.data(), b.data(), "{codec}: failover changed outputs");
+        }
+    }
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run -p edvit --example quickstart --release`
 
-use edvit::edge::{LatencyModel, NetworkConfig};
+use edvit::edge::{LatencyModel, NetworkConfig, PayloadCodec};
 use edvit::pipeline::{EdVitConfig, EdVitPipeline};
 use edvit::sched::StreamConfig;
 use edvit::streaming::run_streaming;
@@ -72,6 +72,8 @@ fn main() -> Result<(), edvit::EdVitError> {
     // Stream the test samples through the fault-tolerant scheduler: devices
     // compute round k+1 while the fusion worker drains round k, each round a
     // batched wire-v2 frame per sub-model plus a heartbeat control frame.
+    // Stream twice — once per wire codec — to show the f16 payload shrink
+    // with prediction-identical output.
     let plan = deployment.plan.clone();
     let test = deployment.test_set.clone();
     let n = test.len().min(8);
@@ -83,7 +85,18 @@ fn main() -> Result<(), edvit::EdVitError> {
         round_size: 2,
         ..StreamConfig::default()
     };
+    let coded = run_streaming(
+        deployment.clone(),
+        &samples,
+        devices.clone(),
+        stream_config.clone().with_codec(PayloadCodec::F16),
+    )?;
     let report = run_streaming(deployment, &samples, devices.clone(), stream_config)?;
+    assert_eq!(
+        coded.predictions()?,
+        report.predictions()?,
+        "f16 quantization must not change top-1 predictions"
+    );
 
     println!("\n== Streaming round report ({n} samples, wire v2 + control frames) ==");
     println!("  {:<8} {:>8} {:>12}", "device", "rounds", "wire bytes");
@@ -112,6 +125,13 @@ fn main() -> Result<(), edvit::EdVitError> {
     println!(
         "  steady-state throughput : {:.2} samples/s (simulated clock)",
         report.steady_state_samples_per_second
+    );
+    println!(
+        "  f16 wire codec          : {} bytes vs {} for f32 ({:.1}% saved; value \
+         bytes exactly halved, predictions identical)",
+        coded.bytes_on_wire,
+        report.bytes_on_wire,
+        100.0 * (1.0 - coded.bytes_on_wire as f64 / report.bytes_on_wire as f64)
     );
 
     // The barrier-vs-pipelined bound on the same plan, from the analytic

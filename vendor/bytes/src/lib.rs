@@ -133,6 +133,80 @@ pub fn crc32(data: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest-even.
+///
+/// Values beyond the half range (|x| > 65504 after rounding) become signed
+/// infinity, magnitudes below 2⁻²⁴·½ round to signed zero, and every NaN maps
+/// to the canonical quiet NaN `0x7E00` (payloads are not preserved — wire
+/// payloads must not depend on NaN bit patterns). Used by the wire codecs to
+/// quantize feature payloads; [`f16_bits_to_f32`] is its exact inverse on
+/// every non-NaN half bit pattern.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+    if exp == 0xFF {
+        // Infinity keeps its sign; every NaN collapses to the canonical qNaN.
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00
+        };
+    }
+    let unbiased = exp - 127;
+    if unbiased >= 16 {
+        return sign | 0x7C00; // overflow: beyond the largest half
+    }
+    if unbiased >= -14 {
+        // Normal half: drop 13 mantissa bits with round-to-nearest-even. A
+        // carry out of the 10-bit mantissa correctly bumps the exponent (and
+        // saturates to infinity at the top, matching RNE at 65520).
+        let half_exp = (unbiased + 15) as u32;
+        let mut val = (half_exp << 10) | (mant >> 13);
+        let round = mant & 0x1FFF;
+        if round > 0x1000 || (round == 0x1000 && (val & 1) == 1) {
+            val += 1;
+        }
+        return sign | val as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal half: value = m·2⁻²⁴ with m in 1..=1023.
+        let full_mant = mant | 0x0080_0000;
+        let shift = (-unbiased - 1) as u32; // 14..=24
+        let mut val = full_mant >> shift;
+        let rem = full_mant & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        if rem > half || (rem == half && (val & 1) == 1) {
+            val += 1; // may carry into the smallest normal — still correct
+        }
+        return sign | val as u16;
+    }
+    sign // underflow to signed zero
+}
+
+/// Converts IEEE 754 binary16 bits to the exactly-representable `f32`.
+///
+/// Every half value (including subnormals and infinities) is exactly
+/// representable in `f32`, so this conversion is lossless; a decode followed
+/// by [`f32_to_f16_bits`] reproduces the original bits for every non-NaN
+/// input.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = (bits >> 10) & 0x1F;
+    let mant = (bits & 0x03FF) as u32;
+    let out = match exp {
+        0 => {
+            // Zero or subnormal: m·2⁻²⁴ is exact in f32 (m has ≤ 10 bits).
+            let magnitude = mant as f32 * f32::from_bits(0x3380_0000); // 2⁻²⁴
+            return if sign != 0 { -magnitude } else { magnitude };
+        }
+        0x1F => sign | 0x7F80_0000 | (mant << 13),
+        _ => sign | ((exp as u32 + 112) << 23) | (mant << 13),
+    };
+    f32::from_bits(out)
+}
+
 /// A growable byte buffer for building messages.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BytesMut {
@@ -209,6 +283,12 @@ pub trait Buf {
         f64::from_bits(self.get_u64_le())
     }
 
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let b = self.copy_bytes(2);
+        u16::from_le_bytes([b[0], b[1]])
+    }
+
     /// Reads a little-endian `u32`, or `None` on underflow instead of
     /// panicking. Decoders of untrusted buffers read their header fields
     /// through this so truncated input surfaces as an error value. (The stub
@@ -218,6 +298,23 @@ pub trait Buf {
             return None;
         }
         Some(self.get_u32_le())
+    }
+
+    /// Reads one byte, or `None` on underflow — the codec decompressors walk
+    /// untrusted token streams through this.
+    fn try_get_u8(&mut self) -> Option<u8> {
+        if self.remaining() < 1 {
+            return None;
+        }
+        Some(self.get_u8())
+    }
+
+    /// Reads a little-endian `u16`, or `None` on underflow.
+    fn try_get_u16_le(&mut self) -> Option<u16> {
+        if self.remaining() < 2 {
+            return None;
+        }
+        Some(self.get_u16_le())
     }
 }
 
@@ -240,6 +337,10 @@ impl Buf for Bytes {
         u32::from_le_bytes(self.take(4).try_into().expect("take(4) yields 4 bytes"))
     }
 
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("take(2) yields 2 bytes"))
+    }
+
     fn get_u64_le(&mut self) -> u64 {
         u64::from_le_bytes(self.take(8).try_into().expect("take(8) yields 8 bytes"))
     }
@@ -253,6 +354,11 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u32`.
@@ -280,6 +386,14 @@ pub trait BufMut {
     fn put_f32_slice_le(&mut self, values: &[f32]) {
         for &v in values {
             self.put_f32_le(v);
+        }
+    }
+
+    /// Appends every value of `values` quantized to a little-endian IEEE 754
+    /// binary16 via [`f32_to_f16_bits`] — the f16 wire codec's bulk writer.
+    fn put_f16_slice_le(&mut self, values: &[f32]) {
+        for &v in values {
+            self.put_u16_le(f32_to_f16_bits(v));
         }
     }
 }
@@ -343,6 +457,71 @@ mod tests {
         // Any single-bit flip changes the checksum.
         let base = crc32(b"hello world");
         assert_ne!(base, crc32(b"hello worle"));
+    }
+
+    #[test]
+    fn f16_known_values() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // largest finite half
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00); // RNE tie rounds to inf
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xFC00);
+        assert_eq!(f32_to_f16_bits(f32::NAN), 0x7E00);
+        assert_eq!(f32_to_f16_bits(2.980_232_2e-8), 0x0000); // tie at 2⁻²⁵ → even
+        assert_eq!(f32_to_f16_bits(3.0e-8), 0x0001); // just above → smallest subnormal
+        assert_eq!(f32_to_f16_bits(5.960_464_5e-8), 0x0001); // 2⁻²⁴ itself
+        assert_eq!(f16_bits_to_f32(0x3C00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x0001), 2.0f32.powi(-24));
+        assert_eq!(f16_bits_to_f32(0x7C00), f32::INFINITY);
+        assert!(f16_bits_to_f32(0x7E01).is_nan());
+    }
+
+    #[test]
+    fn f16_round_trip_is_identity_for_every_non_nan_bit_pattern() {
+        for bits in 0..=u16::MAX {
+            let value = f16_bits_to_f32(bits);
+            if value.is_nan() {
+                assert_eq!(f32_to_f16_bits(value), 0x7E00 | (bits & 0x8000));
+                continue;
+            }
+            assert_eq!(f32_to_f16_bits(value), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn f16_rne_relative_error_is_bounded() {
+        // Normal halves carry 11 significant bits, so RNE keeps the relative
+        // error within 2⁻¹¹ (the wire contract promises ≤ 2⁻¹⁰).
+        let mut x = 6.2e-5f32; // just above the smallest normal half
+        while x < 2.0e4 {
+            for v in [x, -x, x * 1.337, x * 2.9999] {
+                let back = f16_bits_to_f32(f32_to_f16_bits(v));
+                let rel = ((back - v) / v).abs();
+                assert!(rel <= 2f32.powi(-11), "value {v}: relative error {rel}");
+            }
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn u16_and_f16_slice_writers_round_trip() {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(0xBEEF);
+        buf.put_f16_slice_le(&[1.0, -0.5, 65504.0]);
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u16_le(), 0xBEEF);
+        assert_eq!(b.try_get_u16_le(), Some(0x3C00));
+        assert_eq!(f16_bits_to_f32(b.get_u16_le()), -0.5);
+        assert_eq!(b.get_u16_le(), 0x7BFF);
+        assert_eq!(b.try_get_u16_le(), None);
+        assert_eq!(b.try_get_u8(), None);
+        let mut one = Bytes::from(vec![7u8]);
+        assert_eq!(one.try_get_u16_le(), None);
+        assert_eq!(one.remaining(), 1, "failed try read must not consume");
+        assert_eq!(one.try_get_u8(), Some(7));
     }
 
     #[test]
