@@ -1,0 +1,32 @@
+//! # edvit-analyze
+//!
+//! A workspace-invariant lint engine: dependency-free static analysis that
+//! holds the rest of the edvit workspace to its documented contracts.
+//!
+//! The engine scans every `.rs` source with a comment/string-aware tokenizer
+//! ([`source`]), loads the auxiliary inputs some lints compare against
+//! ([`workspace`]), and runs a registry of project-specific lints
+//! ([`lints`]), each with a stable ID, span-accurate diagnostics ([`diag`]),
+//! and inline `// edvit:allow(lint-id)` suppression.
+//!
+//! See `crates/analyze/README.md` for the lint catalog and rationale; the
+//! `edvit-analyze` binary (`cargo run -p edvit-analyze`) is the CI entry
+//! point.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod lints;
+pub mod source;
+pub mod workspace;
+
+pub use diag::{render_json_report, Diagnostic};
+pub use lints::{registry, run_all};
+pub use source::SourceFile;
+pub use workspace::Workspace;
+
+/// Runs the full registry over the workspace rooted at `root`.
+pub fn analyze_root(root: &std::path::Path) -> std::io::Result<Vec<Diagnostic>> {
+    let ws = Workspace::load(root)?;
+    Ok(run_all(&ws))
+}

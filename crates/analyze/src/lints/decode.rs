@@ -1,0 +1,200 @@
+//! `panic-in-decode`: wire decode must be total on adversarial bytes.
+//!
+//! The adversarial-decode CI job feeds fuzzed frames through the v1/v2
+//! decoders and asserts no panic; this lint enforces the same contract
+//! statically. Inside any non-test function of `wire.rs` whose name contains
+//! `decode` or `decompress`, the following are violations:
+//!
+//! * `.unwrap(` / `.expect(` method calls,
+//! * panicking macros (`panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//!   `assert!`, `assert_eq!`, `assert_ne!` — `debug_assert*` is allowed since
+//!   release decode paths compile it out),
+//! * slice/array indexing expressions (`buf[4]`, `bytes[..4]`), which panic
+//!   on out-of-range input where `get(..)` returns `None`.
+
+use super::{diag_at, Lint};
+use crate::diag::Diagnostic;
+use crate::source::{SourceFile, TokenKind};
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct PanicInDecode;
+
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn is_decode_fn(name: &str) -> bool {
+    name.contains("decode") || name.contains("decompress")
+}
+
+fn in_scope(path: &str) -> bool {
+    path.ends_with("src/wire.rs") || path.contains("/wire/")
+}
+
+impl Lint for PanicInDecode {
+    fn id(&self) -> &'static str {
+        "panic-in-decode"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panicking macros/slice-indexing inside wire.rs decode functions (adversarial-input contract)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.iter() {
+            if !in_scope(&file.path) || file.is_test_file() {
+                continue;
+            }
+            for fspan in &file.fns {
+                if !is_decode_fn(&fspan.name) || file.in_test_span(fspan.fn_start) {
+                    continue;
+                }
+                check_body(self.id(), file, &fspan.name, fspan.body_tokens.clone(), out);
+            }
+        }
+    }
+}
+
+fn check_body(
+    lint: &'static str,
+    file: &SourceFile,
+    fn_name: &str,
+    body: std::ops::Range<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.tokens;
+    for i in body {
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Ident => {
+                let word = file.tok_text(t);
+                // `.unwrap(` / `.expect(` — require the preceding `.` and the
+                // following `(` so `unwrap_or_default` and field names named
+                // `expect` don't match.
+                if (word == "unwrap" || word == "expect")
+                    && i > 0
+                    && file.is_punct(i - 1, '.')
+                    && file.is_punct(i + 1, '(')
+                {
+                    out.push(diag_at(
+                        lint,
+                        file,
+                        t.start,
+                        format!(
+                            "`.{word}()` in decode fn `{fn_name}`: adversarial frames must \
+                             produce `Err`, never a panic"
+                        ),
+                    ));
+                }
+                // Panicking macros: ident immediately followed by `!`.
+                if PANIC_MACROS.contains(&word) && file.is_punct(i + 1, '!') {
+                    out.push(diag_at(
+                        lint,
+                        file,
+                        t.start,
+                        format!(
+                            "`{word}!` in decode fn `{fn_name}`: decode paths must return \
+                             protocol errors instead of panicking"
+                        ),
+                    ));
+                }
+            }
+            // Index expression: `[` whose previous token ends an
+            // expression (identifier, `)`, or `]`). Slice/array indexing
+            // panics out-of-bounds; decode paths must use `get(..)`.
+            TokenKind::Punct if file.text.as_bytes()[t.start] == b'[' && i > 0 => {
+                let prev = &toks[i - 1];
+                let prev_is_expr = match prev.kind {
+                    TokenKind::Ident => {
+                        // `&[u8]` / `[u8; 4]` type positions start after
+                        // keywords or punctuation, not after value idents;
+                        // but `let x: [u8; 4]` has `:` before the ident.
+                        // An ident directly before `[` is an index in
+                        // practice unless it is a keyword.
+                        !matches!(
+                            file.tok_text(prev),
+                            "mut" | "dyn" | "in" | "as" | "return" | "break" | "else"
+                        )
+                    }
+                    TokenKind::Punct => {
+                        matches!(file.text.as_bytes()[prev.start], b')' | b']')
+                    }
+                    _ => false,
+                };
+                if prev_is_expr {
+                    out.push(diag_at(
+                        lint,
+                        file,
+                        t.start,
+                        format!(
+                            "slice indexing in decode fn `{fn_name}` panics on short \
+                             input; use `.get(..)` and propagate a decode error"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::run_all;
+
+    fn hits(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_memory([("crates/edge/src/wire.rs", src)]);
+        run_all(&ws)
+            .into_iter()
+            .filter(|d| d.lint == "panic-in-decode")
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_indexing_in_decode() {
+        let found =
+            hits("fn decode_v2(b: &[u8]) -> u8 {\n    let x = b.first().unwrap();\n    b[0]\n}\n");
+        assert_eq!(found.len(), 2);
+        assert!(found[0].message.contains("unwrap"));
+        assert!(found[1].message.contains("indexing"));
+    }
+
+    #[test]
+    fn flags_panicking_macros_but_not_debug_assert() {
+        let found = hits(
+            "fn decode(b: &[u8]) {\n    debug_assert!(b.len() > 1);\n    unreachable!(\"nope\");\n}\n",
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("unreachable"));
+    }
+
+    #[test]
+    fn non_decode_fns_and_tests_are_out_of_scope() {
+        let found = hits(
+            "fn encode(b: &mut Vec<u8>) { b[0] = 1; }\n\
+             #[cfg(test)]\nmod tests {\n    fn decode_helper(b: &[u8]) -> u8 { b[0] }\n}\n",
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let found = hits("fn decode(b: &[u8]) -> u8 { b.first().copied().unwrap_or(0) }\n");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn suppression_silences() {
+        let found =
+            hits("fn decode(b: &[u8]) -> u8 {\n    // edvit:allow(panic-in-decode)\n    b[0]\n}\n");
+        assert!(found.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! `wall-clock-in-sim`: the scheduler's virtual-time contract.
+//!
+//! `edvit-sched` measures recovery and pipeline behaviour in `SimClock`
+//! virtual time so the numbers are machine-independent; the wire decode path
+//! likewise must not consult the host clock. Any mention of `Instant` or
+//! `SystemTime` in those sources — including imports — is a violation,
+//! because an unused import is one refactor away from a used one.
+
+use super::{diag_at, Lint};
+use crate::diag::Diagnostic;
+use crate::source::TokenKind;
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct WallClockInSim;
+
+/// Whether the virtual-time contract covers this file.
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/sched/src/") || path == "crates/edge/src/wire.rs"
+}
+
+const BANNED: [&str; 2] = ["Instant", "SystemTime"];
+
+impl Lint for WallClockInSim {
+    fn id(&self) -> &'static str {
+        "wall-clock-in-sim"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Instant/SystemTime in crates/sched or the wire decode path (SimClock virtual-time contract)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.iter() {
+            if !in_scope(&file.path) {
+                continue;
+            }
+            for tok in &file.tokens {
+                if tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                let word = file.tok_text(tok);
+                if BANNED.contains(&word) {
+                    out.push(diag_at(
+                        self.id(),
+                        file,
+                        tok.start,
+                        format!(
+                            "`{word}` breaks the virtual-time contract: scheduling and decode \
+                             must run on SimClock so results are machine-independent"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::run_all;
+
+    #[test]
+    fn flags_instant_in_sched() {
+        let ws = Workspace::from_memory([(
+            "crates/sched/src/stream.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n",
+        )]);
+        let diags = run_all(&ws);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.lint == "wall-clock-in-sim")
+            .collect();
+        assert_eq!(hits.len(), 2, "import and use site both flagged");
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_out_of_scope_files() {
+        let ws =
+            Workspace::from_memory([("crates/edge/src/runtime.rs", "use std::time::Instant;\n")]);
+        assert!(run_all(&ws).iter().all(|d| d.lint != "wall-clock-in-sim"));
+    }
+
+    #[test]
+    fn comment_mentions_do_not_fire() {
+        let ws = Workspace::from_memory([(
+            "crates/sched/src/clock.rs",
+            "// A SimClock replaces Instant::now() everywhere.\nfn tick() {}\n",
+        )]);
+        assert!(run_all(&ws).iter().all(|d| d.lint != "wall-clock-in-sim"));
+    }
+
+    #[test]
+    fn suppression_silences() {
+        let ws = Workspace::from_memory([(
+            "crates/sched/src/stream.rs",
+            "fn f() { let t = SystemTime::now(); } // edvit:allow(wall-clock-in-sim)\n",
+        )]);
+        assert!(run_all(&ws).iter().all(|d| d.lint != "wall-clock-in-sim"));
+    }
+}

@@ -1,0 +1,255 @@
+//! `error-variant-untested`: every public error variant must be exercised by
+//! at least one test.
+//!
+//! The workspace's error taxonomy is load-bearing — the wire decode path
+//! distinguishes `Decode` / `ChecksumMismatch` / `Protocol` precisely so
+//! operators can tell a noisy wire from a non-conforming peer. A variant no
+//! test ever names is a variant whose contract can silently rot. For every
+//! `pub enum *Error` in a `crates/*/src/error.rs`, each variant name must
+//! appear qualified (`EnumName::Variant`) somewhere in test code: a
+//! `#[cfg(test)]` module, an integration-test file, or a bench/example.
+
+use super::{diag_at, Lint};
+use crate::diag::Diagnostic;
+use crate::source::{SourceFile, TokenKind};
+use crate::workspace::Workspace;
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct ErrorVariantUntested;
+
+/// Whether this file declares error enums this lint audits.
+fn declares_errors(path: &str) -> bool {
+    path.starts_with("crates/") && path.ends_with("/src/error.rs")
+}
+
+/// `(enum name, variant name, byte offset of the variant)` for every variant
+/// of every `pub enum *Error` in `file`.
+fn error_variants(file: &SourceFile) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !file.is_ident(i, "enum") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let enum_name = file.tok_text(name_tok).to_string();
+        if !enum_name.ends_with("Error") {
+            continue;
+        }
+        // Find the enum body (skipping generics if any ever appear).
+        let mut open = i + 2;
+        while open < toks.len() && !file.is_punct(open, '{') {
+            open += 1;
+        }
+        let Some(close) = file.matching_brace(open) else {
+            continue;
+        };
+        // Walk the body at depth 0; variants are the idents that start each
+        // comma-separated item (attributes skipped).
+        let mut depth = 0isize;
+        let mut expecting = true;
+        let mut k = open + 1;
+        while k < close {
+            let t = &toks[k];
+            if t.kind == TokenKind::Punct {
+                match file.text.as_bytes()[t.start] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b',' if depth == 0 => expecting = true,
+                    // Skip the `[...]` attribute group after a `#`.
+                    b'#' if depth == 0 && file.is_punct(k + 1, '[') => {
+                        let mut d = 0isize;
+                        k += 1;
+                        while k < close {
+                            if toks[k].kind == TokenKind::Punct {
+                                match file.text.as_bytes()[toks[k].start] {
+                                    b'[' => d += 1,
+                                    b']' => {
+                                        d -= 1;
+                                        if d == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            k += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident && depth == 0 && expecting {
+                out.push((enum_name.clone(), file.tok_text(t).to_string(), t.start));
+                expecting = false;
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Collects every `Enum::Variant` pair that appears in test code anywhere in
+/// the workspace.
+fn tested_pairs(ws: &Workspace) -> BTreeSet<(String, String)> {
+    let mut out = BTreeSet::new();
+    for file in ws.iter() {
+        let whole_file_is_test = file.is_test_file();
+        let toks = &file.tokens;
+        for i in 0..toks.len().saturating_sub(3) {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            if !whole_file_is_test && !file.in_test_span(t.start) {
+                continue;
+            }
+            if file.is_punct(i + 1, ':')
+                && file.is_punct(i + 2, ':')
+                && toks[i + 3].kind == TokenKind::Ident
+            {
+                out.insert((
+                    file.tok_text(t).to_string(),
+                    file.tok_text(&toks[i + 3]).to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+impl Lint for ErrorVariantUntested {
+    fn id(&self) -> &'static str {
+        "error-variant-untested"
+    }
+
+    fn description(&self) -> &'static str {
+        "every variant of a pub enum *Error in crates/*/src/error.rs must appear qualified in at least one test"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let tested = tested_pairs(ws);
+        for file in ws.iter() {
+            if !declares_errors(&file.path) {
+                continue;
+            }
+            for (enum_name, variant, offset) in error_variants(file) {
+                if !tested.contains(&(enum_name.clone(), variant.clone())) {
+                    out.push(diag_at(
+                        self.id(),
+                        file,
+                        offset,
+                        format!(
+                            "`{enum_name}::{variant}` never appears in any test; add a test \
+                             that constructs or matches this variant so its contract is pinned"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::run_all;
+
+    const ERRORS: &str = "\
+/// Errors.
+pub enum EdgeError {
+    /// Bad config.
+    InvalidConfig { reason: String },
+    /// Frame too short.
+    Decode(usize),
+    /// CRC mismatch.
+    ChecksumMismatch,
+}
+";
+
+    fn hits(sources: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let ws = Workspace::from_memory(sources);
+        run_all(&ws)
+            .into_iter()
+            .filter(|d| d.lint == "error-variant-untested")
+            .collect()
+    }
+
+    #[test]
+    fn untested_variants_fire_individually() {
+        let found = hits(vec![
+            ("crates/edge/src/error.rs", ERRORS),
+            (
+                "crates/edge/tests/decode.rs",
+                "fn t() { let _ = EdgeError::Decode(3); }\n",
+            ),
+        ]);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().any(|d| d.message.contains("InvalidConfig")));
+        assert!(found.iter().any(|d| d.message.contains("ChecksumMismatch")));
+    }
+
+    #[test]
+    fn cfg_test_mods_count_as_tests() {
+        let lib = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let _ = EdgeError::InvalidConfig { reason: String::new() };
+        let _ = EdgeError::Decode(1);
+        assert!(matches!(x(), EdgeError::ChecksumMismatch));
+    }
+}
+";
+        let found = hits(vec![
+            ("crates/edge/src/error.rs", ERRORS),
+            ("crates/edge/src/lib.rs", lib),
+        ]);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn non_test_mentions_do_not_count() {
+        let lib = "fn f() -> EdgeError { EdgeError::ChecksumMismatch }\n";
+        let found = hits(vec![
+            ("crates/edge/src/error.rs", ERRORS),
+            ("crates/edge/src/lib.rs", lib),
+        ]);
+        assert_eq!(
+            found.len(),
+            3,
+            "qualified uses in library code are not tests"
+        );
+    }
+
+    #[test]
+    fn variant_extraction_skips_fields_and_attributes() {
+        let file = SourceFile::new("crates/x/src/error.rs", ERRORS);
+        let names: Vec<String> = error_variants(&file)
+            .into_iter()
+            .map(|(_, v, _)| v)
+            .collect();
+        assert_eq!(names, vec!["InvalidConfig", "Decode", "ChecksumMismatch"]);
+    }
+
+    #[test]
+    fn suppression_silences() {
+        let errors = ERRORS.replace(
+            "    ChecksumMismatch,",
+            "    // edvit:allow(error-variant-untested)\n    ChecksumMismatch,",
+        );
+        let found = hits(vec![
+            ("crates/edge/src/error.rs", &errors),
+            (
+                "crates/edge/tests/decode.rs",
+                "fn t() { let _ = (EdgeError::Decode(3), EdgeError::InvalidConfig { reason: r });\n}\n",
+            ),
+        ]);
+        assert!(found.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! The lint registry.
+//!
+//! Each lint is a [`Lint`] implementation with a stable ID; [`run_all`]
+//! executes the whole registry over a [`Workspace`] and centrally filters
+//! out findings covered by an inline `// edvit:allow(lint-id)` suppression,
+//! so individual lints never need to re-implement suppression logic.
+
+mod decode;
+mod determinism;
+mod errors;
+mod todos;
+mod unsafety;
+mod unwraps;
+mod wire_consts;
+
+pub use unwraps::parse_budget;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// One registered lint.
+pub trait Lint {
+    /// Stable kebab-case identifier, used in reports and `edvit:allow(...)`.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list` and the README catalog.
+    fn description(&self) -> &'static str;
+    /// Runs the lint over the workspace, pushing findings into `out`.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// Builds the full lint registry, in catalog order.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(determinism::WallClockInSim),
+        Box::new(decode::PanicInDecode),
+        Box::new(unsafety::UndocumentedUnsafe),
+        Box::new(unsafety::UnsafeOutsideKernels),
+        Box::new(unwraps::UnwrapInLib),
+        Box::new(wire_consts::WireConstDrift),
+        Box::new(errors::ErrorVariantUntested),
+        Box::new(todos::TodoWithoutIssue),
+    ]
+}
+
+/// Runs every registered lint and drops suppressed findings.
+///
+/// Diagnostics come back sorted by `(file, line, column, lint)` so output is
+/// deterministic regardless of registry order.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for lint in registry() {
+        lint.check(ws, &mut out);
+    }
+    out.retain(|d| {
+        ws.get(&d.file)
+            .is_none_or(|f| !f.is_suppressed(d.lint, d.line))
+    });
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.column, a.lint).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.column,
+            b.lint,
+        ))
+    });
+    out
+}
+
+/// Builds a [`Diagnostic`] anchored at a byte offset in `file`.
+pub(crate) fn diag_at(
+    lint: &'static str,
+    file: &SourceFile,
+    offset: usize,
+    message: impl Into<String>,
+) -> Diagnostic {
+    let (line, column) = file.line_col(offset);
+    Diagnostic {
+        lint,
+        file: file.path.clone(),
+        line,
+        column,
+        message: message.into(),
+        snippet: file.line_text(line).trim().to_string(),
+    }
+}
+
+/// Builds a [`Diagnostic`] anchored at a 1-based line in `file`.
+pub(crate) fn diag_at_line(
+    lint: &'static str,
+    file: &SourceFile,
+    line: usize,
+    message: impl Into<String>,
+) -> Diagnostic {
+    Diagnostic {
+        lint,
+        file: file.path.clone(),
+        line,
+        column: 1,
+        message: message.into(),
+        snippet: file
+            .line_text(line.min(file.num_lines()))
+            .trim()
+            .to_string(),
+    }
+}
+
+/// Builds a workspace-level [`Diagnostic`] with no real source anchor
+/// (missing budget file, missing README table, ...).
+pub(crate) fn diag_global(
+    lint: &'static str,
+    file: impl Into<String>,
+    message: impl Into<String>,
+) -> Diagnostic {
+    Diagnostic {
+        lint,
+        file: file.into(),
+        line: 1,
+        column: 1,
+        message: message.into(),
+        snippet: String::new(),
+    }
+}

@@ -1,0 +1,136 @@
+//! `todo-without-issue`: a TODO nobody can find again is a TODO that never
+//! gets done.
+//!
+//! Any comment carrying a `TODO`/`FIXME` marker in its conventional form
+//! (the word followed by a colon or an `(author)` attribution) must say
+//! where the work is tracked: an issue reference (`#123`, `ISSUE-7`,
+//! `ISSUE.md`) or a ROADMAP item (`ROADMAP`, `ROADMAP.md`). Untracked markers rot silently — the
+//! repo's PR-per-issue workflow means every deferred task should be
+//! anchored to the document that will schedule it.
+
+use super::{diag_at, Lint};
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// See module docs.
+pub struct TodoWithoutIssue;
+
+const MARKERS: [&str; 2] = ["TODO", "FIXME"];
+
+/// Whether the comment text references a tracked work item.
+fn has_reference(text: &str) -> bool {
+    if text.contains("ISSUE") || text.contains("ROADMAP") {
+        return true;
+    }
+    // `#<digits>` — an issue number.
+    let bytes = text.as_bytes();
+    bytes
+        .iter()
+        .enumerate()
+        .any(|(i, &b)| b == b'#' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+}
+
+/// Byte offset of the first TODO/FIXME marker in `text`, if any.
+///
+/// Only the conventional marker forms count — the word followed by `:` or an
+/// attribution `(…)` — so prose *discussing* TODOs (like this sentence) does
+/// not trip the lint.
+fn marker_at(text: &str) -> Option<(usize, &'static str)> {
+    MARKERS
+        .iter()
+        .filter_map(|&m| {
+            let mut from = 0;
+            while let Some(p) = text[from..].find(m) {
+                let pos = from + p;
+                let next = text[pos + m.len()..].chars().next();
+                if matches!(next, Some(':') | Some('(')) {
+                    return Some((pos, m));
+                }
+                from = pos + m.len();
+            }
+            None
+        })
+        .min_by_key(|&(p, _)| p)
+}
+
+impl Lint for TodoWithoutIssue {
+    fn id(&self) -> &'static str {
+        "todo-without-issue"
+    }
+
+    fn description(&self) -> &'static str {
+        "TODO/FIXME comments must reference an issue (#N, ISSUE) or a ROADMAP item"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.iter() {
+            for comment in &file.comments {
+                let text = &file.text[comment.start..comment.end];
+                let Some((pos, marker)) = marker_at(text) else {
+                    continue;
+                };
+                if !has_reference(text) {
+                    out.push(diag_at(
+                        self.id(),
+                        file,
+                        comment.start + pos,
+                        format!(
+                            "`{marker}` without a tracking reference; cite an issue (`#N`) \
+                             or the ROADMAP item that schedules this work"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::run_all;
+
+    fn hits(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_memory([("crates/edge/src/x.rs", src)]);
+        run_all(&ws)
+            .into_iter()
+            .filter(|d| d.lint == "todo-without-issue")
+            .collect()
+    }
+
+    #[test]
+    fn untracked_todo_and_fixme_fire() {
+        let found = hits("// TODO: make this faster\nfn f() {}\n/* FIXME(nobody): later */\n");
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn prose_mentions_of_the_word_do_not_fire() {
+        let found = hits("// This function has no TODO items left.\n// A TODO list.\n");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn tracked_markers_pass() {
+        let found = hits(
+            "// TODO(#12): make this faster\n\
+             // FIXME: blocked on ROADMAP item 3\n\
+             // TODO: see ISSUE.md\n",
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn todo_in_code_or_strings_is_not_a_comment() {
+        // The `todo!()` macro is panic-in-decode territory, not this lint's;
+        // and a string mentioning TODO is data, not a work marker.
+        let found = hits("fn f() { let s = \"TODO\"; }\n");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn suppression_silences() {
+        let found = hits("// edvit:allow(todo-without-issue)\n// TODO: deliberate example\n");
+        assert!(found.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! `unwrap-in-lib`: a ratcheting burn-down of `unwrap`/`expect` in library
+//! code.
+//!
+//! Non-test library code under `crates/*/src/` should propagate typed errors
+//! instead of panicking. Existing debt is tolerated through a checked-in
+//! budget file (`crates/analyze/unwrap_budget.txt`, `path count` per line)
+//! that may only shrink:
+//!
+//! * a file with **more** unsuppressed sites than budgeted fires on every
+//!   site, and
+//! * a file with **fewer** sites than budgeted fires on the stale budget
+//!   entry, forcing the ratchet down with each burn-down.
+//!
+//! Sites carrying `// edvit:allow(unwrap-in-lib)` are excluded from the
+//! count (they are individually justified in place).
+
+use super::{diag_at, diag_at_line, diag_global, Lint};
+use crate::diag::Diagnostic;
+use crate::source::{SourceFile, TokenKind};
+use crate::workspace::{Workspace, UNWRAP_BUDGET};
+use std::collections::BTreeMap;
+
+/// See module docs.
+pub struct UnwrapInLib;
+
+/// Whether the burn-down covers this file.
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/") && path.contains("/src/")
+}
+
+/// Byte offsets of unsuppressed `.unwrap(` / `.expect(` sites in non-test
+/// code of `file`.
+fn unwrap_sites(file: &SourceFile) -> Vec<(usize, &'static str)> {
+    let mut sites = Vec::new();
+    if file.is_test_file() {
+        return sites;
+    }
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let word = match file.tok_text(t) {
+            "unwrap" => "unwrap",
+            "expect" => "expect",
+            _ => continue,
+        };
+        if i == 0 || !file.is_punct(i - 1, '.') || !file.is_punct(i + 1, '(') {
+            continue;
+        }
+        if file.in_test_span(t.start) {
+            continue;
+        }
+        if file.is_suppressed("unwrap-in-lib", file.line_of(t.start)) {
+            continue;
+        }
+        sites.push((t.start, word));
+    }
+    sites
+}
+
+/// Parses the budget file into `path -> (budgeted count, 1-based line)`.
+///
+/// Blank lines and `#` comments are ignored; anything else must be
+/// `path count`. Malformed lines parse as budget 0 so they can never hide
+/// debt.
+pub fn parse_budget(text: &str) -> BTreeMap<String, (usize, usize)> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let path = parts.next().unwrap_or_default().to_string();
+        let count = parts
+            .next()
+            .and_then(|c| c.parse::<usize>().ok())
+            .unwrap_or(0);
+        out.insert(path, (count, i + 1));
+    }
+    out
+}
+
+impl Lint for UnwrapInLib {
+    fn id(&self) -> &'static str {
+        "unwrap-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect in non-test library code; existing debt is budgeted in unwrap_budget.txt and may only shrink"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let budget_text = ws.aux.get(UNWRAP_BUDGET);
+        let budget = budget_text.map(|t| parse_budget(t)).unwrap_or_default();
+        if budget_text.is_none() {
+            // No budget file at all: every site below fires against an
+            // implicit budget of zero, and the missing file is itself
+            // reported once so the ratchet can be re-established.
+            out.push(diag_global(
+                self.id(),
+                UNWRAP_BUDGET,
+                format!("budget file `{UNWRAP_BUDGET}` is missing; regenerate it with `cargo run -p edvit-analyze -- --unwrap-census`"),
+            ));
+        }
+
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for file in ws.iter() {
+            if !in_scope(&file.path) {
+                continue;
+            }
+            let sites = unwrap_sites(file);
+            seen.insert(file.path.as_str(), sites.len());
+            let allowed = budget.get(&file.path).map_or(0, |&(n, _)| n);
+            let actual = sites.len();
+            if actual > allowed {
+                for (offset, word) in sites {
+                    out.push(diag_at(
+                        self.id(),
+                        file,
+                        offset,
+                        format!(
+                            "`.{word}()` in library code ({actual} site(s), budget {allowed}); \
+                             return a typed error, or budget the file only as part of a burn-down"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Stale entries: budgeted higher than reality (ratchet must come
+        // down) or pointing at files with no sites at all.
+        if let Some(text) = budget_text {
+            let budget_file = SourceFile::new(UNWRAP_BUDGET, text.clone());
+            for (path, &(allowed, line)) in &budget {
+                let actual = seen.get(path.as_str()).copied().unwrap_or(0);
+                if actual < allowed {
+                    out.push(diag_at_line(
+                        self.id(),
+                        &budget_file,
+                        line,
+                        format!(
+                            "stale budget: `{path}` is budgeted {allowed} but has {actual} \
+                             site(s); ratchet the entry down so the burn-down cannot regress"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::run_all;
+
+    fn hits(ws: &Workspace) -> Vec<Diagnostic> {
+        run_all(ws)
+            .into_iter()
+            .filter(|d| d.lint == "unwrap-in-lib")
+            .collect()
+    }
+
+    #[test]
+    fn over_budget_fires_per_site() {
+        let ws = Workspace::from_memory([
+            (
+                "crates/edge/src/x.rs",
+                "fn f(o: Option<u8>) -> u8 { o.unwrap() }\nfn g(o: Option<u8>) -> u8 { o.expect(\"set\") }\n",
+            ),
+            (UNWRAP_BUDGET, "crates/edge/src/x.rs 1\n"),
+        ]);
+        assert_eq!(hits(&ws).len(), 2);
+    }
+
+    #[test]
+    fn within_budget_is_clean() {
+        let ws = Workspace::from_memory([
+            (
+                "crates/edge/src/x.rs",
+                "fn f(o: Option<u8>) -> u8 { o.unwrap() }\n",
+            ),
+            (UNWRAP_BUDGET, "# comment\ncrates/edge/src/x.rs 1\n"),
+        ]);
+        assert!(hits(&ws).is_empty());
+    }
+
+    #[test]
+    fn stale_budget_fires() {
+        let ws = Workspace::from_memory([
+            ("crates/edge/src/x.rs", "fn f() {}\n"),
+            (UNWRAP_BUDGET, "crates/edge/src/x.rs 3\n"),
+        ]);
+        let found = hits(&ws);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("stale budget"));
+        assert_eq!(found[0].file, UNWRAP_BUDGET);
+    }
+
+    #[test]
+    fn missing_budget_file_reports_and_defaults_to_zero() {
+        let ws = Workspace::from_memory([(
+            "crates/edge/src/x.rs",
+            "fn f(o: Option<u8>) -> u8 { o.unwrap() }\n",
+        )]);
+        let found = hits(&ws);
+        assert_eq!(found.len(), 2, "missing-file report plus the site");
+    }
+
+    #[test]
+    fn test_code_and_suppressed_sites_do_not_count() {
+        let ws = Workspace::from_memory([
+            (
+                "crates/edge/src/x.rs",
+                "fn f(o: Option<u8>) -> u8 { o.unwrap() } // edvit:allow(unwrap-in-lib)\n\
+                 #[cfg(test)]\nmod tests {\n    fn t(o: Option<u8>) -> u8 { o.unwrap() }\n}\n",
+            ),
+            (UNWRAP_BUDGET, ""),
+        ]);
+        assert!(hits(&ws).is_empty());
+    }
+
+    #[test]
+    fn budget_parser_skips_comments_and_handles_malformed_lines() {
+        let b = parse_budget("# header\n\ncrates/a/src/l.rs 2\ncrates/b/src/l.rs not-a-number\n");
+        assert_eq!(b.get("crates/a/src/l.rs"), Some(&(2, 3)));
+        assert_eq!(b.get("crates/b/src/l.rs"), Some(&(0, 4)));
+    }
+}

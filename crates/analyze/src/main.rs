@@ -1,0 +1,122 @@
+//! The `edvit-analyze` CLI: runs the lint registry over the workspace and
+//! reports violations.
+//!
+//! ```text
+//! cargo run -p edvit-analyze                     # human output, exit 1 on violations
+//! cargo run -p edvit-analyze -- --format json    # machine-readable report
+//! cargo run -p edvit-analyze -- --list           # print the lint catalog
+//! cargo run -p edvit-analyze -- --root ../elsewhere
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use edvit_analyze::{registry, render_json_report, run_all, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Human;
+    let mut list = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| "--root needs a path".to_string())?,
+                );
+            }
+            "--format" => {
+                format = match argv.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!("--format must be `human` or `json`, got {other:?}"))
+                    }
+                };
+            }
+            "--list" => list = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: edvit-analyze [--root PATH] [--format human|json] [--list]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args { root, format, list })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for lint in registry() {
+            println!("{:<24} {}", lint.id(), lint.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !args.root.join("crates").is_dir() {
+        eprintln!(
+            "error: `{}` does not look like the workspace root (no crates/ directory); \
+             pass --root",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let ws = match Workspace::load(&args.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: failed to load workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = run_all(&ws);
+
+    match args.format {
+        Format::Json => print!("{}", render_json_report(&diags)),
+        Format::Human => {
+            for d in &diags {
+                println!("{d}");
+            }
+            let lints = registry().len();
+            let files = ws.files.len();
+            if diags.is_empty() {
+                println!("edvit-analyze: clean ({lints} lints over {files} files)");
+            } else {
+                println!(
+                    "edvit-analyze: {} violation(s) ({lints} lints over {files} files)",
+                    diags.len()
+                );
+            }
+        }
+    }
+
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

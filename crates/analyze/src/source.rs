@@ -1,0 +1,829 @@
+//! Comment- and string-aware scanning of Rust source files.
+//!
+//! The scanner is deliberately *not* a Rust parser: it only needs to be exact
+//! about what is **code** and what is **not** (comments, string/char
+//! literals), so that lints matching identifiers and punctuation never fire
+//! inside a doc comment or a test-fixture string. It handles the lexical
+//! constructs that trip naive grep-based checks:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte strings, and raw strings with any
+//!   number of `#` guards (`r"…"`, `r##"…"##`, `br#"…"#`),
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped chars.
+//!
+//! On top of the token stream it derives the spans lints need:
+//! function bodies (name → brace-matched body), `#[cfg(test)] mod` regions,
+//! and `// edvit:allow(lint-id)` suppression comments.
+
+use std::ops::Range;
+
+/// What a scanned token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `Instant`, ...).
+    Ident,
+    /// A numeric literal (`42`, `0b0110`, `1.5e3`, `0xED`).
+    Number,
+    /// A string literal of any flavour (plain, byte, raw).
+    Str,
+    /// A character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation byte (`{`, `.`, `!`, ...).
+    Punct,
+}
+
+/// One token of real code (comments and whitespace are not tokens).
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+/// One comment (line or block, doc or plain).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the end of the comment.
+    pub end: usize,
+    /// `true` for `/* ... */` comments.
+    pub block: bool,
+}
+
+/// A function item found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub fn_start: usize,
+    /// Byte range of the body, from `{` to the matching `}` inclusive.
+    pub body: Range<usize>,
+    /// Token-index range of the body (tokens strictly inside the braces).
+    pub body_tokens: Range<usize>,
+}
+
+/// An inline `// edvit:allow(lint-a, lint-b)` suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Lint id being allowed.
+    pub lint: String,
+    /// 1-based line the suppression applies to.
+    pub line: usize,
+}
+
+/// A scanned source file plus every derived span the lints consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (`crates/edge/src/wire.rs`).
+    pub path: String,
+    /// The raw file contents.
+    pub text: String,
+    /// Byte offset where each 1-based line starts (`line_starts[0]` = line 1).
+    line_starts: Vec<usize>,
+    /// Code tokens in file order.
+    pub tokens: Vec<Token>,
+    /// Comments in file order.
+    pub comments: Vec<Comment>,
+    /// Function items (free functions and methods alike).
+    pub fns: Vec<FnSpan>,
+    /// Byte ranges of `#[cfg(test)] mod` bodies.
+    pub test_spans: Vec<Range<usize>>,
+    /// Inline lint suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Scans `text` into tokens, comments and derived spans.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let path = path.into();
+        let text = text.into();
+        let (tokens, comments) = scan(&text);
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let fns = find_fns(&text, &tokens);
+        let test_spans = find_test_spans(&text, &tokens);
+        let mut file = SourceFile {
+            path,
+            text,
+            line_starts,
+            tokens,
+            comments,
+            fns,
+            test_spans,
+            suppressions: Vec::new(),
+        };
+        file.suppressions = find_suppressions(&file);
+        file
+    }
+
+    /// 1-based line number containing the byte at `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// `(line, column)` of the byte at `offset`, both 1-based.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = self.line_of(offset);
+        let col = offset - self.line_starts[line - 1] + 1;
+        (line, col)
+    }
+
+    /// The text of the given 1-based line, without its newline.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&next| next.saturating_sub(1));
+        self.text[start..end].trim_end_matches('\r')
+    }
+
+    /// Number of lines in the file.
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The source text of a token.
+    pub fn tok_text(&self, token: &Token) -> &str {
+        &self.text[token.start..token.end]
+    }
+
+    /// Whether the token at `idx` is the identifier `word`.
+    pub fn is_ident(&self, idx: usize, word: &str) -> bool {
+        self.tokens
+            .get(idx)
+            .is_some_and(|t| t.kind == TokenKind::Ident && self.tok_text(t) == word)
+    }
+
+    /// Whether the token at `idx` is the punctuation byte `p`.
+    pub fn is_punct(&self, idx: usize, p: char) -> bool {
+        self.tokens
+            .get(idx)
+            .is_some_and(|t| t.kind == TokenKind::Punct && self.text.as_bytes()[t.start] == p as u8)
+    }
+
+    /// Whether the byte offset falls inside a `#[cfg(test)] mod` body.
+    pub fn in_test_span(&self, offset: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(&offset))
+    }
+
+    /// Whether the whole file is test/bench/example code by location
+    /// (an integration-test root, a bench target, or an example).
+    pub fn is_test_file(&self) -> bool {
+        let p = &self.path;
+        p.starts_with("tests/")
+            || p.contains("/tests/")
+            || p.contains("/benches/")
+            || p.starts_with("examples/")
+            || p.contains("/examples/")
+    }
+
+    /// Token index of the matching `}` for the `{` at token index `open`.
+    pub fn matching_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for (i, t) in self.tokens.iter().enumerate().skip(open) {
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            match self.text.as_bytes()[t.start] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Whether `line` carries (or is covered by) an `edvit:allow` for `lint`.
+    pub fn is_suppressed(&self, lint: &str, line: usize) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.lint == lint && s.line == line)
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// The core scanner: splits `text` into code tokens and comments.
+fn scan(text: &str) -> (Vec<Token>, Vec<Comment>) {
+    let bytes = text.as_bytes();
+    let len = bytes.len();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    while i < len {
+        let b = bytes[i];
+        // Line comment.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < len && bytes[i] != b'\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                start,
+                end: i,
+                block: false,
+            });
+            continue;
+        }
+        // Block comment — Rust block comments nest.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < len && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                start,
+                end: i,
+                block: true,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if b == b'"' {
+            let start = i;
+            i = scan_string(bytes, i + 1);
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        if b == b'r' || b == b'b' {
+            if let Some((end, kind)) = scan_prefixed_literal(bytes, i) {
+                tokens.push(Token {
+                    kind,
+                    start: i,
+                    end,
+                });
+                i = end;
+                continue;
+            }
+        }
+        // Char literal or lifetime.
+        if b == b'\'' {
+            let next = bytes.get(i + 1).copied();
+            let is_lifetime = match next {
+                Some(b'\\') => false,
+                Some(n) if is_ident_byte(n) => bytes.get(i + 2) != Some(&b'\''),
+                _ => false,
+            };
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < len && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    start,
+                    end: i,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                if i < len && bytes[i] == b'\\' {
+                    i += 2; // skip the escape introducer and escaped byte
+                            // \x41 and \u{…} escapes: run to the closing quote below.
+                }
+                while i < len && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(len);
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    start,
+                    end: i,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(b) {
+            let start = i;
+            while i < len && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Number: digits plus `_`, radix prefixes, exponents, and a decimal
+        // point only when followed by another digit (so `0..5` stays two
+        // tokens and a range).
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < len {
+                let c = bytes[i];
+                let decimal_point = c == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    && bytes.get(i.wrapping_sub(1)) != Some(&b'.');
+                if is_ident_byte(c) || decimal_point {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Everything else: one punctuation byte per token. Multi-byte UTF-8
+        // in code position can only appear in identifiers we do not lint on;
+        // consume the whole character to stay on char boundaries.
+        let char_len = text[i..].chars().next().map_or(1, char::len_utf8);
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            start: i,
+            end: i + char_len,
+        });
+        i += char_len;
+    }
+    (tokens, comments)
+}
+
+/// Consumes a plain string body starting just past the opening `"`; returns
+/// the offset one past the closing `"` (or EOF for unterminated strings).
+fn scan_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Tries to scan a raw/byte literal at `i` (which holds `r` or `b`). Returns
+/// `None` when this is actually an ordinary identifier like `rle_compress`.
+fn scan_prefixed_literal(bytes: &[u8], i: usize) -> Option<(usize, TokenKind)> {
+    let len = bytes.len();
+    let mut j = i;
+    let mut raw = false;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j < len && bytes[j] == b'r' {
+            raw = true;
+            j += 1;
+        } else if j < len && bytes[j] == b'\'' {
+            // Byte char literal b'x' / b'\n'.
+            let mut k = j + 1;
+            if k < len && bytes[k] == b'\\' {
+                k += 2;
+            }
+            while k < len && bytes[k] != b'\'' {
+                k += 1;
+            }
+            return Some(((k + 1).min(len), TokenKind::Char));
+        }
+    } else {
+        // bytes[i] == b'r'
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && j < len && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= len || bytes[j] != b'"' {
+        return None; // `r` / `b` / `br` was just the start of an identifier
+    }
+    j += 1;
+    if !raw {
+        // b"…": plain escape rules.
+        return Some((scan_string(bytes, j), TokenKind::Str));
+    }
+    // Raw string: ends at `"` followed by `hashes` `#`s; no escapes.
+    while j < len {
+        if bytes[j] == b'"' {
+            let tail = &bytes[j + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                return Some((j + 1 + hashes, TokenKind::Str));
+            }
+        }
+        j += 1;
+    }
+    Some((len, TokenKind::Str))
+}
+
+/// Finds every `fn name … { body }` item in the token stream.
+fn find_fns(text: &str, tokens: &[Token]) -> Vec<FnSpan> {
+    let bytes = text.as_bytes();
+    let mut fns = Vec::new();
+    let mut idx = 0usize;
+    while idx + 1 < tokens.len() {
+        let t = &tokens[idx];
+        if t.kind == TokenKind::Ident && &text[t.start..t.end] == "fn" {
+            let name_tok = &tokens[idx + 1];
+            if name_tok.kind == TokenKind::Ident {
+                let name = text[name_tok.start..name_tok.end].to_string();
+                // Scan forward for the body's `{` at zero paren/bracket depth;
+                // a `;` first means a bodyless declaration (trait method,
+                // extern) — skip those.
+                let mut depth = 0isize;
+                let mut k = idx + 2;
+                let mut open = None;
+                while k < tokens.len() {
+                    let tk = &tokens[k];
+                    if tk.kind == TokenKind::Punct {
+                        match bytes[tk.start] {
+                            b'(' | b'[' => depth += 1,
+                            b')' | b']' => depth -= 1,
+                            b'{' if depth == 0 => {
+                                open = Some(k);
+                                break;
+                            }
+                            b';' if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                if let Some(open) = open {
+                    if let Some(close) = matching_brace_at(text, tokens, open) {
+                        fns.push(FnSpan {
+                            name,
+                            fn_start: t.start,
+                            body: tokens[open].start..tokens[close].end,
+                            body_tokens: open + 1..close,
+                        });
+                        idx += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        idx += 1;
+    }
+    fns
+}
+
+fn matching_brace_at(text: &str, tokens: &[Token], open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match bytes[t.start] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds the byte spans of `#[cfg(test)] mod … { … }` bodies.
+fn find_test_spans(text: &str, tokens: &[Token]) -> Vec<Range<usize>> {
+    let bytes = text.as_bytes();
+    let word = |t: &Token| &text[t.start..t.end];
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = tokens[i].kind == TokenKind::Punct
+            && bytes[tokens[i].start] == b'#'
+            && tokens[i + 1].kind == TokenKind::Punct
+            && bytes[tokens[i + 1].start] == b'['
+            && tokens[i + 2].kind == TokenKind::Ident
+            && word(&tokens[i + 2]) == "cfg"
+            && tokens[i + 3].kind == TokenKind::Punct
+            && bytes[tokens[i + 3].start] == b'('
+            && tokens[i + 4].kind == TokenKind::Ident
+            && word(&tokens[i + 4]) == "test"
+            && tokens[i + 5].kind == TokenKind::Punct
+            && bytes[tokens[i + 5].start] == b')'
+            && tokens[i + 6].kind == TokenKind::Punct
+            && bytes[tokens[i + 6].start] == b']';
+        if is_cfg_test {
+            // Skip any further attributes, then expect `mod name {`.
+            let mut k = i + 7;
+            while k < tokens.len()
+                && tokens[k].kind == TokenKind::Punct
+                && bytes[tokens[k].start] == b'#'
+            {
+                // Skip `# [ … ]`.
+                let mut depth = 0usize;
+                k += 1;
+                while k < tokens.len() {
+                    if tokens[k].kind == TokenKind::Punct {
+                        match bytes[tokens[k].start] {
+                            b'[' => depth += 1,
+                            b']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            if k + 2 < tokens.len()
+                && tokens[k].kind == TokenKind::Ident
+                && word(&tokens[k]) == "mod"
+                && tokens[k + 1].kind == TokenKind::Ident
+                && tokens[k + 2].kind == TokenKind::Punct
+                && bytes[tokens[k + 2].start] == b'{'
+            {
+                if let Some(close) = matching_brace_at(text, tokens, k + 2) {
+                    spans.push(tokens[k + 2].start..tokens[close].end);
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Extracts `edvit:allow(…)` suppressions from the comments.
+///
+/// A trailing comment (code before it on the line) suppresses its own line; a
+/// comment standing on its own line suppresses the next line that is not
+/// itself blank or comment-only, so allows stack above the offending line.
+fn find_suppressions(file: &SourceFile) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for comment in &file.comments {
+        let text = &file.text[comment.start..comment.end];
+        let Some(pos) = text.find("edvit:allow(") else {
+            continue;
+        };
+        let args = &text[pos + "edvit:allow(".len()..];
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let (line, col) = file.line_col(comment.start);
+        let line_prefix = &file.line_text(line)[..col - 1];
+        let standalone = line_prefix.trim().is_empty();
+        // A trailing allow covers its own line. A standalone allow covers its
+        // own line and every blank/comment line below it up to and including
+        // the first code line — so it can silence both a comment-level
+        // finding (a deliberate TODO) and the code it annotates.
+        let mut target_lines = vec![line];
+        if standalone {
+            let mut l = line + 1;
+            while l <= file.num_lines() && line_is_blank_or_comment(file.line_text(l)) {
+                target_lines.push(l);
+                l += 1;
+            }
+            if l <= file.num_lines() {
+                target_lines.push(l);
+            }
+        }
+        for lint in args[..close].split(',') {
+            let lint = lint.trim();
+            if lint.is_empty() {
+                continue;
+            }
+            for &target in &target_lines {
+                out.push(Suppression {
+                    lint: lint.to_string(),
+                    line: target,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn line_is_blank_or_comment(line: &str) -> bool {
+    let t = line.trim();
+    t.is_empty() || t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(file: &SourceFile) -> Vec<&str> {
+        file.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| file.tok_text(t))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let f = SourceFile::new("a.rs", "// unwrap in a comment\nlet x = 1; /* unwrap */\n");
+        assert!(!idents(&f).contains(&"unwrap"));
+        assert_eq!(f.comments.len(), 2);
+        assert!(!f.comments[0].block);
+        assert!(f.comments[1].block);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = SourceFile::new("a.rs", "/* outer /* inner */ still comment */ fn x() {}");
+        assert_eq!(f.comments.len(), 1);
+        assert_eq!(idents(&f), vec!["fn", "x"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let f = SourceFile::new(
+            "a.rs",
+            r#"let s = "unwrap() // not a comment"; let t = 'x';"#,
+        );
+        assert!(!idents(&f).contains(&"unwrap"));
+        assert!(f.comments.is_empty());
+        assert_eq!(
+            f.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let f = SourceFile::new("a.rs", r#"let s = "she said \"unwrap()\""; call();"#);
+        assert!(!idents(&f).contains(&"unwrap"));
+        assert!(idents(&f).contains(&"call"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let f = SourceFile::new(
+            "a.rs",
+            "let s = r#\"contains \"quotes\" and unwrap()\"#; done();",
+        );
+        assert!(!idents(&f).contains(&"unwrap"));
+        assert!(idents(&f).contains(&"done"));
+        let f2 = SourceFile::new("a.rs", "let s = r##\"uses \"# inside\"##; after();");
+        assert!(idents(&f2).contains(&"after"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let f = SourceFile::new("a.rs", r#"let b = b"bytes"; let c = b'\n'; next();"#);
+        assert!(idents(&f).contains(&"next"));
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn identifiers_starting_with_r_or_b_are_not_strings() {
+        let f = SourceFile::new("a.rs", "fn rle_compress(b: u8, r#match: u8) { bytes(); }");
+        let ids = idents(&f);
+        assert!(ids.contains(&"rle_compress"));
+        assert!(ids.contains(&"bytes"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::new(
+            "a.rs",
+            "fn f<'a>(x: &'a str) -> &'static str { let c = 'a'; let d = '\\''; x }",
+        );
+        let lifetimes: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| f.tok_text(t))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| f.tok_text(t))
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\''"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let f = SourceFile::new("a.rs", "let r = 0..5; let x = 1.5; let h = 0xED;");
+        let numbers: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| f.tok_text(t))
+            .collect();
+        assert_eq!(numbers, vec!["0", "5", "1.5", "0xED"]);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn outer() {\n    inner_call();\n}\nfn bodyless();\nfn second() { x() }\n";
+        let f = SourceFile::new("a.rs", src);
+        let names: Vec<&str> = f.fns.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "second"]);
+        let outer = &f.fns[0];
+        assert!(src[outer.body.clone()].contains("inner_call"));
+    }
+
+    #[test]
+    fn cfg_test_mod_spans() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let f = SourceFile::new("a.rs", src);
+        assert_eq!(f.test_spans.len(), 1);
+        let unwrap_tok = f
+            .tokens
+            .iter()
+            .find(|t| f.tok_text(t) == "unwrap")
+            .expect("unwrap token present");
+        assert!(f.in_test_span(unwrap_tok.start));
+        let lib_tok = f
+            .tokens
+            .iter()
+            .find(|t| f.tok_text(t) == "lib")
+            .expect("lib token present");
+        assert!(!f.in_test_span(lib_tok.start));
+    }
+
+    #[test]
+    fn suppressions_trailing_and_standalone() {
+        let src = "\
+let a = x.unwrap(); // edvit:allow(unwrap-in-lib)
+// edvit:allow(wall-clock-in-sim, panic-in-decode)
+// more commentary
+let b = Instant::now();
+";
+        let f = SourceFile::new("a.rs", src);
+        assert!(f.is_suppressed("unwrap-in-lib", 1));
+        assert!(f.is_suppressed("wall-clock-in-sim", 4));
+        assert!(f.is_suppressed("panic-in-decode", 4));
+        assert!(!f.is_suppressed("unwrap-in-lib", 4));
+    }
+
+    #[test]
+    fn line_col_roundtrip() {
+        let f = SourceFile::new("a.rs", "ab\ncd\nef\n");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(7), (3, 2));
+        assert_eq!(f.line_text(2), "cd");
+        assert_eq!(f.num_lines(), 4); // trailing newline opens an empty line 4
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `error-variant-untested` positive case — an error enum with no
+//! test naming its variants.
+
+/// Fixture error.
+pub enum FixtureError {
+    /// Bad input.
+    BadInput,
+    /// Lost device.
+    DeviceLost(u32),
+}

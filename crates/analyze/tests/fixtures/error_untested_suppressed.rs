@@ -1,0 +1,20 @@
+//! Fixture: `error-variant-untested` suppressed case.
+
+/// Fixture error.
+pub enum FixtureError {
+    /// Bad input — covered by the test below.
+    BadInput,
+    /// Lost device — deliberately untested, suppressed inline.
+    // edvit:allow(error-variant-untested)
+    DeviceLost(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FixtureError;
+
+    #[test]
+    fn bad_input_is_named() {
+        assert!(matches!(FixtureError::BadInput, FixtureError::BadInput));
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `panic-in-decode` positive case — unwrap, indexing and a
+//! panicking macro inside a decode function.
+
+pub fn decode_header(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap();
+    if *first == 0 {
+        unreachable!("zero first byte");
+    }
+    u32::from(bytes[1])
+}

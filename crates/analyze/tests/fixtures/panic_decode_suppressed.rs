@@ -1,0 +1,7 @@
+//! Fixture: `panic-in-decode` suppressed case.
+
+pub fn decode_header(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap(); // edvit:allow(panic-in-decode, unwrap-in-lib)
+    // edvit:allow(panic-in-decode)
+    u32::from(*first) + u32::from(bytes[1])
+}

@@ -1,0 +1,7 @@
+//! Fixture: `todo-without-issue` positive case.
+
+// TODO: speed this up somehow
+pub fn slow() {}
+
+/* FIXME(someone): this is wrong */
+pub fn wrong() {}

@@ -1,0 +1,11 @@
+//! Fixture: `todo-without-issue` suppressed case — one allow, one tracked.
+
+// edvit:allow(todo-without-issue)
+// TODO: deliberately untracked, demonstrated suppression
+pub fn slow() {}
+
+// TODO(#6): tracked in the analyzer issue
+pub fn tracked() {}
+
+// FIXME: folded into the ROADMAP observability item
+pub fn planned() {}

@@ -1,0 +1,5 @@
+//! Fixture: `undocumented-unsafe` positive case — no SAFETY comment.
+
+pub fn read(p: *const f32) -> f32 {
+    unsafe { *p }
+}

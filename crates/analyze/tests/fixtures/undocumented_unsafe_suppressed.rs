@@ -1,0 +1,6 @@
+//! Fixture: `undocumented-unsafe` suppressed case.
+
+pub fn read(p: *const f32) -> f32 {
+    // edvit:allow(undocumented-unsafe)
+    unsafe { *p }
+}

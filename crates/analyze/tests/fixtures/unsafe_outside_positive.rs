@@ -1,0 +1,8 @@
+//! Fixture: `unsafe-outside-kernels` positive case — unsafe in a non-kernel
+//! crate (the SAFETY comment keeps `undocumented-unsafe` quiet so this
+//! fixture isolates one lint).
+
+pub fn read(p: *const f32) -> f32 {
+    // SAFETY: fixture only; never executed.
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+//! Fixture: `unsafe-outside-kernels` suppressed case.
+
+pub fn read(p: *const f32) -> f32 {
+    // SAFETY: fixture only; never executed.
+    // edvit:allow(unsafe-outside-kernels)
+    unsafe { *p }
+}

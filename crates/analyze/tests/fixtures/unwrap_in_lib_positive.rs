@@ -1,0 +1,10 @@
+//! Fixture: `unwrap-in-lib` positive case — unbudgeted unwrap/expect in
+//! library code.
+
+pub fn head(values: &[f32]) -> f32 {
+    *values.first().unwrap()
+}
+
+pub fn tail(values: &[f32]) -> f32 {
+    *values.last().expect("non-empty")
+}

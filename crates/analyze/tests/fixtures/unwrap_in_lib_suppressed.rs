@@ -1,0 +1,13 @@
+//! Fixture: `unwrap-in-lib` suppressed case.
+
+pub fn head(values: &[f32]) -> f32 {
+    *values.first().unwrap() // edvit:allow(unwrap-in-lib)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::head(&[1.0]).partial_cmp(&1.0).unwrap(), std::cmp::Ordering::Equal);
+    }
+}

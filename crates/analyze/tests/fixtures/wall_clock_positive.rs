@@ -1,0 +1,5 @@
+//! Fixture: `wall-clock-in-sim` positive case — host clock in scheduler code.
+
+pub fn round_timer() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+//! Fixture: `wall-clock-in-sim` suppressed case.
+
+// edvit:allow(wall-clock-in-sim)
+pub fn round_timer() -> std::time::Instant {
+    // edvit:allow(wall-clock-in-sim)
+    std::time::Instant::now()
+}

@@ -19,6 +19,7 @@
 //! memory and latency numbers).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod cnn;
 mod cost;

@@ -14,7 +14,7 @@ fn bench_matmul(c: &mut Criterion) {
         let a = TensorRng::new(0).rand_uniform(&[size, size], -1.0, 1.0);
         let b = TensorRng::new(1).rand_uniform(&[size, size], -1.0, 1.0);
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
-            bench.iter(|| a.matmul(&b).unwrap())
+            bench.iter(|| a.matmul(&b).unwrap());
         });
     }
     group.finish();
@@ -26,7 +26,7 @@ fn bench_matmul_transposed(c: &mut Criterion) {
         let a = TensorRng::new(0).rand_uniform(&[size, size], -1.0, 1.0);
         let b = TensorRng::new(1).rand_uniform(&[size, size], -1.0, 1.0);
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
-            bench.iter(|| a.matmul_transposed(&b).unwrap())
+            bench.iter(|| a.matmul_transposed(&b).unwrap());
         });
     }
     group.finish();
@@ -73,12 +73,12 @@ fn bench_attention_forward(c: &mut Criterion) {
 fn bench_softmax_and_kl(c: &mut Criterion) {
     let logits = TensorRng::new(3).randn(&[256, 257], 0.0, 2.0);
     c.bench_function("softmax_256x257", |b| {
-        b.iter(|| logits.softmax_last_axis().unwrap())
+        b.iter(|| logits.softmax_last_axis().unwrap());
     });
     let p = TensorRng::new(4).rand_uniform(&[256, 10], 0.01, 1.0);
     let q = TensorRng::new(5).rand_uniform(&[256, 10], 0.01, 1.0);
     c.bench_function("batch_kl_256x10", |b| {
-        b.iter(|| stats::batch_kl_divergence(&p, &q).unwrap())
+        b.iter(|| stats::batch_kl_divergence(&p, &q).unwrap());
     });
 }
 
@@ -87,7 +87,7 @@ fn bench_layernorm(c: &mut Criterion) {
     let gamma = Tensor::ones(&[768]);
     let beta = Tensor::zeros(&[768]);
     c.bench_function("layernorm_196x768", |b| {
-        b.iter(|| x.layer_norm_last_axis(&gamma, &beta).unwrap())
+        b.iter(|| x.layer_norm_last_axis(&gamma, &beta).unwrap());
     });
 }
 

@@ -18,7 +18,7 @@ fn bench_planner(c: &mut Criterion) {
         let cluster = DeviceSpec::raspberry_pi_cluster(devices);
         let planner = SplitPlanner::new(PlannerConfig::default());
         group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, _| {
-            b.iter(|| planner.plan(&base, &cluster, 1).unwrap())
+            b.iter(|| planner.plan(&base, &cluster, 1).unwrap());
         });
     }
     group.finish();
@@ -34,13 +34,13 @@ fn bench_greedy_assignment(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("greedy_assign_10x10", |b| {
-        b.iter(|| greedy_assign(&reqs, &devices, 1).unwrap())
+        b.iter(|| greedy_assign(&reqs, &devices, 1).unwrap());
     });
 }
 
 fn bench_class_assignment(c: &mut Criterion) {
     c.bench_function("balanced_class_assignment_257x10", |b| {
-        b.iter(|| balanced_class_assignment(257, 10, 3).unwrap())
+        b.iter(|| balanced_class_assignment(257, 10, 3).unwrap());
     });
 }
 
@@ -51,18 +51,18 @@ fn bench_latency_model(c: &mut Criterion) {
         .unwrap();
     let model = LatencyModel::new(NetworkConfig::paper_default());
     c.bench_function("latency_estimate_10_devices", |b| {
-        b.iter(|| model.estimate(&plan, &devices).unwrap())
+        b.iter(|| model.estimate(&plan, &devices).unwrap());
     });
 }
 
 fn bench_cost_model(c: &mut Criterion) {
     let base = ViTConfig::vit_large(1000);
     c.bench_function("analytic_cost_vit_large", |b| {
-        b.iter(|| analysis::cost_of_config(&base))
+        b.iter(|| analysis::cost_of_config(&base));
     });
     let pruned = PrunedViTConfig::new(ViTConfig::vit_base(10), 6).unwrap();
     c.bench_function("analytic_cost_pruned", |b| {
-        b.iter(|| analysis::cost_of_pruned(&pruned))
+        b.iter(|| analysis::cost_of_pruned(&pruned));
     });
 }
 
@@ -74,7 +74,7 @@ fn bench_tiny_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(2);
     group.bench_function("tiny_pipeline_2dev", |b| {
-        b.iter(|| EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap())
+        b.iter(|| EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap());
     });
     group.finish();
 }

@@ -13,13 +13,13 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_table2(c: &mut Criterion) {
     c.bench_function("table2_generation", |b| {
-        b.iter(|| experiments::table2().unwrap())
+        b.iter(|| experiments::table2().unwrap());
     });
 }
 
 fn bench_comm_overhead(c: &mut Criterion) {
     c.bench_function("comm_overhead_generation", |b| {
-        b.iter(|| experiments::comm_overhead().unwrap())
+        b.iter(|| experiments::comm_overhead().unwrap());
     });
 }
 
@@ -27,7 +27,7 @@ fn bench_tiny_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_pipeline");
     group.sample_size(10);
     group.bench_function("tiny_demo_2_devices", |b| {
-        b.iter(|| EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap())
+        b.iter(|| EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap());
     });
     group.finish();
 }

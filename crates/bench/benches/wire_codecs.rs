@@ -46,12 +46,12 @@ fn bench_encode(c: &mut Criterion) {
     let dense = dense_batch();
     for codec in PayloadCodec::ALL {
         group.bench_function(format!("{codec}_{SAMPLES}x{DIM}"), |b| {
-            b.iter(|| dense.encode_with(codec))
+            b.iter(|| dense.encode_with(codec));
         });
     }
     let sparse = sparse_batch();
     group.bench_function(format!("f16+rle_sparse_{SAMPLES}x{DIM}"), |b| {
-        b.iter(|| sparse.encode_with(PayloadCodec::F16Rle))
+        b.iter(|| sparse.encode_with(PayloadCodec::F16Rle));
     });
     group.finish();
 }
@@ -62,7 +62,7 @@ fn bench_decode(c: &mut Criterion) {
     for codec in PayloadCodec::ALL {
         let encoded = dense.encode_with(codec);
         group.bench_function(format!("{codec}_{SAMPLES}x{DIM}"), |b| {
-            b.iter(|| WireFrame::decode(encoded.clone()).expect("frame is well-formed"))
+            b.iter(|| WireFrame::decode(encoded.clone()).expect("frame is well-formed"));
         });
     }
     group.finish();

@@ -8,8 +8,7 @@ fn main() {
     for row in rows {
         let devices = row
             .devices
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "original".to_string());
+            .map_or_else(|| "original".to_string(), |d| d.to_string());
         println!("{:<16} {:>10} {:>10.2}", row.dataset, devices, row.gflops);
     }
     println!("\nPaper reference (CIFAR-10): 16.86 / 4.25 / 1.90 / 1.08 / 0.48 GFLOPs.");

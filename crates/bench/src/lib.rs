@@ -13,6 +13,7 @@
 //!   kernels, the planning algorithms and the table generators.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use edvit::experiments::ExperimentOptions;
 

@@ -95,20 +95,25 @@ mod tests {
     #[test]
     fn conversions_and_display() {
         let e: EdVitError = TensorError::EmptyInput { op: "x" }.into();
+        assert!(matches!(e, EdVitError::Tensor(_)));
         assert!(e.to_string().contains("tensor"));
         let e: EdVitError = NnError::MissingForwardCache { layer: "l" }.into();
+        assert!(matches!(e, EdVitError::Nn(_)));
         assert!(std::error::Error::source(&e).is_some());
         let e: EdVitError = ViTError::InvalidConfig {
             message: "m".into(),
         }
         .into();
+        assert!(matches!(e, EdVitError::Vit(_)));
         assert!(e.to_string().contains("m"));
         let e: EdVitError = DatasetError::Empty { what: "w" }.into();
+        assert!(matches!(e, EdVitError::Dataset(_)));
         assert!(e.to_string().contains("w"));
         let e: EdVitError = PruningError::InvalidRequest {
             message: "p".into(),
         }
         .into();
+        assert!(matches!(e, EdVitError::Pruning(_)));
         assert!(e.to_string().contains("p"));
         let e: EdVitError = PartitionError::Infeasible { reason: "r".into() }.into();
         assert!(e.to_string().contains("r"));
@@ -116,8 +121,10 @@ mod tests {
             message: "t".into(),
         }
         .into();
+        assert!(matches!(e, EdVitError::Edge(_)));
         assert!(e.to_string().contains("t"));
         let e: EdVitError = SchedError::AllDevicesLost { lost: vec![3] }.into();
+        assert!(matches!(e, EdVitError::Sched(_)));
         assert!(e.to_string().contains("[3]"));
         let e = EdVitError::InvalidConfig {
             message: "cfg".into(),

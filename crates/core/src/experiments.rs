@@ -337,10 +337,8 @@ pub fn comm_overhead() -> Result<Vec<CommRow>> {
             .sub_models
             .iter()
             .max_by_key(|s| analysis::feature_payload_bytes(&s.pruned));
-        let payload = widest
-            .map(|s| analysis::feature_payload_bytes(&s.pruned))
-            .unwrap_or(0);
-        let feature_dim = widest.map(|s| s.pruned.feature_dim()).unwrap_or(0);
+        let payload = widest.map_or(0, |s| analysis::feature_payload_bytes(&s.pruned));
+        let feature_dim = widest.map_or(0, |s| s.pruned.feature_dim());
         let frame = edge_wire::batch_frame_len(1, feature_dim) as u64;
         let batched_frame = edge_wire::batch_frame_len(COMM_BATCH_SAMPLES, feature_dim) as u64;
         rows.push(CommRow {

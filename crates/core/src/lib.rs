@@ -40,6 +40,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod distributed;
 mod error;

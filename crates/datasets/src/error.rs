@@ -77,6 +77,7 @@ mod tests {
             .to_string()
             .contains("subset"));
         let e: DatasetError = TensorError::EmptyInput { op: "x" }.into();
+        assert!(matches!(e, DatasetError::Tensor(_)));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

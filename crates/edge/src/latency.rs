@@ -47,11 +47,7 @@ impl LatencyBreakdown {
     pub fn bottleneck_device(&self) -> Option<usize> {
         self.per_device
             .iter()
-            .max_by(|a, b| {
-                a.total_seconds()
-                    .partial_cmp(&b.total_seconds())
-                    .expect("finite")
-            })
+            .max_by(|a, b| a.total_seconds().total_cmp(&b.total_seconds()))
             .map(|d| d.device_id)
     }
 
@@ -248,7 +244,9 @@ impl LatencyModel {
             let slot = per_device
                 .iter_mut()
                 .find(|p| p.device_id == device_id)
-                .expect("devices enumerated above");
+                .ok_or_else(|| EdgeError::InvalidConfig {
+                    message: format!("device {device_id} missing from the per-device table"),
+                })?;
             slot.compute_seconds += device.execution_seconds(sub.cost.flops);
             let frame_bytes = wire::batch_frame_len_coded(
                 samples_per_round,
@@ -266,8 +264,7 @@ impl LatencyModel {
         let classes = plan
             .sub_models
             .first()
-            .map(|s| s.pruned.base().num_classes)
-            .unwrap_or(0);
+            .map_or(0, |s| s.pruned.base().num_classes);
         let hidden = (total_feature_dim as f64 * 0.5).ceil() as u64;
         let fusion_flops = self
             .fusion_flops_override
@@ -277,7 +274,7 @@ impl LatencyModel {
 
         let slowest = per_device
             .iter()
-            .map(|d| d.total_seconds())
+            .map(PerDeviceLatency::total_seconds)
             .fold(0.0, f64::max);
         Ok(LatencyBreakdown {
             per_device,

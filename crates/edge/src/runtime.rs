@@ -194,7 +194,7 @@ impl ClusterRuntime {
         })??;
 
         let mut per_device_compute_seconds = vec![0.0f64; num_sub_models];
-        for (device, seconds) in timing_rx.iter() {
+        for (device, seconds) in &timing_rx {
             per_device_compute_seconds[device] = seconds;
         }
 
@@ -207,7 +207,7 @@ impl ClusterRuntime {
         let mut bytes_on_wire = 0u64;
         let mut per_device_wire_bytes = vec![0u64; num_sub_models];
         let mut slowest_frame_seconds = 0.0f64;
-        for encoded in rx.iter() {
+        for encoded in &rx {
             let encoded = encoded.map_err(|message| EdgeError::Runtime { message })?;
             let wire_bytes = encoded.len() as u64;
             let batch = match WireFrame::decode(encoded)? {

@@ -514,15 +514,13 @@ impl FeatureMessage {
     /// The feature as a tensor of shape `[dim]`, cloning the payload. Prefer
     /// [`FeatureMessage::into_tensor`] when the message is no longer needed.
     pub fn to_tensor(&self) -> Tensor {
-        Tensor::from_vec(self.feature.clone(), &[self.feature.len()])
-            .expect("length always matches")
+        Tensor::vector(self.feature.clone())
     }
 
     /// Converts the message into a tensor of shape `[dim]`, moving the
     /// payload instead of cloning it.
     pub fn into_tensor(self) -> Tensor {
-        let dim = self.feature.len();
-        Tensor::from_vec(self.feature, &[dim]).expect("length always matches")
+        Tensor::vector(self.feature)
     }
 
     /// Size of the encoded v2 frame in bytes (16-byte header + payload).
@@ -786,7 +784,7 @@ impl WireFrame {
     /// unsupported buffers and [`EdgeError::ChecksumMismatch`] when the
     /// payload fails CRC verification.
     pub fn decode(mut bytes: Bytes) -> Result<Self> {
-        if bytes.len() >= WIRE_MAGIC.len() && bytes.as_slice()[..4] == WIRE_MAGIC {
+        if bytes.as_slice().starts_with(&WIRE_MAGIC) {
             return Self::decode_v2(bytes);
         }
         decode_v1(&mut bytes).map(WireFrame::Feature)
@@ -838,12 +836,13 @@ impl WireFrame {
         if codec != PayloadCodec::F32 && kind != FrameKind::FeatureBatch {
             // Codec negotiation applies to batch payloads only; a coded
             // control or single-feature frame is a non-conforming encoder.
+            // (FeatureBatch is excluded by the guard above; naming it here
+            // keeps the match total without a panicking arm.)
             return Err(protocol_err(format!(
                 "{} frames must use codec 0, found {codec}",
                 match kind {
                     FrameKind::Feature => "single-feature",
-                    FrameKind::Control => "control",
-                    FrameKind::FeatureBatch => unreachable!("excluded above"),
+                    FrameKind::Control | FrameKind::FeatureBatch => "control",
                 }
             )));
         }

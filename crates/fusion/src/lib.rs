@@ -23,6 +23,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use serde::{Deserialize, Serialize};
 

@@ -207,7 +207,7 @@ impl MultiHeadSelfAttention {
                 ),
             });
         }
-        let kept_width = keep_per_head.first().map(|k| k.len()).unwrap_or(0);
+        let kept_width = keep_per_head.first().map_or(0, Vec::len);
         if kept_width == 0 || keep_per_head.iter().any(|k| k.len() != kept_width) {
             return Err(NnError::InvalidConfig {
                 message: "every head must keep the same non-zero number of dimensions".to_string(),

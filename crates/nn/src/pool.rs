@@ -187,7 +187,7 @@ impl Layer for AvgPool2d {
         for bi in 0..b {
             for ci in 0..c {
                 let g = grad_output.data()[bi * c + ci] * scale;
-                for v in grad[bi * c * h * w + ci * h * w..][..h * w].iter_mut() {
+                for v in &mut grad[bi * c * h * w + ci * h * w..][..h * w] {
                     *v = g;
                 }
             }

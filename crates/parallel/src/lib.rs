@@ -93,6 +93,10 @@ impl Region {
                 return ran;
             }
             ran = true;
+            // SAFETY: `i < self.chunks` (guard above) and `call`/`data` were
+            // produced by `erase` from a live `&G`; the submitting caller
+            // blocks until `pending` hits zero, so the pointee outlives this
+            // call, and distinct chunk indices touch disjoint data.
             let result = catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.data, i) }));
             if result.is_err() {
                 self.panicked.store(true, Ordering::Release);
@@ -358,6 +362,11 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// [`ParallelPool::run_region`]. The returned pointer borrows `runner`, which
 /// the caller keeps alive on its stack for the duration of the region.
 fn erase<G: Fn(usize) + Sync>(runner: &G) -> (unsafe fn(*const (), usize), *const ()) {
+    /// # Safety
+    ///
+    /// `data` must be the pointer `erase` derived from a `&G` that is still
+    /// alive — the pool upholds this by keeping the submitting caller
+    /// blocked until the region completes.
     unsafe fn call<G: Fn(usize) + Sync>(data: *const (), i: usize) {
         // SAFETY: `data` was produced from `&G` by `erase` and outlives the
         // region (the submitting caller blocks until every chunk completes).
@@ -375,6 +384,10 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only dereferenced inside `scope_chunks`, where each
+// worker writes a distinct `chunks[i]` slot (disjoint &mut borrows carved by
+// `from_raw_parts_mut`) while the owner is blocked in the scope — no aliasing
+// and no use-after-free are possible through a `SendPtr` copy.
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
@@ -432,8 +445,7 @@ fn configured_threads() -> usize {
 
 fn detected_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .min(MAX_THREADS)
 }
 

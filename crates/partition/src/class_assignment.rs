@@ -91,7 +91,7 @@ pub fn validate_class_assignment(subsets: &[Vec<usize>], num_classes: usize) -> 
             message: format!("class {missing} not assigned to any sub-model"),
         });
     }
-    let sizes: Vec<usize> = subsets.iter().map(|s| s.len()).collect();
+    let sizes: Vec<usize> = subsets.iter().map(std::vec::Vec::len).collect();
     let max = *sizes.iter().max().expect("non-empty");
     let min = *sizes.iter().min().expect("non-empty");
     if max - min > 1 {

@@ -68,6 +68,7 @@ mod tests {
             message: "x".into(),
         }
         .into();
+        assert!(matches!(e, PartitionError::Vit(_)));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -21,7 +21,7 @@ proptest! {
         let subsets = balanced_class_assignment(classes, submodels, seed).unwrap();
         validate_class_assignment(&subsets, classes).unwrap();
         // Exactly `classes` entries in total.
-        let total: usize = subsets.iter().map(|s| s.len()).sum();
+        let total: usize = subsets.iter().map(std::vec::Vec::len).sum();
         prop_assert_eq!(total, classes);
     }
 

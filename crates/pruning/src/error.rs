@@ -86,8 +86,10 @@ mod tests {
         .into();
         assert!(e.to_string().contains("x"));
         let e: PruningError = NnError::MissingForwardCache { layer: "l" }.into();
+        assert!(matches!(e, PruningError::Nn(_)));
         assert!(std::error::Error::source(&e).is_some());
         let e: PruningError = TensorError::EmptyInput { op: "o" }.into();
+        assert!(matches!(e, PruningError::Tensor(_)));
         assert!(e.to_string().contains("o"));
         let e: PruningError = DatasetError::Empty { what: "subset" }.into();
         assert!(e.to_string().contains("subset"));

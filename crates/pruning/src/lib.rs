@@ -20,6 +20,7 @@
 //! class subset.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod error;
 mod importance;

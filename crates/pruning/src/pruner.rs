@@ -127,7 +127,7 @@ impl StructuredPruner {
         // Stage 2: MHSA per-head dimensions (PruneMHSA).
         let stage2 = {
             let scores = head_dim_importance(&stage1, &sub_dataset, &self.config.method)?;
-            let current_head_dim = scores.first().map(|s| s.len()).unwrap_or(0);
+            let current_head_dim = scores.first().map_or(0, std::vec::Vec::len);
             let target = plan.head_dim().min(current_head_dim).max(1);
             let keep_per_head: Vec<Vec<usize>> = scores
                 .iter()

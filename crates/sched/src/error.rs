@@ -95,6 +95,10 @@ mod tests {
         }
         .into();
         assert!(partition.to_string().contains("too small"));
+        // The From impls must land on the dedicated propagation variants, not
+        // get flattened into Runtime.
+        assert!(matches!(edge, SchedError::Edge(_)));
+        assert!(matches!(partition, SchedError::Partition(_)));
         let lost = SchedError::AllDevicesLost { lost: vec![1, 0] };
         assert!(lost.to_string().contains("[1, 0]"));
         use std::error::Error;

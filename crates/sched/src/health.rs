@@ -117,18 +117,14 @@ impl HealthTracker {
 
     /// Rounds completed (highest heartbeat sequence) by `device_id`.
     pub fn sequence_of(&self, device_id: usize) -> u64 {
-        self.devices
-            .get(&device_id)
-            .map(|s| s.last_sequence)
-            .unwrap_or(0)
+        self.devices.get(&device_id).map_or(0, |s| s.last_sequence)
     }
 
     /// Capacity last advertised by `device_id`, in FLOPs per second.
     pub fn capacity_of(&self, device_id: usize) -> f64 {
         self.devices
             .get(&device_id)
-            .map(|s| s.capacity_flops_per_second)
-            .unwrap_or(0.0)
+            .map_or(0.0, |s| s.capacity_flops_per_second)
     }
 
     /// Total heartbeats observed.

@@ -58,6 +58,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod clock;
 mod error;

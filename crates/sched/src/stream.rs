@@ -547,9 +547,9 @@ fn run_epoch(
 
     crossbeam::scope(|scope| -> Result<EpochOutcome> {
         let mut receivers: BTreeMap<usize, channel::Receiver<DeviceToFusion>> = BTreeMap::new();
-        let device_ids: Vec<usize> = by_device.keys().copied().collect();
-        for device_id in device_ids {
-            let execs = by_device.remove(&device_id).expect("key enumerated above");
+        // Drain in ascending device order (BTreeMap) so spawn order — and
+        // with it the deterministic replay accounting — is stable.
+        while let Some((device_id, execs)) = by_device.pop_first() {
             // Per-device bounded channel: `pipeline_depth` rounds of frames
             // (data frames for each hosted sub-model plus the heartbeat),
             // with two slots of slack for the join and leave announcements.
@@ -561,8 +561,7 @@ fn run_epoch(
             let capacity_flops = devices
                 .iter()
                 .find(|d| d.id == device_id)
-                .map(|d| d.flops_per_second)
-                .unwrap_or(0.0);
+                .map_or(0.0, |d| d.flops_per_second);
             let dies_at = failures.get(&device_id).copied();
             scope.spawn(move |_| {
                 run_device_worker(
@@ -633,7 +632,7 @@ fn run_device_worker(
             return; // scripted crash: silence, not a leave
         }
         let span = round_span(round, round_size, total_samples);
-        for (sub_index, executor) in execs.iter_mut() {
+        for (sub_index, executor) in &mut execs {
             let mut batch: Option<FeatureBatchMessage> = None;
             for sample in span.clone() {
                 let feature = match executor(&inputs[sample]) {
@@ -756,7 +755,7 @@ fn collect_epoch(
     if outcome.newly_dead.is_empty() {
         // Graceful tail: consume the leave announcements.
         for (&device, rx) in &receivers {
-            for message in rx.iter() {
+            for message in rx {
                 ingest(
                     message,
                     device,

@@ -142,6 +142,14 @@ mod tests {
     }
 
     #[test]
+    fn display_invalid_argument() {
+        let e = TensorError::InvalidArgument {
+            message: "eye(0) is empty".into(),
+        };
+        assert!(e.to_string().contains("eye(0)"));
+    }
+
+    #[test]
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<TensorError>();

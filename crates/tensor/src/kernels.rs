@@ -174,13 +174,23 @@ fn micro_tile_4_dispatch(
             }
         }
     }
-    micro_tile_4(a0, a1, a2, a3, panel, nc, o0, o1, o2, o3)
+    micro_tile_4(a0, a1, a2, a3, panel, nc, o0, o1, o2, o3);
 }
 
 /// AVX2+FMA 4×16 micro-kernel: eight `ymm` accumulators (4 rows × 16
 /// columns) updated with two fused multiply-adds per packed panel row, per
 /// row of A. Columns past the last 16-wide tile fall through to the portable
 /// kernel.
+///
+/// # Safety
+///
+/// The caller must guarantee that (a) the `avx2` and `fma` CPU features are
+/// present (the only call site dispatches through
+/// `is_x86_feature_detected!`), and (b) `a1`, `a2`, `a3` are at least
+/// `a0.len()` elements long and `panel.len() >= a0.len() * nc`, and each
+/// output row holds at least `nc` elements — the body reads `a*` with
+/// `get_unchecked(p)` for `p < a0.len()` and does unaligned 8-float
+/// loads/stores at `panel[p*nc + j..]` / `o*[j..j+16]` for `j + 16 <= nc`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 #[allow(clippy::too_many_arguments)]
@@ -204,6 +214,10 @@ unsafe fn micro_tile_4_fma(
     let kc = a0.len();
     let mut j = 0;
     while j + TILE <= nc {
+        // SAFETY: loop guard gives `j + 16 <= nc`, so the two 8-float
+        // unaligned loads/stores per row stay inside `panel[p*nc..(p+1)*nc]`
+        // and `o*[..nc]`; `p < kc = a0.len()` bounds every
+        // `get_unchecked(p)` (caller contract: `a1..a3` are `kc` long).
         unsafe {
             let (mut c00, mut c01) = (_mm256_setzero_ps(), _mm256_setzero_ps());
             let (mut c10, mut c11) = (_mm256_setzero_ps(), _mm256_setzero_ps());
@@ -479,6 +493,13 @@ fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// AVX2+FMA dot product: four 8-wide accumulators, horizontally reduced once.
+///
+/// # Safety
+///
+/// The caller must guarantee the `avx2` and `fma` CPU features are present;
+/// the only call site dispatches through `is_x86_feature_detected!`. All
+/// memory accesses are bounded by `len = min(a.len(), b.len())` below, so no
+/// further caller obligation exists.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
@@ -490,6 +511,10 @@ unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
     let len = a.len().min(b.len());
     let mut acc = [_mm256_setzero_ps(); 4];
     let mut i = 0;
+    // SAFETY: every unaligned 8-float load starts at `i + 8*l` with
+    // `i + 32 <= len` (first loop) or `i + 8 <= len` (second), so reads end
+    // at or before `len <= a.len(), b.len()`; the intrinsics themselves are
+    // available per this fn's `target_feature` contract.
     unsafe {
         while i + 32 <= len {
             for (l, slot) in acc.iter_mut().enumerate() {

@@ -45,7 +45,7 @@ impl Tensor {
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh_elem(&self) -> Tensor {
-        self.map(|x| x.tanh())
+        self.map(f32::tanh)
     }
 
     // ------------------------------------------------------------------

@@ -50,6 +50,16 @@ impl Tensor {
         Ok(Tensor { data, shape })
     }
 
+    /// Creates a rank-1 tensor of shape `[data.len()]` from a flat vector.
+    ///
+    /// Infallible counterpart of [`Tensor::from_vec`] for the common case
+    /// where the shape *is* the length — decode paths and feature plumbing
+    /// use this instead of `from_vec(..).expect(..)`.
+    pub fn vector(data: Vec<f32>) -> Self {
+        let shape = Shape::new(&[data.len()]);
+        Tensor { data, shape }
+    }
+
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);

@@ -81,8 +81,10 @@ mod tests {
         };
         assert!(e.to_string().contains("embed dim"));
         let e: ViTError = TensorError::EmptyInput { op: "x" }.into();
+        assert!(matches!(e, ViTError::Tensor(_)));
         assert!(std::error::Error::source(&e).is_some());
         let e: ViTError = NnError::MissingForwardCache { layer: "Linear" }.into();
+        assert!(matches!(e, ViTError::Nn(_)));
         assert!(e.to_string().contains("Linear"));
         let e = ViTError::InputMismatch {
             expected: "3x224x224".into(),

@@ -59,15 +59,12 @@ pub struct TrainReport {
 impl TrainReport {
     /// Final-epoch training accuracy (0.0 when no epoch ran).
     pub fn final_accuracy(&self) -> f32 {
-        self.epochs.last().map(|e| e.train_accuracy).unwrap_or(0.0)
+        self.epochs.last().map_or(0.0, |e| e.train_accuracy)
     }
 
     /// Final-epoch mean loss (+∞ when no epoch ran).
     pub fn final_loss(&self) -> f32 {
-        self.epochs
-            .last()
-            .map(|e| e.mean_loss)
-            .unwrap_or(f32::INFINITY)
+        self.epochs.last().map_or(f32::INFINITY, |e| e.mean_loss)
     }
 }
 

@@ -308,9 +308,7 @@ fn json_escape(s: &str) -> String {
 /// ```
 pub fn results_json() -> String {
     let records = RESULTS.lock().expect("results poisoned");
-    let parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let threads_env = std::env::var("EDVIT_THREADS").unwrap_or_else(|_| "unset".to_string());
     let mut out = String::new();
     out.push_str(&format!(
@@ -420,7 +418,7 @@ mod tests {
         let mut group = c.benchmark_group("g");
         group.sample_size(2);
         group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, n| {
-            b.iter(|| n * 2)
+            b.iter(|| n * 2);
         });
         group.bench_function("plain", |b| b.iter(|| 1 + 1));
         group.finish();
