@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Errors a chaos plan can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosError {
+    /// The declarative plan does not fit the deployment it was compiled
+    /// against: unknown device, device hosting nothing, out-of-range round,
+    /// impossible probability, and similar contradictions. A plan that
+    /// cannot inject what it promises must fail loudly at compile time, not
+    /// silently no-op at run time.
+    InvalidPlan {
+        /// Human-readable description of the contradiction.
+        message: String,
+    },
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::InvalidPlan { message } => {
+                write!(f, "invalid chaos plan: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_contradiction() {
+        let err = ChaosError::InvalidPlan {
+            message: "device 9 is not part of the deployment".to_string(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "invalid chaos plan: device 9 is not part of the deployment"
+        );
+        assert!(matches!(err, ChaosError::InvalidPlan { .. }));
+    }
+}

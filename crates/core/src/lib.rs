@@ -24,6 +24,7 @@
 //! | [`sched`](edvit_sched) | streaming scheduler: pipelined rounds, failover |
 //! | [`fusion`](edvit_fusion) | tower-MLP feature fusion |
 //! | [`baselines`](edvit_baselines) | Split-CNN and Split-SNN comparators |
+//! | [`chaos`](edvit_chaos) | declarative seeded fault-injection plans |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub mod streaming;
 pub use error::EdVitError;
 
 pub use edvit_baselines as baselines;
+pub use edvit_chaos as chaos;
 pub use edvit_datasets as datasets;
 pub use edvit_edge as edge;
 pub use edvit_fusion as fusion;

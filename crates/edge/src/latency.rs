@@ -124,6 +124,23 @@ impl StreamTiming {
             rounds as f64 * self.round_interval_seconds
         }
     }
+
+    /// Virtual time charged for re-requesting a frame, round-denominated and
+    /// exponential in the attempt number with a capped exponent:
+    /// `min(2^(attempt-1), 8) × round_interval`. Attempt 1 is the first
+    /// re-request (one round interval); the cap keeps a long retry chain's
+    /// cost linear instead of exploding, and attempt 0 (the original
+    /// delivery) costs nothing extra.
+    ///
+    /// The bound follows: a retry chain of `n ≤ max_retries` attempts costs
+    /// at most `8 · n` round intervals of virtual time.
+    pub fn retry_backoff_seconds(&self, attempt: u32) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        let factor = 1u64 << (attempt - 1).min(3);
+        factor as f64 * self.round_interval_seconds
+    }
 }
 
 /// Analytic latency model: FLOPs ÷ device throughput for compute, payload ÷
@@ -487,6 +504,22 @@ mod tests {
         }
         assert_eq!(pipelined.total_seconds(0), 0.0);
         assert!(pipelined.total_seconds(1) >= pipelined.device_round_seconds);
+    }
+
+    #[test]
+    fn retry_backoff_is_round_denominated_exponential_with_a_cap() {
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let (plan, devices) = plan_for(3);
+        let timing = model.estimate_stream(&plan, &devices, 4, true).unwrap();
+        let interval = timing.round_interval_seconds;
+        assert_eq!(timing.retry_backoff_seconds(0), 0.0);
+        assert_eq!(timing.retry_backoff_seconds(1), interval);
+        assert_eq!(timing.retry_backoff_seconds(2), 2.0 * interval);
+        assert_eq!(timing.retry_backoff_seconds(3), 4.0 * interval);
+        assert_eq!(timing.retry_backoff_seconds(4), 8.0 * interval);
+        // Capped thereafter: cost grows linearly, never exponentially.
+        assert_eq!(timing.retry_backoff_seconds(5), 8.0 * interval);
+        assert_eq!(timing.retry_backoff_seconds(40), 8.0 * interval);
     }
 
     #[test]

@@ -35,12 +35,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod dedupe;
 mod error;
 mod latency;
 mod network;
 mod runtime;
 pub mod wire;
 
+pub use dedupe::ControlDeduper;
 pub use error::EdgeError;
 pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency, StreamTiming};
 pub use network::NetworkConfig;

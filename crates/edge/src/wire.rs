@@ -205,7 +205,7 @@ impl FrameKind {
 }
 
 /// What a [`FrameKind::Control`] frame announces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u32)]
 pub enum ControlKind {
     /// A device enters the cluster and offers capacity.
@@ -294,7 +294,8 @@ impl ControlMessage {
     /// Returns [`EdgeError::Decode`] for non-control frames and truncated or
     /// malformed buffers, [`EdgeError::ChecksumMismatch`] for corrupted
     /// payloads, and [`EdgeError::Protocol`] for intact frames that violate
-    /// the contract (unknown control kind, non-finite or negative capacity).
+    /// the contract (unknown control kind, non-finite or negative capacity,
+    /// or a `Join` offering zero capacity).
     pub fn decode(bytes: Bytes) -> Result<Self> {
         match WireFrame::decode(bytes)? {
             WireFrame::Control(message) => Ok(message),
@@ -325,6 +326,14 @@ fn decode_control_payload(bytes: &mut Bytes) -> Result<ControlMessage> {
             "control frame advertises a non-finite or negative capacity \
              ({capacity_flops_per_second})"
         )));
+    }
+    // A `Join` is a capacity *offer* the scheduler admits into the membership:
+    // zero (or sub-normal nonsense) capacity must be rejected here, at the
+    // wire boundary, not silently admitted and divided by later.
+    if kind == ControlKind::Join && capacity_flops_per_second <= 0.0 {
+        return Err(protocol_err(
+            "join offers no capacity (<= 0 FLOPs/s); nothing to admit",
+        ));
     }
     Ok(ControlMessage {
         kind,
@@ -1485,6 +1494,17 @@ mod tests {
             let err = ControlMessage::decode(msg.encode()).unwrap_err();
             assert!(err.to_string().contains("capacity"), "{err}");
         }
+    }
+
+    #[test]
+    fn zero_capacity_join_is_a_protocol_error_not_a_silent_admit() {
+        let err = ControlMessage::decode(ControlMessage::join(3, 0.0).encode()).unwrap_err();
+        assert!(matches!(err, EdgeError::Protocol { .. }), "{err}");
+        assert!(err.to_string().contains("no capacity"), "{err}");
+        // Zero stays legal where it means something: a leave carries no offer,
+        // and a heartbeat merely repeats the last advertisement.
+        assert!(ControlMessage::decode(ControlMessage::leave(3, 5).encode()).is_ok());
+        assert!(ControlMessage::decode(ControlMessage::heartbeat(3, 5, 0.0).encode()).is_ok());
     }
 
     #[test]

@@ -401,7 +401,9 @@ proptest! {
     ) {
         let capacity = capacity_milli as f64 / 1e3;
         let msg = match kind_index {
-            0 => ControlMessage::join(device, capacity),
+            // A join must offer real capacity — zero is a protocol error at
+            // decode time, covered by its own test.
+            0 => ControlMessage::join(device, capacity.max(1e-3)),
             1 => ControlMessage::leave(device, sequence),
             _ => ControlMessage::heartbeat(device, sequence, capacity),
         };

@@ -107,15 +107,7 @@ impl SplitPlan {
                 message: "cannot re-plan onto zero surviving devices".to_string(),
             });
         }
-        let requirements: Vec<SubModelRequirements> = self
-            .sub_models
-            .iter()
-            .map(|s| SubModelRequirements {
-                sub_model: s.index,
-                memory_bytes: s.cost.memory_bytes,
-                flops_per_sample: s.cost.flops,
-            })
-            .collect();
+        let requirements = self.requirements();
         let assignment =
             greedy_assign(&requirements, survivors, samples_per_round)?.ok_or_else(|| {
                 PartitionError::Infeasible {
@@ -132,6 +124,125 @@ impl SplitPlan {
             total_memory_bytes: self.total_memory_bytes,
             iterations: self.iterations,
         })
+    }
+
+    /// The symmetric half of [`SplitPlan::replan_for_survivors`]: elastic
+    /// scale-*up*. A device announced itself via a `Join` control frame and
+    /// the scheduler admits it into a new membership epoch; the greedy
+    /// assignment of Algorithm 3 is re-run over the enlarged `members` list so
+    /// the new capacity can absorb sub-models — in particular any that a
+    /// previous degradation left unhosted. Sub-models themselves (class
+    /// subsets, pruning levels, costs) are trained artifacts and never change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidConfig`] for an empty member list or
+    /// duplicate device ids, and [`PartitionError::Infeasible`] when even the
+    /// enlarged membership cannot host every sub-model.
+    pub fn replan_for_joiners(
+        &self,
+        members: &[DeviceSpec],
+        samples_per_round: u64,
+    ) -> Result<SplitPlan> {
+        if members.is_empty() {
+            return Err(PartitionError::InvalidConfig {
+                message: "cannot re-plan onto an empty membership".to_string(),
+            });
+        }
+        let mut ids: Vec<usize> = members.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(PartitionError::InvalidConfig {
+                message: "membership contains duplicate device ids; a rejoining device \
+                          must be a new identity-epoch, not a second copy"
+                    .to_string(),
+            });
+        }
+        let requirements = self.requirements();
+        let assignment =
+            greedy_assign(&requirements, members, samples_per_round)?.ok_or_else(|| {
+                PartitionError::Infeasible {
+                    reason: format!(
+                        "{} member device(s) cannot host the {} existing sub-models \
+                         even after the join",
+                        members.len(),
+                        self.sub_models.len()
+                    ),
+                }
+            })?;
+        Ok(SplitPlan {
+            sub_models: self.sub_models.clone(),
+            assignment,
+            total_memory_bytes: self.total_memory_bytes,
+            iterations: self.iterations,
+        })
+    }
+
+    /// Degraded-mode replan: when the full sub-model set no longer fits the
+    /// membership (so [`SplitPlan::replan_for_survivors`] is infeasible), drop
+    /// sub-models one at a time — largest memory footprint first, the same
+    /// victim order Algorithm 1 uses for re-pruning — until the remainder can
+    /// be hosted. The returned plan keeps *every* sub-model's metadata (the
+    /// fusion layout must stay stable) but its assignment covers only the kept
+    /// sub-models; the second element lists the dropped (unhosted) sub-model
+    /// indices in ascending order for [`StreamReport::missing_sub_models`]
+    /// style accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidConfig`] for an empty membership and
+    /// [`PartitionError::Infeasible`] when not even a single sub-model can be
+    /// hosted.
+    pub fn replan_degraded(
+        &self,
+        members: &[DeviceSpec],
+        samples_per_round: u64,
+    ) -> Result<(SplitPlan, Vec<usize>)> {
+        if members.is_empty() {
+            return Err(PartitionError::InvalidConfig {
+                message: "cannot re-plan onto an empty membership".to_string(),
+            });
+        }
+        let mut kept = self.requirements();
+        let mut dropped: Vec<usize> = Vec::new();
+        while !kept.is_empty() {
+            if let Some(assignment) = greedy_assign(&kept, members, samples_per_round)? {
+                dropped.sort_unstable();
+                return Ok((
+                    SplitPlan {
+                        sub_models: self.sub_models.clone(),
+                        assignment,
+                        total_memory_bytes: self.total_memory_bytes,
+                        iterations: self.iterations,
+                    },
+                    dropped,
+                ));
+            }
+            let Some((victim, _)) = kept.iter().enumerate().max_by_key(|(_, r)| r.memory_bytes)
+            else {
+                break;
+            };
+            dropped.push(kept.remove(victim).sub_model);
+        }
+        Err(PartitionError::Infeasible {
+            reason: format!(
+                "{} device(s) cannot host even one of the {} sub-models",
+                members.len(),
+                self.sub_models.len()
+            ),
+        })
+    }
+
+    /// Hosting requirements of every sub-model, in index order.
+    fn requirements(&self) -> Vec<SubModelRequirements> {
+        self.sub_models
+            .iter()
+            .map(|s| SubModelRequirements {
+                sub_model: s.index,
+                memory_bytes: s.cost.memory_bytes,
+                flops_per_sample: s.cost.flops,
+            })
+            .collect()
     }
 }
 
@@ -433,6 +544,105 @@ mod tests {
         dead.energy_budget_flops = 0;
         assert!(matches!(
             plan.replan_for_survivors(&[dead], 1).unwrap_err(),
+            PartitionError::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn replan_for_joiners_restores_full_coverage_after_a_degraded_stretch() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let devices = DeviceSpec::raspberry_pi_cluster(4);
+        let plan = planner.plan(&base, &devices, 9).unwrap();
+        // Device 3 crashes, then rejoins: the enlarged membership must host
+        // every sub-model again and the plan's artifacts must be untouched.
+        let survivors: Vec<DeviceSpec> = devices.iter().filter(|d| d.id != 3).cloned().collect();
+        let degraded = plan.replan_for_survivors(&survivors, 1).unwrap();
+        let mut members = survivors;
+        members.push(devices[3].clone());
+        let rejoined = degraded.replan_for_joiners(&members, 1).unwrap();
+        assert_eq!(rejoined.sub_models, plan.sub_models);
+        assert_eq!(rejoined.total_memory_bytes, plan.total_memory_bytes);
+        for sub in &rejoined.sub_models {
+            let host = rejoined.assignment.device_for(sub.index).unwrap();
+            assert!(members.iter().any(|d| d.id == host));
+        }
+    }
+
+    #[test]
+    fn replan_for_joiners_rejects_empty_and_duplicate_memberships() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let devices = DeviceSpec::raspberry_pi_cluster(2);
+        let plan = planner.plan(&base, &devices, 9).unwrap();
+        assert!(matches!(
+            plan.replan_for_joiners(&[], 1).unwrap_err(),
+            PartitionError::InvalidConfig { .. }
+        ));
+        let mut doubled = devices.clone();
+        doubled.push(devices[0].clone());
+        assert!(matches!(
+            plan.replan_for_joiners(&doubled, 1).unwrap_err(),
+            PartitionError::InvalidConfig { .. }
+        ));
+        // A joiner with no energy budget adds nothing: still feasible via the
+        // original devices, so the join itself must not make things worse.
+        let mut exhausted = DeviceSpec::raspberry_pi_4b(9);
+        exhausted.energy_budget_flops = 0;
+        let mut members = devices.clone();
+        members.push(exhausted);
+        assert!(plan.replan_for_joiners(&members, 1).is_ok());
+    }
+
+    #[test]
+    fn replan_degraded_drops_largest_sub_models_until_feasible() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let devices = DeviceSpec::raspberry_pi_cluster(4);
+        let plan = planner.plan(&base, &devices, 9).unwrap();
+        // A membership too tight for every sub-model: one survivor whose
+        // memory fits only some of the four sub-models.
+        let max_memory = plan
+            .sub_models
+            .iter()
+            .map(|s| s.cost.memory_bytes)
+            .max()
+            .unwrap();
+        let mut tight = devices[0].clone();
+        tight.memory_bytes = max_memory + max_memory / 2;
+        assert!(matches!(
+            plan.replan_for_survivors(std::slice::from_ref(&tight), 1)
+                .unwrap_err(),
+            PartitionError::Infeasible { .. }
+        ));
+        let (degraded, dropped) = plan
+            .replan_degraded(std::slice::from_ref(&tight), 1)
+            .unwrap();
+        assert!(!dropped.is_empty());
+        assert!(dropped.len() < plan.sub_models.len());
+        assert!(dropped.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+        // Metadata intact; assignment covers exactly the kept sub-models.
+        assert_eq!(degraded.sub_models, plan.sub_models);
+        for sub in &degraded.sub_models {
+            let hosted = degraded.assignment.device_for(sub.index).is_some();
+            assert_eq!(hosted, !dropped.contains(&sub.index));
+        }
+    }
+
+    #[test]
+    fn replan_degraded_with_no_hostable_sub_model_is_infeasible() {
+        let planner = planner_with_budget(180);
+        let base = ViTConfig::vit_base(10);
+        let devices = DeviceSpec::raspberry_pi_cluster(2);
+        let plan = planner.plan(&base, &devices, 9).unwrap();
+        assert!(matches!(
+            plan.replan_degraded(&[], 1).unwrap_err(),
+            PartitionError::InvalidConfig { .. }
+        ));
+        let mut dead = devices[0].clone();
+        dead.energy_budget_flops = 0;
+        assert!(matches!(
+            plan.replan_degraded(&[dead], 1).unwrap_err(),
             PartitionError::Infeasible { .. }
         ));
     }

@@ -28,6 +28,23 @@ pub enum SchedError {
         /// Device ids declared dead, in detection order.
         lost: Vec<usize>,
     },
+    /// Degraded-mode fusion would have to drop more sub-models than the
+    /// configured tolerance allows. The stream stops with a typed error
+    /// instead of silently producing predictions from too few experts.
+    DegradationLimit {
+        /// Sub-model indices that could not be hosted, ascending.
+        missing: Vec<usize>,
+        /// The configured `max_missing_sub_models` tolerance that was
+        /// exceeded.
+        limit: usize,
+    },
+    /// A join was scripted for a device id that is still a live member of the
+    /// stream. A rejoin must be a new identity-epoch of a dead or departed
+    /// device, never a second copy of a live one.
+    RejoinConflict {
+        /// The conflicting device id.
+        device: usize,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -42,6 +59,15 @@ impl fmt::Display for SchedError {
             SchedError::AllDevicesLost { lost } => write!(
                 f,
                 "every device died mid-stream (lost, in order: {lost:?}); nothing to repartition onto"
+            ),
+            SchedError::DegradationLimit { missing, limit } => write!(
+                f,
+                "degraded replan would leave sub-models {missing:?} unhosted, \
+                 exceeding the tolerance of {limit} missing sub-model(s)"
+            ),
+            SchedError::RejoinConflict { device } => write!(
+                f,
+                "device {device} is still a live member; a rejoin must follow a death or leave"
             ),
         }
     }
@@ -101,8 +127,18 @@ mod tests {
         assert!(matches!(partition, SchedError::Partition(_)));
         let lost = SchedError::AllDevicesLost { lost: vec![1, 0] };
         assert!(lost.to_string().contains("[1, 0]"));
+        let degraded = SchedError::DegradationLimit {
+            missing: vec![2, 3],
+            limit: 1,
+        };
+        assert!(degraded.to_string().contains("[2, 3]"));
+        assert!(degraded.to_string().contains("tolerance of 1"));
+        let conflict = SchedError::RejoinConflict { device: 4 };
+        assert!(conflict.to_string().contains("device 4"));
         use std::error::Error;
         assert!(edge.source().is_some());
         assert!(lost.source().is_none());
+        assert!(degraded.source().is_none());
+        assert!(conflict.source().is_none());
     }
 }

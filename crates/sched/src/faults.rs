@@ -1,0 +1,233 @@
+//! Deterministic fault scripts: the mechanism half of fault injection.
+//!
+//! A [`FaultScript`] is plain data — a map from *(device, round, frame slot)*
+//! to a per-attempt list of [`FrameFault`] mutations — applied by the fusion
+//! collector to the pristine bytes it receives at the wire/channel boundary.
+//! No randomness lives here: the policy layer (`edvit-chaos`) expands a
+//! seeded declarative plan into a script, so the scheduler itself stays free
+//! of RNG state and every drill replays bit-identically.
+//!
+//! Faults are indexed by delivery *attempt*: attempt 0 is the original
+//! delivery, attempt `n` the `n`-th re-request. A slot whose fault list is
+//! exhausted delivers clean — which is how "corrupt once, recover on retry"
+//! and "corrupt forever, escalate to death" are both expressed.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use edvit_edge::wire::V2_HEADER_LEN;
+use edvit_partition::DeviceSpec;
+
+/// Position of a wire frame within one device round.
+///
+/// A device hosting `k` sub-models emits exactly `k` data frames followed by
+/// one heartbeat per round, so the slot plus the round pins a frame uniquely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FrameSlot {
+    /// The `i`-th feature-batch frame of the round (0-based, hosted
+    /// sub-model order).
+    Data(u32),
+    /// The round-closing heartbeat control frame.
+    Heartbeat,
+}
+
+/// One deterministic mutation of a frame at delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Flip one payload bit (index taken modulo the payload width), which the
+    /// CRC-32 trailer detects as a checksum mismatch.
+    CorruptBit {
+        /// Raw bit index; reduced modulo the payload bit-width on apply.
+        bit: u32,
+    },
+    /// Deliver only a prefix of the frame (length taken modulo the frame
+    /// length, so the result is always strictly shorter).
+    Truncate {
+        /// Raw prefix length; reduced modulo the frame length on apply.
+        keep: u32,
+    },
+    /// Deliver the frame twice — exercising the receiver's dedupe.
+    Duplicate,
+    /// The link eats the frame entirely. For a data frame the collector
+    /// treats this as a failed attempt (re-request); for a heartbeat the
+    /// beacon is simply lost.
+    Drop,
+}
+
+/// What a [`FrameFault`] turned a pristine frame into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultedDelivery {
+    /// One (possibly mutated) copy arrives.
+    Deliver(Bytes),
+    /// Two identical copies arrive back to back.
+    DeliverTwice(Bytes),
+    /// Nothing arrives.
+    Dropped,
+}
+
+/// Applies `fault` to the pristine encoded frame, yielding the bytes the
+/// receiver actually sees for this attempt.
+pub fn apply_fault(fault: &FrameFault, pristine: &Bytes) -> FaultedDelivery {
+    match *fault {
+        FrameFault::CorruptBit { bit } => {
+            let mut bytes = pristine.as_slice().to_vec();
+            if bytes.len() > V2_HEADER_LEN {
+                let payload_bits = (bytes.len() - V2_HEADER_LEN) * 8;
+                let index = bit as usize % payload_bits;
+                bytes[V2_HEADER_LEN + index / 8] ^= 1 << (index % 8);
+            } else if let Some(last) = bytes.last_mut() {
+                *last ^= 1;
+            }
+            FaultedDelivery::Deliver(Bytes::from(bytes))
+        }
+        FrameFault::Truncate { keep } => {
+            let len = pristine.len().max(1);
+            let keep = keep as usize % len;
+            FaultedDelivery::Deliver(Bytes::from(pristine.as_slice()[..keep].to_vec()))
+        }
+        FrameFault::Duplicate => FaultedDelivery::DeliverTwice(pristine.clone()),
+        FrameFault::Drop => FaultedDelivery::Dropped,
+    }
+}
+
+/// A deterministic, pre-expanded schedule of frame faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    faults: BTreeMap<(usize, u64, FrameSlot), Vec<FrameFault>>,
+}
+
+impl FaultScript {
+    /// An empty script (injects nothing).
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// Appends `fault` as the next delivery attempt of the given frame.
+    /// The first push affects attempt 0 (the original delivery), the second
+    /// push attempt 1 (the first re-request), and so on.
+    pub fn push(&mut self, device: usize, round: u64, slot: FrameSlot, fault: FrameFault) {
+        self.faults
+            .entry((device, round, slot))
+            .or_default()
+            .push(fault);
+    }
+
+    /// The fault scheduled for delivery attempt `attempt` of the given frame,
+    /// or `None` for a clean delivery.
+    pub fn fault_for(
+        &self,
+        device: usize,
+        round: u64,
+        slot: FrameSlot,
+        attempt: u32,
+    ) -> Option<&FrameFault> {
+        self.faults
+            .get(&(device, round, slot))
+            .and_then(|attempts| attempts.get(attempt as usize))
+    }
+
+    /// Whether the script injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of distinct faulted frames.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+}
+
+/// A scripted mid-stream join: at (global) round `at_round` the device offers
+/// its capacity via a `Join` control frame and the scheduler opens a new
+/// membership epoch. Rejoining a previously dead device id starts a new
+/// identity-epoch; joining with an id that is still live is a
+/// [`crate::SchedError::RejoinConflict`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinInjection {
+    /// The joining device and its offered capacity.
+    pub device: DeviceSpec,
+    /// Global stream round at which the join frame arrives.
+    pub at_round: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edvit_edge::{ControlMessage, EdgeError, WireFrame};
+
+    fn heartbeat_frame() -> Bytes {
+        ControlMessage::heartbeat(3, 7, 4.5e8).encode()
+    }
+
+    #[test]
+    fn corrupt_bit_trips_the_checksum() {
+        let pristine = heartbeat_frame();
+        let FaultedDelivery::Deliver(mutated) =
+            apply_fault(&FrameFault::CorruptBit { bit: 999 }, &pristine)
+        else {
+            panic!("corruption delivers one copy");
+        };
+        assert_eq!(mutated.len(), pristine.len());
+        assert!(matches!(
+            WireFrame::decode(mutated).unwrap_err(),
+            EdgeError::ChecksumMismatch { .. }
+        ));
+        // The pristine copy still decodes: the mutation is on the delivery,
+        // not the sender.
+        assert!(WireFrame::decode(pristine).is_ok());
+    }
+
+    #[test]
+    fn truncation_is_always_strictly_shorter_and_fails_decode() {
+        let pristine = heartbeat_frame();
+        for keep in [0u32, 1, 15, 39, 40, 41, 1000] {
+            let FaultedDelivery::Deliver(short) =
+                apply_fault(&FrameFault::Truncate { keep }, &pristine)
+            else {
+                panic!("truncation delivers one copy");
+            };
+            assert!(short.len() < pristine.len(), "keep={keep}");
+            assert!(WireFrame::decode(short).is_err(), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_drop_shapes() {
+        let pristine = heartbeat_frame();
+        assert_eq!(
+            apply_fault(&FrameFault::Duplicate, &pristine),
+            FaultedDelivery::DeliverTwice(pristine.clone())
+        );
+        assert_eq!(
+            apply_fault(&FrameFault::Drop, &pristine),
+            FaultedDelivery::Dropped
+        );
+    }
+
+    #[test]
+    fn script_is_indexed_by_attempt_and_exhausts_to_clean() {
+        let mut script = FaultScript::new();
+        assert!(script.is_empty());
+        script.push(0, 2, FrameSlot::Data(1), FrameFault::CorruptBit { bit: 5 });
+        script.push(0, 2, FrameSlot::Data(1), FrameFault::Truncate { keep: 3 });
+        script.push(1, 0, FrameSlot::Heartbeat, FrameFault::Drop);
+        assert_eq!(script.len(), 2);
+        assert_eq!(
+            script.fault_for(0, 2, FrameSlot::Data(1), 0),
+            Some(&FrameFault::CorruptBit { bit: 5 })
+        );
+        assert_eq!(
+            script.fault_for(0, 2, FrameSlot::Data(1), 1),
+            Some(&FrameFault::Truncate { keep: 3 })
+        );
+        // Attempt 2 is beyond the scripted list: the re-request succeeds.
+        assert_eq!(script.fault_for(0, 2, FrameSlot::Data(1), 2), None);
+        // Other slots and devices are untouched.
+        assert_eq!(script.fault_for(0, 2, FrameSlot::Data(0), 0), None);
+        assert_eq!(script.fault_for(0, 2, FrameSlot::Heartbeat, 0), None);
+        assert_eq!(
+            script.fault_for(1, 0, FrameSlot::Heartbeat, 0),
+            Some(&FrameFault::Drop)
+        );
+    }
+}

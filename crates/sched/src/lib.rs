@@ -62,11 +62,13 @@
 
 mod clock;
 mod error;
+mod faults;
 mod health;
 mod stream;
 
 pub use clock::SimClock;
 pub use error::SchedError;
+pub use faults::{apply_fault, FaultScript, FaultedDelivery, FrameFault, FrameSlot, JoinInjection};
 pub use health::{DeviceHealth, HealthTracker};
 pub use stream::{FailureInjection, ScheduleMode, StreamConfig, StreamReport, StreamScheduler};
 

@@ -29,27 +29,64 @@
 //! never lost, and the exactly-once check on the output slots makes
 //! duplication a hard error rather than a silent possibility.
 //!
+//! # Fault handling
+//!
+//! The collector applies a deterministic [`FaultScript`] to the bytes it
+//! receives *before* decoding them — the same place a lossy link would bite.
+//! A corrupted, truncated or eaten data frame is a failed delivery: the
+//! collector re-requests it (the script indexes faults by attempt, so a
+//! re-request can fail again) up to [`StreamConfig::max_retries`] times, each
+//! retry priced at the analytic
+//! [`StreamTiming::retry_backoff_seconds`](edvit_edge::StreamTiming) backoff.
+//! A frame still failing past the budget escalates to device death — the same
+//! repartition path a crash takes. Duplicated deliveries are absorbed:
+//! feature frames by first-delivery-wins slot stashing, control frames by a
+//! per-epoch [`ControlDeduper`] enforcing strict sequence monotonicity.
+//!
+//! Three membership events extend the state machine beyond death:
+//!
+//! * **elastic rejoin** — a scripted [`JoinInjection`] admits a device
+//!   mid-stream via a real `Join` control frame (decode-validated, so a
+//!   non-positive capacity offer is rejected like any other protocol error).
+//!   The stream finishes the rounds before the join barrier, checkpoints the
+//!   fused frontier, replans over the enlarged membership and opens a new
+//!   epoch. A device id that previously died or left is admitted as a **new
+//!   identity-epoch** ([`HealthTracker::observe_rejoin`]); an id that is
+//!   still live is a [`SchedError::RejoinConflict`].
+//! * **graceful degradation** — when a replan cannot host every sub-model,
+//!   the scheduler (if [`StreamConfig::max_missing_sub_models`] allows) drops
+//!   the largest sub-models via [`SplitPlan::replan_degraded`] and keeps
+//!   fusing: missing features are zero-filled at their observed width so the
+//!   fusion layout stays stable, and every round fused that way is listed in
+//!   [`StreamReport::degraded_rounds`].
+//! * **recovery to full fidelity** — a later join that makes the full set
+//!   feasible again clears the missing list; degradation is a mode, not a
+//!   ratchet.
+//!
 //! # Timing
 //!
 //! Thread interleaving on the host machine is nondeterministic, so all
 //! reported timing comes from the virtual [`SimClock`], advanced with the
 //! analytic [`edvit_edge::StreamTiming`] model: barrier mode pays
 //! device-stage + fusion-stage per round, pipelined mode pays the wider of
-//! the two stages per round once the pipeline is full.
+//! the two stages per round once the pipeline is full, and every retry pays
+//! its round-denominated backoff.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use bytes::Bytes;
 use crossbeam::channel;
 use edvit_edge::wire::FeatureBatchMessage;
 use edvit_edge::{
-    ControlKind, ControlMessage, FusionFn, LatencyModel, NetworkConfig, PayloadCodec, StreamTiming,
-    SubModelFn, WireFrame,
+    ControlDeduper, ControlKind, ControlMessage, FusionFn, LatencyModel, NetworkConfig,
+    PayloadCodec, StreamTiming, SubModelFn, WireFrame,
 };
-use edvit_partition::{DeviceSpec, SplitPlan};
+use edvit_partition::{DeviceSpec, PartitionError, SplitPlan};
 use edvit_tensor::Tensor;
 
-use crate::{HealthTracker, Result, SchedError, SimClock};
+use crate::faults::{apply_fault, FaultScript, FaultedDelivery, FrameFault, FrameSlot};
+use crate::{HealthTracker, JoinInjection, Result, SchedError, SimClock};
 
 /// How rounds are scheduled relative to the fusion stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +103,9 @@ pub enum ScheduleMode {
 }
 
 /// Deterministic failure injection: the device goes silent (no leave frame,
-/// no further heartbeats) instead of processing the given round.
+/// no further heartbeats) instead of processing the given round. A scripted
+/// death fires once per device id — a device that later rejoins (see
+/// [`JoinInjection`]) starts its new identity-epoch unburdened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureInjection {
     /// Device to kill.
@@ -111,6 +150,21 @@ pub struct StreamConfig {
     pub codec: PayloadCodec,
     /// Scripted device deaths.
     pub failures: Vec<FailureInjection>,
+    /// Scripted mid-stream joins, applied in `at_round` order. A join whose
+    /// round lies past the end of the stream never fires.
+    pub joins: Vec<JoinInjection>,
+    /// Deterministic frame-fault script the collector applies at the
+    /// wire/channel boundary. Empty by default.
+    pub faults: FaultScript,
+    /// How many times a corrupt, truncated or dropped data frame is
+    /// re-requested before the link is declared dead. Each retry is priced
+    /// at the analytic round-denominated backoff.
+    pub max_retries: u32,
+    /// How many sub-models the scheduler may leave unhosted (zero-filling
+    /// their features at fusion) when a replan cannot cover the full set. The
+    /// default of 0 disables degraded mode: an infeasible replan stays a
+    /// hard [`SchedError::Partition`] error, exactly as before.
+    pub max_missing_sub_models: usize,
 }
 
 impl Default for StreamConfig {
@@ -126,6 +180,10 @@ impl Default for StreamConfig {
             energy_samples_per_round: 1,
             codec: PayloadCodec::F32,
             failures: Vec::new(),
+            joins: Vec::new(),
+            faults: FaultScript::new(),
+            max_retries: 2,
+            max_missing_sub_models: 0,
         }
     }
 }
@@ -149,6 +207,32 @@ impl StreamConfig {
             device_id,
             at_round,
         });
+        self
+    }
+
+    /// Adds a scripted mid-stream join: `device` offers its capacity at
+    /// global round `at_round` and the scheduler opens a new membership
+    /// epoch there.
+    pub fn with_join(mut self, device: DeviceSpec, at_round: u64) -> Self {
+        self.joins.push(JoinInjection { device, at_round });
+        self
+    }
+
+    /// Installs a deterministic frame-fault script.
+    pub fn with_faults(mut self, faults: FaultScript) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the per-frame re-request budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Allows degraded-mode fusion with up to this many unhosted sub-models.
+    pub fn with_max_missing_sub_models(mut self, max_missing_sub_models: usize) -> Self {
+        self.max_missing_sub_models = max_missing_sub_models;
         self
     }
 }
@@ -184,7 +268,8 @@ pub struct StreamReport {
     pub control_frames: usize,
     /// Feature-batch data frames observed.
     pub data_frames: usize,
-    /// Encoded bytes shipped over the channel (data + control frames).
+    /// Encoded bytes shipped over the channel (data + control frames),
+    /// including corrupted and duplicated deliveries — they travelled too.
     pub bytes_on_wire: u64,
     /// Encoded bytes each device shipped, keyed by device id. Devices that
     /// joined in any epoch appear, including ones that later died.
@@ -192,12 +277,45 @@ pub struct StreamReport {
     /// Rounds each device delivered (heartbeats received from it), keyed by
     /// device id and accumulated across epochs.
     pub per_device_rounds: BTreeMap<usize, u64>,
-    /// Devices declared dead, in detection order.
+    /// Devices declared dead, in detection order (crashes and links whose
+    /// retry budget ran out).
     pub devices_lost: Vec<usize>,
-    /// Times the planner re-assigned sub-models onto survivors.
+    /// Devices admitted mid-stream via a `Join` frame, in admission order.
+    pub devices_joined: Vec<usize>,
+    /// How many of those admissions were rejoins — a previously dead or
+    /// departed id coming back as a new identity-epoch.
+    pub rejoins: usize,
+    /// Times the planner re-assigned sub-models (deaths and joins).
     pub repartitions: usize,
     /// Samples that were in flight at a death and had to be recomputed.
     pub samples_replayed: usize,
+    /// Data-frame re-requests issued after corrupt, truncated or dropped
+    /// deliveries. Bounded by `max_retries` per frame.
+    pub retries: u64,
+    /// Virtual seconds spent in retry backoff, already included in
+    /// `simulated_total_seconds`.
+    pub retry_seconds: f64,
+    /// Failed deliveries observed: frames that arrived corrupted or
+    /// truncated, or data frames the link ate.
+    pub corrupt_frames: u64,
+    /// Data frames whose payload duplicated already-stashed samples
+    /// (first delivery wins; the copy is counted and discarded).
+    pub duplicate_frames: u64,
+    /// Heartbeat beacons the link ate. A lost beacon is not retried — the
+    /// next fresh beacon or the device's leave closes the round instead.
+    pub dropped_heartbeats: u64,
+    /// Control frames rejected by the sequence deduper as replays or stale
+    /// reorderings.
+    pub stale_control_frames: u64,
+    /// Heartbeats the health tracker ignored as stale (replayed, reordered,
+    /// wrapped, or sent by an already-terminal device).
+    pub stale_heartbeats: u64,
+    /// Rounds fused in degraded mode (some sub-model unhosted, its feature
+    /// zero-filled), in fusion order.
+    pub degraded_rounds: Vec<u64>,
+    /// Sub-models left unhosted by the *final* membership (empty when the
+    /// stream ended at full fidelity).
+    pub missing_sub_models: Vec<usize>,
     /// Virtual seconds from a device's death to its sub-models producing
     /// fused output again: detection (the missed heartbeat plus the
     /// `grace_rounds` deadline) + re-planning + replaying the in-flight
@@ -209,7 +327,7 @@ pub struct StreamReport {
     /// Virtual end-to-end seconds on the [`SimClock`].
     pub simulated_total_seconds: f64,
     /// The plan in force when the stream finished (re-assigned if devices
-    /// died).
+    /// died or joined).
     pub final_plan: SplitPlan,
 }
 
@@ -238,6 +356,9 @@ struct EpochOutcome {
     /// Unfused rounds that had received at least one frame (in flight at the
     /// death) — these are the replayed rounds.
     partial_rounds: Vec<u64>,
+    /// The epoch stopped at a scripted join barrier: the fused frontier is
+    /// the checkpoint, nothing is replayed, membership changes next.
+    join_due: bool,
     heartbeats: u64,
     control_frames: usize,
     data_frames: usize,
@@ -245,6 +366,58 @@ struct EpochOutcome {
     per_device_wire_bytes: BTreeMap<usize, u64>,
     per_device_rounds: BTreeMap<usize, u64>,
     max_in_flight: usize,
+    /// Attempt number of every re-request issued, for backoff pricing.
+    retry_attempts: Vec<u32>,
+    corrupt_frames: u64,
+    duplicate_frames: u64,
+    dropped_heartbeats: u64,
+    stale_control_frames: u64,
+    degraded_rounds: Vec<u64>,
+    /// Feature width observed per sub-model — the widths degraded rounds
+    /// zero-fill with.
+    observed_dims: BTreeMap<u32, usize>,
+}
+
+impl EpochOutcome {
+    fn new() -> Self {
+        EpochOutcome {
+            newly_dead: Vec::new(),
+            rounds_fused: 0,
+            partial_rounds: Vec::new(),
+            join_due: false,
+            heartbeats: 0,
+            control_frames: 0,
+            data_frames: 0,
+            bytes_on_wire: 0,
+            per_device_wire_bytes: BTreeMap::new(),
+            per_device_rounds: BTreeMap::new(),
+            max_in_flight: 0,
+            retry_attempts: Vec::new(),
+            corrupt_frames: 0,
+            duplicate_frames: 0,
+            dropped_heartbeats: 0,
+            stale_control_frames: 0,
+            degraded_rounds: Vec::new(),
+            observed_dims: BTreeMap::new(),
+        }
+    }
+}
+
+/// Read-only knobs one epoch runs under.
+struct EpochParams<'a> {
+    round_size: usize,
+    pipeline_depth: usize,
+    codec: PayloadCodec,
+    failures: &'a BTreeMap<usize, u64>,
+    /// Sub-models the current (degraded) plan leaves unhosted.
+    missing: &'a [usize],
+    faults: &'a FaultScript,
+    max_retries: u32,
+    /// First scripted-join round: the collector stops fusing there.
+    join_barrier: Option<u64>,
+    /// `(sub-model, feature width)` for every missing sub-model, zero-filled
+    /// at fusion so the concat layout stays stable.
+    missing_dims: Vec<(u32, usize)>,
 }
 
 /// The streaming fault-tolerant scheduler.
@@ -291,7 +464,7 @@ impl StreamScheduler {
     }
 
     /// Runs the stream: every input sample is fused exactly once, across as
-    /// many membership epochs as device deaths require.
+    /// many membership epochs as device deaths and joins require.
     ///
     /// `executors[i]` computes sub-model `i`'s feature vector for one sample;
     /// there must be exactly one executor per sub-model in the plan.
@@ -301,8 +474,12 @@ impl StreamScheduler {
     /// Returns [`SchedError::InvalidConfig`] for empty inputs or a mismatched
     /// executor count, [`SchedError::Runtime`] for executor/fusion failures
     /// or violated exactly-once invariants, [`SchedError::Partition`] when
-    /// survivors cannot host the sub-models, and
-    /// [`SchedError::AllDevicesLost`] when every device dies.
+    /// survivors cannot host the sub-models (and degraded mode is off),
+    /// [`SchedError::DegradationLimit`] when a degraded replan would exceed
+    /// the missing-sub-model tolerance, [`SchedError::RejoinConflict`] when a
+    /// scripted join collides with a live member,
+    /// [`SchedError::Edge`] when a scripted join frame fails wire validation,
+    /// and [`SchedError::AllDevicesLost`] when every device dies.
     pub fn run(
         &self,
         inputs: &[Tensor],
@@ -326,17 +503,24 @@ impl StreamScheduler {
         let cfg = &self.config;
         let round_size = cfg.round_size;
         let total_rounds = inputs.len().div_ceil(round_size);
-        let failures: BTreeMap<usize, u64> = cfg
+        let mut failures: BTreeMap<usize, u64> = cfg
             .failures
             .iter()
             .map(|f| (f.device_id, f.at_round))
             .collect();
+        let mut join_queue: Vec<JoinInjection> = cfg.joins.clone();
+        join_queue.sort_by_key(|j| j.at_round);
 
         let mut current_plan = self.plan.clone();
         let mut current_devices = self.devices.clone();
         let mut pending: Vec<u64> = (0..total_rounds as u64).collect();
         let mut fused: Vec<Option<Tensor>> = vec![None; inputs.len()];
         let mut clock = SimClock::new();
+        let mut tracker = HealthTracker::new();
+        // Sub-models the current plan leaves unhosted, and the feature widths
+        // observed so far (what degraded rounds zero-fill with).
+        let mut missing: Vec<usize> = Vec::new();
+        let mut known_dims: BTreeMap<u32, usize> = BTreeMap::new();
 
         let mut report = StreamReport {
             outputs: Vec::new(),
@@ -353,8 +537,19 @@ impl StreamScheduler {
             per_device_wire_bytes: BTreeMap::new(),
             per_device_rounds: BTreeMap::new(),
             devices_lost: Vec::new(),
+            devices_joined: Vec::new(),
+            rejoins: 0,
             repartitions: 0,
             samples_replayed: 0,
+            retries: 0,
+            retry_seconds: 0.0,
+            corrupt_frames: 0,
+            duplicate_frames: 0,
+            dropped_heartbeats: 0,
+            stale_control_frames: 0,
+            stale_heartbeats: 0,
+            degraded_rounds: Vec::new(),
+            missing_sub_models: Vec::new(),
             recovery_seconds: 0.0,
             steady_state_samples_per_second: 0.0,
             simulated_total_seconds: 0.0,
@@ -362,26 +557,71 @@ impl StreamScheduler {
         };
 
         loop {
+            // ---- Scripted joins due before the next unfused round. ---------
+            let next_round = pending.first().copied().unwrap_or(0);
+            let mut admitted = false;
+            while join_queue.first().is_some_and(|j| j.at_round <= next_round) {
+                let injection = join_queue.remove(0);
+                admit_join(&injection, &mut current_devices, &mut tracker, &mut report)?;
+                admitted = true;
+            }
+            if admitted {
+                self.replan(&mut current_plan, &current_devices, &mut missing, "join")?;
+                report.repartitions += 1;
+                clock.advance(cfg.replan_seconds);
+            }
+
             report.epochs += 1;
+            tracker.begin_epoch();
             let timing = self.timing(&current_plan, &current_devices)?;
+            let missing_dims: Vec<(u32, usize)> = missing
+                .iter()
+                .map(|&i| {
+                    let sub = i as u32;
+                    let dim = known_dims
+                        .get(&sub)
+                        .copied()
+                        .unwrap_or_else(|| current_plan.sub_models[i].pruned.feature_dim());
+                    (sub, dim)
+                })
+                .collect();
+            let params = EpochParams {
+                round_size,
+                pipeline_depth: cfg.effective_depth(),
+                codec: cfg.codec,
+                failures: &failures,
+                missing: &missing,
+                faults: &cfg.faults,
+                max_retries: cfg.max_retries,
+                join_barrier: join_queue.first().map(|j| j.at_round),
+                missing_dims,
+            };
             let outcome = run_epoch(
                 &current_plan,
                 &current_devices,
                 &pending,
-                round_size,
-                cfg.effective_depth(),
-                cfg.codec,
+                &params,
                 inputs,
                 &mut executors,
                 &mut fusion,
                 &mut fused,
-                &failures,
+                &mut tracker,
             )?;
 
             report.heartbeats_seen += outcome.heartbeats;
             report.control_frames += outcome.control_frames;
             report.data_frames += outcome.data_frames;
             report.bytes_on_wire += outcome.bytes_on_wire;
+            report.corrupt_frames += outcome.corrupt_frames;
+            report.duplicate_frames += outcome.duplicate_frames;
+            report.dropped_heartbeats += outcome.dropped_heartbeats;
+            report.stale_control_frames += outcome.stale_control_frames;
+            report
+                .degraded_rounds
+                .extend(outcome.degraded_rounds.iter().copied());
+            for (&sub, &dim) in &outcome.observed_dims {
+                known_dims.insert(sub, dim);
+            }
             for (&device, &bytes) in &outcome.per_device_wire_bytes {
                 *report.per_device_wire_bytes.entry(device).or_insert(0) += bytes;
             }
@@ -389,11 +629,21 @@ impl StreamScheduler {
                 *report.per_device_rounds.entry(device).or_insert(0) += rounds;
             }
             report.max_rounds_in_flight = report.max_rounds_in_flight.max(outcome.max_in_flight);
-            clock.advance(timing.total_seconds(outcome.rounds_fused));
+            let retry_seconds: f64 = outcome
+                .retry_attempts
+                .iter()
+                .map(|&attempt| timing.retry_backoff_seconds(attempt))
+                .sum();
+            report.retries += outcome.retry_attempts.len() as u64;
+            report.retry_seconds += retry_seconds;
+            clock.advance(timing.total_seconds(outcome.rounds_fused) + retry_seconds);
 
             pending.retain(|&round| round_unfused(&fused, round, round_size, inputs.len()));
 
             if outcome.newly_dead.is_empty() {
+                if outcome.join_due {
+                    continue; // checkpointed handoff; the join opens the next epoch
+                }
                 if !pending.is_empty() {
                     return Err(SchedError::Runtime {
                         message: format!(
@@ -410,14 +660,16 @@ impl StreamScheduler {
             report
                 .devices_lost
                 .extend(outcome.newly_dead.iter().copied());
+            for device in &outcome.newly_dead {
+                failures.remove(device); // a scripted death fires once
+            }
             current_devices.retain(|d| !outcome.newly_dead.contains(&d.id));
             if current_devices.is_empty() {
                 return Err(SchedError::AllDevicesLost {
                     lost: report.devices_lost.clone(),
                 });
             }
-            current_plan = current_plan
-                .replan_for_survivors(&current_devices, cfg.energy_samples_per_round)?;
+            self.replan(&mut current_plan, &current_devices, &mut missing, "death")?;
             report.repartitions += 1;
             report.samples_replayed += outcome
                 .partial_rounds
@@ -439,6 +691,8 @@ impl StreamScheduler {
         }
 
         report.simulated_total_seconds = clock.now();
+        report.stale_heartbeats = tracker.stale_heartbeats();
+        report.missing_sub_models = missing;
         report.final_plan = current_plan;
         report.outputs = fused
             .into_iter()
@@ -452,18 +706,113 @@ impl StreamScheduler {
         Ok(report)
     }
 
+    /// Replans onto the current membership: full coverage when feasible,
+    /// degraded (if allowed) when not. `missing` is updated to the new set of
+    /// unhosted sub-models — a successful full replan clears it.
+    fn replan(
+        &self,
+        plan: &mut SplitPlan,
+        members: &[DeviceSpec],
+        missing: &mut Vec<usize>,
+        cause: &str,
+    ) -> Result<()> {
+        let samples = self.config.energy_samples_per_round;
+        let full = if cause == "join" {
+            plan.replan_for_joiners(members, samples)
+        } else {
+            plan.replan_for_survivors(members, samples)
+        };
+        match full {
+            Ok(new_plan) => {
+                *plan = new_plan;
+                missing.clear();
+                Ok(())
+            }
+            Err(PartitionError::Infeasible { .. }) if self.config.max_missing_sub_models > 0 => {
+                let (new_plan, dropped) = plan.replan_degraded(members, samples)?;
+                if dropped.len() > self.config.max_missing_sub_models {
+                    return Err(SchedError::DegradationLimit {
+                        missing: dropped,
+                        limit: self.config.max_missing_sub_models,
+                    });
+                }
+                *plan = new_plan;
+                *missing = dropped;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     fn timing(&self, plan: &SplitPlan, devices: &[DeviceSpec]) -> Result<StreamTiming> {
         let mut model = LatencyModel::new(self.config.network).with_codec(self.config.codec);
         if self.config.fusion_flops > 0 {
             model = model.with_fusion_flops(self.config.fusion_flops);
         }
+        // A degraded plan carries unassigned (dropped) sub-models that the
+        // latency model would reject; price only what actually runs.
+        let hosted_only;
+        let priced = if plan
+            .sub_models
+            .iter()
+            .all(|s| plan.assignment.device_for(s.index).is_some())
+        {
+            plan
+        } else {
+            let mut filtered = plan.clone();
+            filtered
+                .sub_models
+                .retain(|s| plan.assignment.device_for(s.index).is_some());
+            hosted_only = filtered;
+            &hosted_only
+        };
         Ok(model.estimate_stream(
-            plan,
+            priced,
             devices,
             self.config.round_size,
             self.config.mode == ScheduleMode::Pipelined,
         )?)
     }
+}
+
+/// Admits one scripted join through the same wire path a real device would
+/// use: the `Join` control frame is encoded, accounted and decode-validated
+/// (so e.g. a non-positive capacity offer fails as a protocol error), then
+/// fed to the health tracker — as a new identity-epoch when the id was
+/// previously terminal.
+fn admit_join(
+    injection: &JoinInjection,
+    current_devices: &mut Vec<DeviceSpec>,
+    tracker: &mut HealthTracker,
+    report: &mut StreamReport,
+) -> Result<()> {
+    let device_id = injection.device.id;
+    if current_devices.iter().any(|d| d.id == device_id) {
+        return Err(SchedError::RejoinConflict { device: device_id });
+    }
+    let frame = ControlMessage::join(device_id, injection.device.flops_per_second).encode();
+    report.control_frames += 1;
+    report.bytes_on_wire += frame.len() as u64;
+    *report.per_device_wire_bytes.entry(device_id).or_insert(0) += frame.len() as u64;
+    let decoded = WireFrame::decode(frame).map_err(SchedError::Edge)?;
+    let WireFrame::Control(control) = decoded else {
+        return Err(SchedError::Runtime {
+            message: format!("join frame for device {device_id} decoded as a non-control frame"),
+        });
+    };
+    let was_terminal = matches!(
+        tracker.health_of(device_id),
+        Some(health) if !health.is_live()
+    );
+    if was_terminal {
+        tracker.observe_rejoin(device_id, control.capacity_flops_per_second);
+        report.rejoins += 1;
+    } else {
+        tracker.observe_join(device_id, control.capacity_flops_per_second);
+    }
+    report.devices_joined.push(device_id);
+    current_devices.push(injection.device.clone());
+    Ok(())
 }
 
 impl StreamConfig {
@@ -499,26 +848,29 @@ fn round_unfused(
 /// One membership epoch: spawns a worker thread per active device, consumes
 /// the per-device channels round by round on the calling thread, fuses each
 /// completed round, and reports any death (a device whose channel
-/// disconnected before it delivered all its rounds).
+/// disconnected before it delivered all its rounds, or whose link exhausted
+/// its retry budget).
 #[allow(clippy::too_many_arguments)]
 fn run_epoch(
     plan: &SplitPlan,
     devices: &[DeviceSpec],
     epoch_rounds: &[u64],
-    round_size: usize,
-    pipeline_depth: usize,
-    codec: PayloadCodec,
+    params: &EpochParams<'_>,
     inputs: &[Tensor],
     executors: &mut [SubModelFn],
     fusion: &mut FusionFn,
     fused: &mut [Option<Tensor>],
-    failures: &BTreeMap<usize, u64>,
+    tracker: &mut HealthTracker,
 ) -> Result<EpochOutcome> {
     // Group the per-sub-model executors by hosting device. `iter_mut` hands
     // out disjoint `&mut` borrows, so each worker thread exclusively owns the
-    // executors of its device for the duration of the epoch scope.
+    // executors of its device for the duration of the epoch scope. Sub-models
+    // the degraded plan left unhosted are skipped — their executors idle.
     let mut by_device: BTreeMap<usize, Vec<(usize, &mut SubModelFn)>> = BTreeMap::new();
     for (sub_index, executor) in executors.iter_mut().enumerate() {
+        if params.missing.contains(&sub_index) {
+            continue;
+        }
         let device_id =
             plan.assignment
                 .device_for(sub_index)
@@ -536,6 +888,12 @@ fn run_epoch(
             .push((sub_index, executor));
     }
 
+    // Data frames each device ships per round (= hosted sub-models) — the
+    // arity that lets the collector identify every frame positionally.
+    let frames_per_round: BTreeMap<usize, usize> = by_device
+        .iter()
+        .map(|(&device, execs)| (device, execs.len()))
+        .collect();
     let num_sub_models = plan.sub_models.len();
     let total_samples = inputs.len();
     // Highest round count any device has produced this epoch. Purely
@@ -555,14 +913,16 @@ fn run_epoch(
             // with two slots of slack for the join and leave announcements.
             // Once the buffer is full the device blocks in `send` — explicit
             // backpressure, and a hard bound on how far devices can skew.
-            let capacity = (execs.len() + 1) * pipeline_depth.max(1) + 2;
+            let capacity = (execs.len() + 1) * params.pipeline_depth.max(1) + 2;
             let (tx, rx) = channel::bounded::<DeviceToFusion>(capacity);
             receivers.insert(device_id, rx);
             let capacity_flops = devices
                 .iter()
                 .find(|d| d.id == device_id)
                 .map_or(0.0, |d| d.flops_per_second);
-            let dies_at = failures.get(&device_id).copied();
+            let dies_at = params.failures.get(&device_id).copied();
+            let codec = params.codec;
+            let round_size = params.round_size;
             scope.spawn(move |_| {
                 run_device_worker(
                     device_id,
@@ -583,12 +943,14 @@ fn run_epoch(
         collect_epoch(
             receivers,
             epoch_rounds,
-            round_size,
+            params,
+            &frames_per_round,
             num_sub_models,
             total_samples,
             fusion,
             fused,
             produced_ref,
+            tracker,
         )
     })
     .map_err(|_| SchedError::Runtime {
@@ -671,64 +1033,339 @@ fn run_device_worker(
     let _ = tx.send(Ok(ControlMessage::leave(device_id, completed).encode()));
 }
 
+/// What one received message turned out to be, after dedupe: a fresh
+/// heartbeat, a fresh leave (both close rounds), or anything else.
+enum Seen {
+    Beacon(u64),
+    Leave(u64),
+    Other,
+}
+
+/// How the collector disposed of one delivery.
+enum Processed {
+    Seen(Seen),
+    /// The frame's retry budget ran out: treat the link as dead.
+    Escalate,
+}
+
+/// The collector's per-epoch state: fault cursors, dedupe, the partial-round
+/// stash and the outcome under construction.
+struct Collector<'a> {
+    epoch_rounds: &'a [u64],
+    round_size: usize,
+    total_samples: usize,
+    num_sub_models: usize,
+    faults: &'a FaultScript,
+    max_retries: u32,
+    frames_per_round: &'a BTreeMap<usize, usize>,
+    missing_dims: &'a [(u32, usize)],
+    tracker: &'a mut HealthTracker,
+    deduper: ControlDeduper,
+    /// Frames received so far per device — the positional identity that maps
+    /// a delivery to its `(round, slot)` fault key.
+    cursor: BTreeMap<usize, u64>,
+    /// round -> sample -> (sub-model -> feature), ordered so fusion walks
+    /// samples in input order.
+    partial: BTreeMap<u64, BTreeMap<usize, BTreeMap<u32, Tensor>>>,
+    outcome: EpochOutcome,
+}
+
+impl Collector<'_> {
+    /// Maps the next frame from `device` to its fault key: the frame's
+    /// position in the device's send order pins it to a round and slot
+    /// (k data frames then a heartbeat per round, after the initial join and
+    /// before the final leave — those two carry no fault key).
+    fn fault_key(&mut self, device: usize) -> Option<(u64, FrameSlot)> {
+        let index = self.cursor.entry(device).or_insert(0);
+        let my_index = *index;
+        *index += 1;
+        if my_index == 0 {
+            return None; // the join announcement
+        }
+        let hosted = self.frames_per_round.get(&device).copied().unwrap_or(0) as u64;
+        let per_round = hosted + 1;
+        let idx = my_index - 1;
+        let round_pos = (idx / per_round) as usize;
+        let offset = idx % per_round;
+        if round_pos >= self.epoch_rounds.len() {
+            return None; // the leave announcement
+        }
+        let slot = if offset == hosted {
+            FrameSlot::Heartbeat
+        } else {
+            FrameSlot::Data(offset as u32)
+        };
+        Some((self.epoch_rounds[round_pos], slot))
+    }
+
+    /// Runs one delivery through the fault script: clean frames ingest
+    /// directly; duplicates ingest twice (the copy hits the dedupers); a
+    /// lost heartbeat is a lost beacon; corrupt, truncated or lost data
+    /// frames burn retry attempts until the script exhausts (clean
+    /// re-delivery) or the budget does (escalation).
+    fn process(&mut self, message: DeviceToFusion, device: usize) -> Result<Processed> {
+        let pristine = message.map_err(|message| SchedError::Runtime { message })?;
+        let key = self.fault_key(device);
+        let mut attempt: u32 = 0;
+        loop {
+            let fault = key
+                .and_then(|(round, slot)| self.faults.fault_for(device, round, slot, attempt))
+                .copied();
+            match fault {
+                None => return self.ingest(pristine, device).map(Processed::Seen),
+                Some(FrameFault::Duplicate) => {
+                    let seen = self.ingest(pristine.clone(), device)?;
+                    self.ingest(pristine, device)?;
+                    return Ok(Processed::Seen(seen));
+                }
+                Some(FrameFault::Drop) if matches!(key, Some((_, FrameSlot::Heartbeat))) => {
+                    // The link ate a beacon. Beacons are not re-requested:
+                    // the next fresh beacon (or the leave) closes the round.
+                    self.outcome.dropped_heartbeats += 1;
+                    return Ok(Processed::Seen(Seen::Other));
+                }
+                Some(fault) => {
+                    match apply_fault(&fault, &pristine) {
+                        FaultedDelivery::Deliver(mutated)
+                        | FaultedDelivery::DeliverTwice(mutated) => {
+                            match self.ingest(mutated, device) {
+                                // The wire layer caught the damage (checksum
+                                // or decode failure): a failed delivery.
+                                Err(SchedError::Edge(_)) => {
+                                    self.outcome.corrupt_frames += 1;
+                                }
+                                // A mutation the codec happened to survive
+                                // delivers as-is.
+                                Ok(seen) => return Ok(Processed::Seen(seen)),
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        FaultedDelivery::Dropped => {
+                            self.outcome.corrupt_frames += 1;
+                        }
+                    }
+                    attempt += 1;
+                    if attempt > self.max_retries {
+                        return Ok(Processed::Escalate);
+                    }
+                    self.outcome.retry_attempts.push(attempt);
+                }
+            }
+        }
+    }
+
+    /// Decodes and accounts one delivered frame: control frames pass the
+    /// sequence deduper and update the health tracker, data frames are
+    /// stashed for fusion first-delivery-wins.
+    fn ingest(&mut self, encoded: Bytes, device: usize) -> Result<Seen> {
+        self.outcome.bytes_on_wire += encoded.len() as u64;
+        *self
+            .outcome
+            .per_device_wire_bytes
+            .entry(device)
+            .or_insert(0) += encoded.len() as u64;
+        match WireFrame::decode(encoded).map_err(SchedError::Edge)? {
+            WireFrame::Control(control) => {
+                self.outcome.control_frames += 1;
+                let fresh = self
+                    .deduper
+                    .admit(control.device_id, control.kind, control.sequence);
+                let device_id = control.device_id as usize;
+                match control.kind {
+                    ControlKind::Join => {
+                        if fresh {
+                            self.tracker
+                                .observe_join(device_id, control.capacity_flops_per_second);
+                        } else {
+                            self.outcome.stale_control_frames += 1;
+                        }
+                        Ok(Seen::Other)
+                    }
+                    ControlKind::Heartbeat => {
+                        self.outcome.heartbeats += 1;
+                        // The tracker sees every beacon (it counts stale ones
+                        // itself); only a deduper-fresh beacon closes rounds.
+                        self.tracker.observe_heartbeat(device_id, control.sequence);
+                        if fresh {
+                            Ok(Seen::Beacon(control.sequence))
+                        } else {
+                            self.outcome.stale_control_frames += 1;
+                            Ok(Seen::Other)
+                        }
+                    }
+                    ControlKind::Leave => {
+                        if fresh {
+                            self.tracker.observe_leave(device_id, control.sequence);
+                            Ok(Seen::Leave(control.sequence))
+                        } else {
+                            self.outcome.stale_control_frames += 1;
+                            Ok(Seen::Other)
+                        }
+                    }
+                }
+            }
+            WireFrame::FeatureBatch(batch) => {
+                self.outcome.data_frames += 1;
+                let sub_model = batch.sub_model;
+                let mut duplicated = false;
+                for single in batch.into_messages() {
+                    let sample = single.sample_index as usize;
+                    if sample >= self.total_samples {
+                        return Err(SchedError::Runtime {
+                            message: format!(
+                                "frame references sample {sample} beyond the stream of {}",
+                                self.total_samples
+                            ),
+                        });
+                    }
+                    let round = (sample / self.round_size) as u64;
+                    let slot = self
+                        .partial
+                        .entry(round)
+                        .or_default()
+                        .entry(sample)
+                        .or_default();
+                    if let std::collections::btree_map::Entry::Vacant(entry) = slot.entry(sub_model)
+                    {
+                        let tensor = single.into_tensor();
+                        self.outcome.observed_dims.insert(sub_model, tensor.numel());
+                        entry.insert(tensor);
+                    } else {
+                        // First delivery wins; a re-delivered feature can
+                        // only echo what is already stashed.
+                        duplicated = true;
+                    }
+                }
+                if duplicated {
+                    self.outcome.duplicate_frames += 1;
+                }
+                Ok(Seen::Other)
+            }
+            WireFrame::Feature(_) => Err(SchedError::Runtime {
+                message: "device shipped a single-feature frame, expected batches".to_string(),
+            }),
+        }
+    }
+
+    /// Fuses `round`, which must be complete for every *hosted* sub-model
+    /// (guaranteed once every device delivered its heartbeat for the round).
+    /// Missing sub-models are zero-filled at their recorded width so the
+    /// concat layout — and with it the fusion function's input contract —
+    /// stays stable across degraded rounds. Each output slot is written
+    /// exactly once; a second write is a hard error.
+    fn fuse(
+        &mut self,
+        round: u64,
+        fusion: &mut FusionFn,
+        fused: &mut [Option<Tensor>],
+    ) -> Result<()> {
+        let span = round_span(round, self.round_size, self.total_samples);
+        let samples = self.partial.remove(&round).unwrap_or_default();
+        let hosted = self.num_sub_models - self.missing_dims.len();
+        if span.len() != samples.len() || samples.values().any(|features| features.len() != hosted)
+        {
+            return Err(SchedError::Runtime {
+                message: format!(
+                    "round {round} incomplete after every device heartbeat: {}/{} samples present",
+                    samples.len(),
+                    span.len()
+                ),
+            });
+        }
+        for (sample, mut features) in samples {
+            if fused[sample].is_some() {
+                return Err(SchedError::Runtime {
+                    message: format!(
+                        "sample {sample} would be fused twice (round {round} replayed after it \
+                         was already complete)"
+                    ),
+                });
+            }
+            for &(sub, dim) in self.missing_dims {
+                features.entry(sub).or_insert_with(|| Tensor::zeros(&[dim]));
+            }
+            let refs: Vec<&Tensor> = features.values().collect();
+            let concatenated =
+                Tensor::concat_last_axis(&refs).map_err(|e| SchedError::Runtime {
+                    message: format!("feature concatenation failed: {e}"),
+                })?;
+            let output =
+                fusion(&concatenated).map_err(|message| SchedError::Runtime { message })?;
+            fused[sample] = Some(output);
+        }
+        if !self.missing_dims.is_empty() {
+            self.outcome.degraded_rounds.push(round);
+        }
+        Ok(())
+    }
+}
+
 /// The fusion worker's epoch loop: drain every device up to round *k*'s
-/// heartbeat, fuse round *k*, repeat. A disconnect before a device's
-/// heartbeat for the current round is that device's death.
+/// heartbeat (or leave, when a beacon was lost), fuse round *k*, repeat. A
+/// disconnect before a device closes the current round — or a frame whose
+/// retry budget ran out — is that device's death. A scripted join barrier
+/// ends the epoch early with the fused frontier as the checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn collect_epoch(
     receivers: BTreeMap<usize, channel::Receiver<DeviceToFusion>>,
     epoch_rounds: &[u64],
-    round_size: usize,
+    params: &EpochParams<'_>,
+    frames_per_round: &BTreeMap<usize, usize>,
     num_sub_models: usize,
     total_samples: usize,
     fusion: &mut FusionFn,
     fused: &mut [Option<Tensor>],
     produced_max: &AtomicU64,
+    tracker: &mut HealthTracker,
 ) -> Result<EpochOutcome> {
-    let mut tracker = HealthTracker::new();
     for &device in receivers.keys() {
         tracker.register(device);
     }
-    // round -> sample -> (sub-model -> feature), ordered so fusion walks
-    // samples in input order.
-    let mut partial: BTreeMap<u64, BTreeMap<usize, BTreeMap<u32, Tensor>>> = BTreeMap::new();
-    let mut outcome = EpochOutcome {
-        newly_dead: Vec::new(),
-        rounds_fused: 0,
-        partial_rounds: Vec::new(),
-        heartbeats: 0,
-        control_frames: 0,
-        data_frames: 0,
-        bytes_on_wire: 0,
-        per_device_wire_bytes: BTreeMap::new(),
-        per_device_rounds: BTreeMap::new(),
-        max_in_flight: 0,
+    let mut collector = Collector {
+        epoch_rounds,
+        round_size: params.round_size,
+        total_samples,
+        num_sub_models,
+        faults: params.faults,
+        max_retries: params.max_retries,
+        frames_per_round,
+        missing_dims: &params.missing_dims,
+        tracker,
+        deduper: ControlDeduper::new(),
+        cursor: BTreeMap::new(),
+        partial: BTreeMap::new(),
+        outcome: EpochOutcome::new(),
     };
 
     'rounds: for (position, &round) in epoch_rounds.iter().enumerate() {
+        if params.join_barrier.is_some_and(|at| round >= at) {
+            collector.outcome.join_due = true;
+            break 'rounds;
+        }
         let expected_sequence = position as u64 + 1;
         for (&device, rx) in &receivers {
             loop {
                 match rx.recv() {
-                    Ok(message) => {
-                        let seen = ingest(
-                            message,
-                            device,
-                            round_size,
-                            total_samples,
-                            &mut tracker,
-                            &mut partial,
-                            &mut outcome,
-                        )?;
-                        if matches!(seen, Seen::Heartbeat(seq) if seq >= expected_sequence) {
+                    Ok(message) => match collector.process(message, device)? {
+                        Processed::Seen(Seen::Beacon(seq) | Seen::Leave(seq))
+                            if seq >= expected_sequence =>
+                        {
                             break;
                         }
-                    }
+                        Processed::Seen(_) => {}
+                        Processed::Escalate => {
+                            // Retry budget exhausted: the link is as good as
+                            // dead — same terminal path as a crash.
+                            collector.tracker.declare_dead(device);
+                            collector.outcome.newly_dead.push(device);
+                            break 'rounds;
+                        }
+                    },
                     Err(_) => {
                         // The device's sender dropped before this round's
                         // heartbeat: its deadline passed. Terminal.
-                        tracker.declare_dead(device);
-                        outcome.newly_dead.push(device);
+                        collector.tracker.declare_dead(device);
+                        collector.outcome.newly_dead.push(device);
                         break 'rounds;
                     }
                 }
@@ -737,37 +1374,24 @@ fn collect_epoch(
         // Every device delivered the round; the in-flight window is however
         // far the fastest producer has run ahead of fusion.
         let produced = produced_max.load(Ordering::Relaxed) as usize;
-        outcome.max_in_flight = outcome
+        collector.outcome.max_in_flight = collector
+            .outcome
             .max_in_flight
-            .max(produced.saturating_sub(outcome.rounds_fused));
-        fuse_round(
-            round,
-            round_size,
-            num_sub_models,
-            total_samples,
-            &mut partial,
-            fusion,
-            fused,
-        )?;
-        outcome.rounds_fused += 1;
+            .max(produced.saturating_sub(collector.outcome.rounds_fused));
+        collector.fuse(round, fusion, fused)?;
+        collector.outcome.rounds_fused += 1;
     }
 
-    if outcome.newly_dead.is_empty() {
+    if collector.outcome.newly_dead.is_empty() && !collector.outcome.join_due {
         // Graceful tail: consume the leave announcements.
         for (&device, rx) in &receivers {
             for message in rx {
-                ingest(
-                    message,
-                    device,
-                    round_size,
-                    total_samples,
-                    &mut tracker,
-                    &mut partial,
-                    &mut outcome,
-                )?;
+                collector.process(message, device)?;
             }
         }
-    } else if outcome.rounds_fused < epoch_rounds.len() {
+    } else if !collector.outcome.newly_dead.is_empty()
+        && collector.outcome.rounds_fused < epoch_rounds.len()
+    {
         // The replay set is what was in flight *at the fusion worker* when
         // the death was declared: exactly the round under collection (earlier
         // rounds were fused and removed, later rounds were never ingested —
@@ -777,129 +1401,13 @@ fn collect_epoch(
         // deterministic consumption order — never from how far worker
         // threads happened to race ahead — keeps `samples_replayed` and
         // `recovery_seconds` reproducible run to run and machine to machine.
-        outcome.partial_rounds = vec![epoch_rounds[outcome.rounds_fused]];
+        collector.outcome.partial_rounds = vec![epoch_rounds[collector.outcome.rounds_fused]];
     }
+    // A join barrier keeps the fused frontier as its checkpoint: rounds past
+    // the barrier replay on the new membership without a replay charge.
     for &device in receivers.keys() {
-        outcome
-            .per_device_rounds
-            .insert(device, tracker.sequence_of(device));
+        let rounds = collector.tracker.sequence_of(device);
+        collector.outcome.per_device_rounds.insert(device, rounds);
     }
-    Ok(outcome)
-}
-
-/// What one received message turned out to be.
-enum Seen {
-    Heartbeat(u64),
-    Other,
-}
-
-/// Decodes and accounts one frame: control frames update the health tracker,
-/// data frames are stashed for fusion.
-fn ingest(
-    message: DeviceToFusion,
-    device: usize,
-    round_size: usize,
-    total_samples: usize,
-    tracker: &mut HealthTracker,
-    partial: &mut BTreeMap<u64, BTreeMap<usize, BTreeMap<u32, Tensor>>>,
-    outcome: &mut EpochOutcome,
-) -> Result<Seen> {
-    let encoded = message.map_err(|message| SchedError::Runtime { message })?;
-    outcome.bytes_on_wire += encoded.len() as u64;
-    *outcome.per_device_wire_bytes.entry(device).or_insert(0) += encoded.len() as u64;
-    match WireFrame::decode(encoded).map_err(SchedError::Edge)? {
-        WireFrame::Control(control) => {
-            outcome.control_frames += 1;
-            match control.kind {
-                ControlKind::Join => {
-                    tracker.observe_join(
-                        control.device_id as usize,
-                        control.capacity_flops_per_second,
-                    );
-                    Ok(Seen::Other)
-                }
-                ControlKind::Heartbeat => {
-                    outcome.heartbeats += 1;
-                    tracker.observe_heartbeat(control.device_id as usize, control.sequence);
-                    Ok(Seen::Heartbeat(control.sequence))
-                }
-                ControlKind::Leave => {
-                    tracker.observe_leave(control.device_id as usize, control.sequence);
-                    Ok(Seen::Other)
-                }
-            }
-        }
-        WireFrame::FeatureBatch(batch) => {
-            outcome.data_frames += 1;
-            let sub_model = batch.sub_model;
-            for single in batch.into_messages() {
-                let sample = single.sample_index as usize;
-                if sample >= total_samples {
-                    return Err(SchedError::Runtime {
-                        message: format!(
-                            "frame references sample {sample} beyond the stream of {total_samples}"
-                        ),
-                    });
-                }
-                let round = (sample / round_size) as u64;
-                partial
-                    .entry(round)
-                    .or_default()
-                    .entry(sample)
-                    .or_default()
-                    .insert(sub_model, single.into_tensor());
-            }
-            Ok(Seen::Other)
-        }
-        WireFrame::Feature(_) => Err(SchedError::Runtime {
-            message: "device shipped a single-feature frame, expected batches".to_string(),
-        }),
-    }
-}
-
-/// Fuses `round`, which must be complete (every sample has every sub-model's
-/// feature — guaranteed once every device delivered its heartbeat for the
-/// round). Each output slot is written exactly once; a second write is a
-/// hard error.
-fn fuse_round(
-    round: u64,
-    round_size: usize,
-    num_sub_models: usize,
-    total_samples: usize,
-    partial: &mut BTreeMap<u64, BTreeMap<usize, BTreeMap<u32, Tensor>>>,
-    fusion: &mut FusionFn,
-    fused: &mut [Option<Tensor>],
-) -> Result<()> {
-    let span = round_span(round, round_size, total_samples);
-    let samples = partial.remove(&round).unwrap_or_default();
-    if span.len() != samples.len()
-        || samples
-            .values()
-            .any(|features| features.len() != num_sub_models)
-    {
-        return Err(SchedError::Runtime {
-            message: format!(
-                "round {round} incomplete after every device heartbeat: {}/{} samples present",
-                samples.len(),
-                span.len()
-            ),
-        });
-    }
-    for (sample, features) in samples {
-        if fused[sample].is_some() {
-            return Err(SchedError::Runtime {
-                message: format!(
-                    "sample {sample} would be fused twice (round {round} replayed after it was \
-                     already complete)"
-                ),
-            });
-        }
-        let refs: Vec<&Tensor> = features.values().collect();
-        let concatenated = Tensor::concat_last_axis(&refs).map_err(|e| SchedError::Runtime {
-            message: format!("feature concatenation failed: {e}"),
-        })?;
-        let output = fusion(&concatenated).map_err(|message| SchedError::Runtime { message })?;
-        fused[sample] = Some(output);
-    }
-    Ok(())
+    Ok(collector.outcome)
 }

@@ -341,3 +341,96 @@ fn coded_streams_survive_a_death_with_identical_predictions() {
         }
     }
 }
+
+/// A membership where one device was shrunk until it hosts at most one
+/// sub-model: the raw material for degraded-fusion scenarios. The costs are
+/// taken from a plan over the roomy cluster, which the tightened cluster
+/// reproduces as long as the greedy assignment still succeeds first try.
+fn tight_cluster(n: usize) -> (SplitPlan, Vec<DeviceSpec>) {
+    let roomy = DeviceSpec::raspberry_pi_cluster(n);
+    let sizing = plan_for(&roomy);
+    let max_cost = sizing
+        .sub_models
+        .iter()
+        .map(|s| s.cost.memory_bytes)
+        .max()
+        .unwrap();
+    let mut devices = roomy;
+    devices[n - 1].memory_bytes = max_cost + max_cost / 2;
+    let plan = plan_for(&devices);
+    (plan, devices)
+}
+
+#[test]
+fn joining_with_a_live_identity_is_a_typed_conflict() {
+    let devices = DeviceSpec::raspberry_pi_cluster(2);
+    let plan = plan_for(&devices);
+    let calls = Arc::new(AtomicUsize::new(0));
+    // Device 0 never died, yet a join frame claims its identity mid-stream.
+    let config = StreamConfig::default().with_join(devices[0].clone(), 1);
+    let err = StreamScheduler::new(plan.clone(), devices, config)
+        .unwrap()
+        .run(&inputs(12), executors_for(&plan, &calls), concat_fusion())
+        .unwrap_err();
+    assert!(
+        matches!(err, SchedError::RejoinConflict { device: 0 }),
+        "{err}"
+    );
+}
+
+#[test]
+fn degradation_within_the_limit_fuses_partial_scores_with_zero_fill() {
+    let (plan, devices) = tight_cluster(2);
+    assert!(
+        !plan.assignment.sub_models_on(0).is_empty(),
+        "device 0 must host something for its death to degrade the stream"
+    );
+    let samples = inputs(12); // rounds of 4
+    let calls = Arc::new(AtomicUsize::new(0));
+    let config = StreamConfig::default()
+        .with_failure(0, 1)
+        .with_max_missing_sub_models(1);
+    let report = StreamScheduler::new(plan.clone(), devices, config)
+        .unwrap()
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap();
+    assert_eq!(report.devices_lost, vec![0]);
+    assert_eq!(report.missing_sub_models.len(), 1);
+    assert_eq!(report.degraded_rounds, vec![1, 2]);
+    // Exactly once, even degraded: every sample fused, none dropped.
+    assert_eq!(report.outputs.len(), samples.len());
+    // Degraded samples zero-fill exactly the dropped sub-model's slots (each
+    // deterministic executor emits two features).
+    let missing = report.missing_sub_models[0];
+    for (i, out) in report.outputs.iter().enumerate() {
+        let degraded = i / 4 >= 1;
+        for (k, &v) in out.data().iter().enumerate() {
+            if degraded && (missing * 2..missing * 2 + 2).contains(&k) {
+                assert_eq!(v, 0.0, "sample {i} slot {k} must be zero-filled");
+            } else if k % 2 == 1 {
+                // Odd slots carry the sub-model id — constant per slot.
+                assert_eq!(v, (k / 2) as f32, "sample {i} slot {k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn degradation_past_the_limit_is_a_typed_error() {
+    let (plan, devices) = tight_cluster(3);
+    // Both roomy devices die; the tight survivor can host one of the three
+    // sub-models, which would drop two — more than the configured limit.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let config = StreamConfig::default()
+        .with_failure(0, 1)
+        .with_failure(1, 1)
+        .with_max_missing_sub_models(1);
+    let err = StreamScheduler::new(plan.clone(), devices, config)
+        .unwrap()
+        .run(&inputs(12), executors_for(&plan, &calls), concat_fusion())
+        .unwrap_err();
+    assert!(
+        matches!(err, SchedError::DegradationLimit { ref missing, limit: 1 } if missing.len() == 2),
+        "{err}"
+    );
+}

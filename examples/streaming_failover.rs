@@ -9,8 +9,9 @@
 //!
 //! Run with: `cargo run -p edvit --example streaming_failover --release -- 3`
 
+use edvit::edge::LatencyModel;
 use edvit::pipeline::{EdVitConfig, EdVitPipeline};
-use edvit::sched::StreamConfig;
+use edvit::sched::{ScheduleMode, StreamConfig};
 use edvit::streaming::run_streaming;
 use edvit::tensor::Tensor;
 
@@ -28,6 +29,7 @@ fn main() -> Result<(), edvit::EdVitError> {
     // through a clone (a run moves the sub-models onto its device threads).
     let reference_deployment = EdVitPipeline::new(config).run()?;
     let chaos_deployment = reference_deployment.clone();
+    let rejoin_deployment = reference_deployment.clone();
 
     let test = reference_deployment.test_set.clone();
     let n = test.len().min(12);
@@ -65,8 +67,8 @@ fn main() -> Result<(), edvit::EdVitError> {
     let chaos = run_streaming(
         chaos_deployment,
         &samples,
-        devices,
-        stream_config.with_failure(victim, death_round),
+        devices.clone(),
+        stream_config.clone().with_failure(victim, death_round),
     )?;
 
     // --- The assertions CI depends on. --------------------------------------
@@ -119,6 +121,77 @@ fn main() -> Result<(), edvit::EdVitError> {
         chaos.epochs,
         chaos.samples_replayed,
         chaos.recovery_seconds
+    );
+
+    // --- Leg 3: crash then elastic rejoin. ----------------------------------
+    // The victim dies early, then comes back mid-stream as a new
+    // identity-epoch offering its original capacity; the scheduler must
+    // re-admit it, repartition, and end the stream with steady-state
+    // throughput matching the analytic model for the rejoined plan.
+    let rejoin_death = 1u64;
+    let rejoin_at = 2 + seed % rounds.saturating_sub(2).max(1);
+    let victim_spec = devices
+        .iter()
+        .find(|d| d.id == victim)
+        .expect("victim comes from the device list")
+        .clone();
+    println!(
+        "chaos seed {seed}: killing device {victim} before round {rejoin_death}, \
+         rejoining it at round {rejoin_at} of {rounds}"
+    );
+    let rejoined = run_streaming(
+        rejoin_deployment,
+        &samples,
+        devices.clone(),
+        stream_config
+            .clone()
+            .with_failure(victim, rejoin_death)
+            .with_join(victim_spec, rejoin_at),
+    )?;
+    assert_eq!(
+        rejoined.outputs.len(),
+        samples.len(),
+        "rejoin leg lost samples"
+    );
+    assert_eq!(
+        healthy_predictions,
+        rejoined.predictions()?,
+        "crash-then-rejoin changed predictions"
+    );
+    assert_eq!(rejoined.devices_lost, vec![victim]);
+    assert_eq!(rejoined.devices_joined, vec![victim]);
+    assert_eq!(
+        rejoined.rejoins, 1,
+        "the comeback must be a new identity-epoch"
+    );
+    assert_eq!(
+        rejoined.repartitions, 2,
+        "one repartition for the death, one for the rejoin"
+    );
+    // Throughput restored: the reported steady state must match the analytic
+    // StreamTiming bound of the rejoined plan on the full membership.
+    let timing = LatencyModel::new(stream_config.network)
+        .with_codec(stream_config.codec)
+        .estimate_stream(
+            &rejoined.final_plan,
+            &devices,
+            stream_config.round_size,
+            stream_config.mode == ScheduleMode::Pipelined,
+        )?;
+    let analytic = timing.steady_state_samples_per_second();
+    let reported = rejoined.steady_state_samples_per_second;
+    assert!(
+        (reported - analytic).abs() <= analytic * 1e-9,
+        "steady state {reported} not restored to the analytic bound {analytic}"
+    );
+
+    println!(
+        "ok: device {victim} rejoined at round {rejoin_at}; {} samples fused exactly \
+         once across {} epochs; steady state restored to {:.2} samples/s (analytic {:.2})",
+        rejoined.outputs.len(),
+        rejoined.epochs,
+        reported,
+        analytic
     );
     Ok(())
 }
