@@ -5,6 +5,7 @@
 //! out findings covered by an inline `// edvit:allow(lint-id)` suppression,
 //! so individual lints never need to re-implement suppression logic.
 
+mod builders;
 mod decode;
 mod determinism;
 mod errors;
@@ -38,6 +39,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(unsafety::UnsafeOutsideKernels),
         Box::new(unwraps::UnwrapInLib),
         Box::new(wire_consts::WireConstDrift),
+        Box::new(builders::BuilderDrift),
         Box::new(errors::ErrorVariantUntested),
         Box::new(todos::TodoWithoutIssue),
     ]

@@ -1,0 +1,19 @@
+//! Fixture: `builder-drift` positive case — a per-surface builder that
+//! duplicates a `NetOptions` field outside the canonical options module.
+
+pub struct Runtime {
+    codec: u8,
+    transport: u8,
+}
+
+impl Runtime {
+    pub fn with_codec(mut self, codec: u8) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    pub fn with_transport(mut self, transport: u8) -> Self {
+        self.transport = transport;
+        self
+    }
+}

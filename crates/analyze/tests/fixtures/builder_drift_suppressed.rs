@@ -1,0 +1,15 @@
+//! Fixture: `builder-drift` suppressed case — a deprecated compatibility
+//! shim carrying an explicit allow.
+
+pub struct Runtime {
+    codec: u8,
+}
+
+impl Runtime {
+    #[deprecated(since = "0.8.0", note = "use with_options(&NetOptions) instead")]
+    // edvit:allow(builder-drift)
+    pub fn with_codec(mut self, codec: u8) -> Self {
+        self.codec = codec;
+        self
+    }
+}

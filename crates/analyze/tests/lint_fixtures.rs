@@ -189,6 +189,32 @@ fn wire_const_drift_fixture() {
 }
 
 #[test]
+fn builder_drift_fixture() {
+    let positive = include_str!("fixtures/builder_drift_positive.rs");
+    let found = diags_for(
+        "builder-drift",
+        vec![("crates/edge/src/fixture.rs", positive), EMPTY_BUDGET],
+    );
+    assert_eq!(found.len(), 2, "with_codec + with_transport: {found:?}");
+    assert!(found[0].message.contains("with_codec"));
+    assert!(found[1].message.contains("with_transport"));
+
+    // The same definitions in the canonical options module are sanctioned.
+    let found = diags_for(
+        "builder-drift",
+        vec![("crates/edge/src/options.rs", positive), EMPTY_BUDGET],
+    );
+    assert!(found.is_empty(), "{found:?}");
+
+    let suppressed = include_str!("fixtures/builder_drift_suppressed.rs");
+    let found = diags_for(
+        "builder-drift",
+        vec![("crates/edge/src/fixture.rs", suppressed), EMPTY_BUDGET],
+    );
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
 fn error_variant_untested_fixture() {
     let positive = include_str!("fixtures/error_untested_positive.rs");
     let found = diags_for(

@@ -4,12 +4,48 @@
 //! software analogue of the paper's Raspberry-Pi prototype (Fig. 3).
 
 use edvit_edge::{
-    ClusterRuntime, FusionFn, NetworkConfig, PayloadCodec, RuntimeReport, SubModelFn,
+    ClusterRuntime, FusionFn, NetOptions, NetworkConfig, PayloadCodec, RuntimeReport, SubModelFn,
+    TransportKind,
 };
+use edvit_net::run_batch_over_tcp;
 use edvit_tensor::Tensor;
 
 use crate::pipeline::EdVitDeployment;
 use crate::{EdVitError, Result};
+
+/// Everything a distributed run needs beyond the deployment and samples:
+/// the network model and the shared [`NetOptions`] (wire codec + transport
+/// backend). Construct with a struct literal over [`RunOptions::default`]:
+///
+/// ```
+/// use edvit::distributed::RunOptions;
+/// use edvit_edge::{NetOptions, PayloadCodec, TransportKind};
+///
+/// let options = RunOptions {
+///     net: NetOptions::default()
+///         .with_codec(PayloadCodec::F16)
+///         .with_transport(TransportKind::Tcp),
+///     ..RunOptions::default()
+/// };
+/// assert_eq!(options.net.codec, PayloadCodec::F16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Network model pricing the simulated communication time.
+    pub network: NetworkConfig,
+    /// Wire codec and transport backend, shared with every other
+    /// `with_options` surface.
+    pub net: NetOptions,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            network: NetworkConfig::paper_default(),
+            net: NetOptions::default(),
+        }
+    }
+}
 
 /// Converts a deployment into per-device executors plus a fusion executor.
 ///
@@ -55,9 +91,14 @@ pub fn into_executors(deployment: EdVitDeployment) -> (Vec<SubModelFn>, FusionFn
     (executors, fusion_fn)
 }
 
-/// Runs a batch of image samples through the deployment on the threaded
-/// cluster runtime and returns the runtime report (fused logits per sample,
-/// batched wire-v2 frame counts, bytes on wire and measured throughput).
+/// Runs a batch of image samples through the deployment and returns the
+/// runtime report (fused logits per sample, batched wire-v2 frame counts,
+/// bytes on wire and measured throughput). The one distributed-inference
+/// entry point: [`RunOptions`] picks the wire codec and whether the frames
+/// travel over the in-process channel runtime
+/// ([`TransportKind::Sim`]) or real loopback TCP sockets
+/// ([`TransportKind::Tcp`]) — fused outputs are bitwise identical either
+/// way.
 ///
 /// # Errors
 ///
@@ -65,24 +106,7 @@ pub fn into_executors(deployment: EdVitDeployment) -> (Vec<SubModelFn>, FusionFn
 pub fn run_distributed(
     deployment: EdVitDeployment,
     samples: &[Tensor],
-    network: NetworkConfig,
-) -> Result<RuntimeReport> {
-    run_distributed_with_codec(deployment, samples, network, PayloadCodec::F32)
-}
-
-/// Like [`run_distributed`], but ships the feature batches under the given
-/// wire codec — f16 halves the value bytes on the wire (and on this demo
-/// pipeline does not change any top-1 prediction; see
-/// `crate::experiments::codec_comparison`).
-///
-/// # Errors
-///
-/// Returns an error when the runtime fails or the inputs are empty.
-pub fn run_distributed_with_codec(
-    deployment: EdVitDeployment,
-    samples: &[Tensor],
-    network: NetworkConfig,
-    codec: PayloadCodec,
+    options: &RunOptions,
 ) -> Result<RuntimeReport> {
     if samples.is_empty() {
         return Err(EdVitError::InvalidConfig {
@@ -90,8 +114,70 @@ pub fn run_distributed_with_codec(
         });
     }
     let (executors, fusion) = into_executors(deployment);
-    let runtime = ClusterRuntime::new(network).with_codec(codec);
-    Ok(runtime.run(samples, executors, fusion)?)
+    match options.net.transport {
+        TransportKind::Sim => {
+            let runtime = ClusterRuntime::new(options.network).with_options(&options.net);
+            Ok(runtime.run(samples, executors, fusion)?)
+        }
+        TransportKind::Tcp => Ok(run_batch_over_tcp(
+            samples,
+            executors,
+            fusion,
+            options.net.codec,
+            &options.network,
+        )?),
+    }
+}
+
+/// Deprecated shim over [`run_distributed`] with the pre-`RunOptions`
+/// signature (f32 codec, sim transport).
+///
+/// # Errors
+///
+/// Returns an error when the runtime fails or the inputs are empty.
+#[deprecated(
+    since = "0.8.0",
+    note = "use run_distributed(deployment, samples, &RunOptions)"
+)]
+pub fn run_distributed_with_network(
+    deployment: EdVitDeployment,
+    samples: &[Tensor],
+    network: NetworkConfig,
+) -> Result<RuntimeReport> {
+    run_distributed(
+        deployment,
+        samples,
+        &RunOptions {
+            network,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Deprecated shim over [`run_distributed`]: ships the feature batches under
+/// the given wire codec on the sim transport.
+///
+/// # Errors
+///
+/// Returns an error when the runtime fails or the inputs are empty.
+#[deprecated(
+    since = "0.8.0",
+    note = "use run_distributed(deployment, samples, &RunOptions)"
+)]
+pub fn run_distributed_with_codec(
+    deployment: EdVitDeployment,
+    samples: &[Tensor],
+    network: NetworkConfig,
+    codec: PayloadCodec,
+) -> Result<RuntimeReport> {
+    run_distributed(
+        deployment,
+        samples,
+        &RunOptions {
+            network,
+            net: NetOptions::default().with_codec(codec),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -106,7 +192,7 @@ mod tests {
         let test = deployment.test_set.clone();
         let n = test.len().min(6);
         let samples: Vec<Tensor> = (0..n).map(|i| test.images().row(i).unwrap()).collect();
-        let report = run_distributed(deployment, &samples, NetworkConfig::paper_default()).unwrap();
+        let report = run_distributed(deployment, &samples, &RunOptions::default()).unwrap();
         assert_eq!(report.outputs.len(), n);
         // Wire v2 batches: one frame per device per round, not one per sample.
         assert_eq!(report.frames, 2);
@@ -123,6 +209,62 @@ mod tests {
     #[test]
     fn empty_sample_list_is_rejected() {
         let deployment = EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap();
-        assert!(run_distributed(deployment, &[], NetworkConfig::paper_default()).is_err());
+        assert!(run_distributed(deployment, &[], &RunOptions::default()).is_err());
+    }
+
+    #[test]
+    fn tcp_transport_produces_identical_logits() {
+        let deployment = EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap();
+        let test = deployment.test_set.clone();
+        let n = test.len().min(4);
+        let samples: Vec<Tensor> = (0..n).map(|i| test.images().row(i).unwrap()).collect();
+        let sim = run_distributed(deployment.clone(), &samples, &RunOptions::default()).unwrap();
+        let tcp = run_distributed(
+            deployment,
+            &samples,
+            &RunOptions {
+                net: NetOptions::default().with_transport(TransportKind::Tcp),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sim.outputs.len(), tcp.outputs.len());
+        for (a, b) in sim.outputs.iter().zip(&tcp.outputs) {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "sim and tcp logits must be bitwise equal"
+            );
+        }
+        assert_eq!(sim.frames, tcp.frames);
+        assert_eq!(sim.payload_bytes, tcp.payload_bytes);
+        assert_eq!(sim.per_device_wire_bytes, tcp.per_device_wire_bytes);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_entry_point() {
+        let deployment = EdVitPipeline::new(EdVitConfig::tiny_demo(2)).run().unwrap();
+        let test = deployment.test_set.clone();
+        let samples: Vec<Tensor> = (0..2).map(|i| test.images().row(i).unwrap()).collect();
+        let canonical =
+            run_distributed(deployment.clone(), &samples, &RunOptions::default()).unwrap();
+        let shimmed = run_distributed_with_network(
+            deployment.clone(),
+            &samples,
+            NetworkConfig::paper_default(),
+        )
+        .unwrap();
+        for (a, b) in canonical.outputs.iter().zip(&shimmed.outputs) {
+            assert_eq!(a.data(), b.data());
+        }
+        let coded = run_distributed_with_codec(
+            deployment,
+            &samples,
+            NetworkConfig::paper_default(),
+            PayloadCodec::F16,
+        )
+        .unwrap();
+        assert_eq!(coded.codec, PayloadCodec::F16);
     }
 }

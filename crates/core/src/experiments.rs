@@ -715,7 +715,7 @@ pub fn codec_comparison(options: &ExperimentOptions) -> Result<Vec<CodecRow>> {
             round_size,
             ..StreamConfig::default()
         }
-        .with_codec(codec);
+        .with_options(&edvit_edge::NetOptions::default().with_codec(codec));
         let report = run_streaming(deployment, &inputs, device_specs.clone(), stream_config)?;
         let predictions = report.predictions()?;
         let control_bytes = report.control_frames as u64 * edge_wire::CONTROL_FRAME_LEN as u64;

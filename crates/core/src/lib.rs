@@ -56,6 +56,7 @@ pub use edvit_chaos as chaos;
 pub use edvit_datasets as datasets;
 pub use edvit_edge as edge;
 pub use edvit_fusion as fusion;
+pub use edvit_net as net;
 pub use edvit_nn as nn;
 pub use edvit_partition as partition;
 pub use edvit_pruning as pruning;

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use edvit_partition::{DeviceSpec, SplitPlan};
 
 use crate::wire::{self, PayloadCodec};
-use crate::{EdgeError, NetworkConfig, Result};
+use crate::{EdgeError, NetOptions, NetworkConfig, Result};
 
 /// Latency contribution of one edge device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -175,10 +175,20 @@ impl LatencyModel {
         self
     }
 
-    /// Prices every estimate under the given wire codec: f16 halves the
+    /// Prices every estimate under the shared [`NetOptions`]: f16 halves the
     /// per-value frame bytes, and the compressed codec is charged its
     /// worst-case (all-literal) size, since the analytic model cannot know
-    /// the entropy of the features a deployment will ship.
+    /// the entropy of the features a deployment will ship. The transport and
+    /// retry knobs do not change the analytic prices — timing is
+    /// transport-independent by design — so only the codec is consumed here.
+    pub fn with_options(mut self, options: &NetOptions) -> Self {
+        self.codec = options.codec;
+        self
+    }
+
+    /// Deprecated per-surface builder; use [`LatencyModel::with_options`].
+    #[deprecated(since = "0.8.0", note = "use with_options(&NetOptions) instead")]
+    // edvit:allow(builder-drift)
     pub fn with_codec(mut self, codec: PayloadCodec) -> Self {
         self.codec = codec;
         self
@@ -526,8 +536,8 @@ mod tests {
     fn f16_codec_shrinks_wire_bytes_and_communication_but_not_compute() {
         let (plan, devices) = plan_for(4);
         let f32_model = LatencyModel::new(NetworkConfig::paper_default());
-        let f16_model =
-            LatencyModel::new(NetworkConfig::paper_default()).with_codec(PayloadCodec::F16);
+        let f16_model = LatencyModel::new(NetworkConfig::paper_default())
+            .with_options(&NetOptions::default().with_codec(PayloadCodec::F16));
         assert_eq!(f16_model.codec(), PayloadCodec::F16);
         let base = f32_model.estimate_batched(&plan, &devices, 16).unwrap();
         let coded = f16_model.estimate_batched(&plan, &devices, 16).unwrap();
@@ -561,7 +571,7 @@ mod tests {
         assert!(coded_stream.device_round_seconds <= base_stream.device_round_seconds);
         // The pessimistic rle bound never beats plain f16 analytically.
         let rle = LatencyModel::new(NetworkConfig::paper_default())
-            .with_codec(PayloadCodec::F16Rle)
+            .with_options(&NetOptions::default().with_codec(PayloadCodec::F16Rle))
             .estimate_batched(&plan, &devices, 16)
             .unwrap();
         assert!(rle.total_wire_bytes() >= coded.total_wire_bytes());

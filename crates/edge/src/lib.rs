@@ -39,6 +39,7 @@ mod dedupe;
 mod error;
 mod latency;
 mod network;
+mod options;
 mod runtime;
 pub mod wire;
 
@@ -46,6 +47,7 @@ pub use dedupe::ControlDeduper;
 pub use error::EdgeError;
 pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency, StreamTiming};
 pub use network::NetworkConfig;
+pub use options::{NetOptions, TransportKind};
 pub use runtime::{ClusterRuntime, FusionFn, RuntimeReport, SubModelFn};
 pub use wire::{
     ControlKind, ControlMessage, FeatureBatchMessage, FeatureMessage, FrameKind, PayloadCodec,

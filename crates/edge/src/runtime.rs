@@ -18,7 +18,9 @@ use std::time::Instant;
 use crossbeam::channel;
 use edvit_tensor::Tensor;
 
-use crate::{EdgeError, FeatureBatchMessage, NetworkConfig, PayloadCodec, Result, WireFrame};
+use crate::{
+    EdgeError, FeatureBatchMessage, NetOptions, NetworkConfig, PayloadCodec, Result, WireFrame,
+};
 
 /// A sub-model executor: maps one input sample to a feature vector.
 ///
@@ -121,9 +123,20 @@ impl ClusterRuntime {
         }
     }
 
-    /// Selects the wire codec every device encodes its batch frames with.
-    /// The fusion worker decodes whatever codec the frame header declares, so
-    /// this only changes what goes on the wire, not the call contract.
+    /// Applies the shared [`NetOptions`]: selects the wire codec every device
+    /// encodes its batch frames with. The fusion worker decodes whatever
+    /// codec the frame header declares, so this only changes what goes on the
+    /// wire, not the call contract. The transport knob is consumed one layer
+    /// up (`edvit-net` routes TCP batch runs; this runtime is the in-process
+    /// backend), and the retry budget only applies to streaming.
+    pub fn with_options(mut self, options: &NetOptions) -> Self {
+        self.codec = options.codec;
+        self
+    }
+
+    /// Deprecated per-surface builder; use [`ClusterRuntime::with_options`].
+    #[deprecated(since = "0.8.0", note = "use with_options(&NetOptions) instead")]
+    // edvit:allow(builder-drift)
     pub fn with_codec(mut self, codec: PayloadCodec) -> Self {
         self.codec = codec;
         self
@@ -380,7 +393,8 @@ mod tests {
         // 0.5 is exactly representable in f16, so quantization is lossless
         // here and the fused outputs must be bitwise identical.
         let run = |codec: PayloadCodec| {
-            let runtime = ClusterRuntime::new(NetworkConfig::paper_default()).with_codec(codec);
+            let runtime = ClusterRuntime::new(NetworkConfig::paper_default())
+                .with_options(&NetOptions::default().with_codec(codec));
             assert_eq!(runtime.codec(), codec);
             let executors = vec![constant_executor(0.5, dim), constant_executor(-2.0, dim)];
             let fusion: FusionFn = Box::new(|concat: &Tensor| Ok(concat.clone()));
@@ -405,6 +419,16 @@ mod tests {
         for (a, b) in base.outputs.iter().zip(&rle.outputs) {
             assert_eq!(a.data(), b.data());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_codec_shim_matches_with_options() {
+        let shim =
+            ClusterRuntime::new(NetworkConfig::paper_default()).with_codec(PayloadCodec::F16Rle);
+        let canonical = ClusterRuntime::new(NetworkConfig::paper_default())
+            .with_options(&NetOptions::default().with_codec(PayloadCodec::F16Rle));
+        assert_eq!(shim.codec(), canonical.codec());
     }
 
     #[test]

@@ -999,6 +999,82 @@ fn decode_batch_payload(bytes: &mut Bytes, codec: PayloadCodec) -> Result<Featur
     })
 }
 
+/// Largest encoded frame a stream reader will accept: a corrupt or hostile
+/// length prefix must never make the peer allocate unbounded memory.
+pub const MAX_STREAM_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Writes one encoded wire frame to a byte stream as
+/// `[u32 LE frame length][frame bytes]` — the length prefix delimits frames
+/// on transports without message boundaries (TCP sockets, files).
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] when `frame` exceeds
+/// [`MAX_STREAM_FRAME_LEN`], and propagates any write error.
+pub fn write_frame_bytes<W: std::io::Write>(writer: &mut W, frame: &[u8]) -> std::io::Result<()> {
+    if frame.len() > MAX_STREAM_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {MAX_STREAM_FRAME_LEN}-byte stream limit",
+                frame.len()
+            ),
+        ));
+    }
+    let len = frame.len() as u32;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(frame)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame written by [`write_frame_bytes`] from a
+/// byte stream. Returns `Ok(None)` on a clean EOF at a frame boundary (the
+/// peer shut the stream down between frames) and never panics on hostile
+/// input.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] for an oversized length
+/// prefix or an EOF inside a frame, and propagates any other read error
+/// (including timeouts configured on the underlying stream).
+pub fn read_frame_bytes<R: std::io::Read>(reader: &mut R) -> std::io::Result<Option<Bytes>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_buf.len() {
+        match reader.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("stream ended {filled} bytes into a frame length prefix"),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_STREAM_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length prefix {len} exceeds the {MAX_STREAM_FRAME_LEN}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("stream ended inside a {len}-byte frame body"),
+            )
+        } else {
+            e
+        }
+    })?;
+    Ok(Some(Bytes::from(body)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1522,5 +1598,60 @@ mod tests {
         bytes[12..16].copy_from_slice(&fixed_crc);
         let err = WireFrame::decode(Bytes::from(bytes)).unwrap_err();
         assert!(err.to_string().contains("payload bytes"), "{err}");
+    }
+
+    #[test]
+    fn stream_frames_round_trip_with_length_prefixes() {
+        let frames = [
+            ControlMessage::join(1, 2.0e9).encode(),
+            {
+                let mut batch = FeatureBatchMessage::new(0, 3);
+                batch.push_feature(0, &[1.0, 2.0, 3.0]).unwrap();
+                batch.encode()
+            },
+            ControlMessage::leave(1, 4).encode(),
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            write_frame_bytes(&mut stream, frame.as_slice()).unwrap();
+        }
+        let mut reader = stream.as_slice();
+        for frame in &frames {
+            let read = read_frame_bytes(&mut reader).unwrap().unwrap();
+            assert_eq!(read.as_slice(), frame.as_slice());
+            assert!(WireFrame::decode(read).is_ok());
+        }
+        // Clean EOF at the frame boundary is the graceful-close signal.
+        assert!(read_frame_bytes(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_stream_is_invalid_data_not_a_panic() {
+        let mut stream = Vec::new();
+        write_frame_bytes(
+            &mut stream,
+            ControlMessage::join(1, 2.0e9).encode().as_slice(),
+        )
+        .unwrap();
+        // EOF inside the length prefix.
+        let mut short_prefix = &stream[..2];
+        let err = read_frame_bytes(&mut short_prefix).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // EOF inside the frame body.
+        let mut short_body = &stream[..stream.len() - 3];
+        let err = read_frame_bytes(&mut short_body).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_bounded() {
+        let huge = (u32::MAX).to_le_bytes();
+        let mut reader = huge.as_slice();
+        let err = read_frame_bytes(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("limit"), "{err}");
+        let oversized = vec![0u8; MAX_STREAM_FRAME_LEN + 1];
+        let err = write_frame_bytes(&mut Vec::new(), &oversized).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -1,0 +1,138 @@
+//! The lane envelope: what one length-delimited record on a socket carries.
+//!
+//! Each record written by [`write_envelope`] is framed by
+//! [`edvit_edge::wire::write_frame_bytes`] (`[u32 LE length][body]`) and its
+//! body starts with a one-byte tag:
+//!
+//! ```text
+//! [u32 LE length] [tag u8] [payload …]
+//!                  0 = encoded wire-v2 frame (the payload is the frame)
+//!                  1 = peer error report (the payload is a UTF-8 message)
+//! ```
+//!
+//! Tag 0 is the normal case — every join / heartbeat / leave / feature-batch
+//! frame travels as its exact encoded bytes, so the CRC-protected wire format
+//! is what crosses the socket. Tag 1 mirrors the sim backend's in-band error
+//! channel: a worker whose executor failed reports the message and the stream
+//! aborts, instead of the failure masquerading as a silent crash.
+
+use bytes::Bytes;
+use edvit_edge::wire::{read_frame_bytes, write_frame_bytes};
+
+/// Envelope tag: the payload is an encoded wire-v2 frame.
+pub const TAG_FRAME: u8 = 0;
+/// Envelope tag: the payload is a UTF-8 peer error message.
+pub const TAG_ERROR: u8 = 1;
+
+/// One decoded lane record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope {
+    /// An encoded wire-v2 frame.
+    Frame(Bytes),
+    /// A peer-reported error (fatal for the stream).
+    Error(String),
+}
+
+impl Envelope {
+    /// Bytes this envelope adds on the wire beyond the payload itself: the
+    /// 4-byte length prefix plus the tag byte.
+    pub const OVERHEAD: usize = 5;
+}
+
+/// Writes one envelope as a length-delimited record.
+///
+/// # Errors
+///
+/// Propagates any write error; an oversized payload is
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn write_envelope<W: std::io::Write>(
+    writer: &mut W,
+    envelope: &Envelope,
+) -> std::io::Result<()> {
+    let (tag, payload): (u8, &[u8]) = match envelope {
+        Envelope::Frame(frame) => (TAG_FRAME, frame.as_slice()),
+        Envelope::Error(message) => (TAG_ERROR, message.as_bytes()),
+    };
+    let mut body = Vec::with_capacity(1 + payload.len());
+    body.push(tag);
+    body.extend_from_slice(payload);
+    write_frame_bytes(writer, &body)
+}
+
+/// Reads one envelope. Returns `Ok(None)` on a clean EOF at a record
+/// boundary.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] for an empty record, an
+/// unknown tag, or a truncated stream, and propagates other read errors
+/// (including read timeouts configured on the underlying stream).
+pub fn read_envelope<R: std::io::Read>(reader: &mut R) -> std::io::Result<Option<Envelope>> {
+    let Some(body) = read_frame_bytes(reader)? else {
+        return Ok(None);
+    };
+    let bytes = body.as_slice();
+    let Some((&tag, payload)) = bytes.split_first() else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "empty lane record (no tag byte)",
+        ));
+    };
+    match tag {
+        TAG_FRAME => Ok(Some(Envelope::Frame(Bytes::copy_from_slice(payload)))),
+        TAG_ERROR => Ok(Some(Envelope::Error(
+            String::from_utf8_lossy(payload).into_owned(),
+        ))),
+        other => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unknown lane record tag {other}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edvit_edge::ControlMessage;
+
+    #[test]
+    fn envelopes_round_trip() {
+        let frame = ControlMessage::join(7, 1.5e9).encode();
+        let mut stream = Vec::new();
+        write_envelope(&mut stream, &Envelope::Frame(frame.clone())).unwrap();
+        write_envelope(&mut stream, &Envelope::Error("device 7: oom".to_string())).unwrap();
+        let mut reader = stream.as_slice();
+        assert_eq!(
+            read_envelope(&mut reader).unwrap(),
+            Some(Envelope::Frame(frame))
+        );
+        assert_eq!(
+            read_envelope(&mut reader).unwrap(),
+            Some(Envelope::Error("device 7: oom".to_string()))
+        );
+        assert_eq!(read_envelope(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_tag_and_empty_record_are_invalid_data() {
+        // A record with an unknown tag.
+        let mut stream = Vec::new();
+        edvit_edge::wire::write_frame_bytes(&mut stream, &[9u8, 1, 2]).unwrap();
+        let err = read_envelope(&mut stream.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("tag 9"), "{err}");
+        // A record with no tag byte at all.
+        let mut empty = Vec::new();
+        edvit_edge::wire::write_frame_bytes(&mut empty, &[]).unwrap();
+        let err = read_envelope(&mut empty.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn overhead_matches_the_layout() {
+        let mut stream = Vec::new();
+        let frame = ControlMessage::leave(1, 2).encode();
+        write_envelope(&mut stream, &Envelope::Frame(frame.clone())).unwrap();
+        assert_eq!(stream.len(), frame.len() + Envelope::OVERHEAD);
+    }
+}

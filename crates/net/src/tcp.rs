@@ -1,0 +1,272 @@
+//! The loopback TCP backend: the [`Transport`] contract over real sockets.
+//!
+//! Every lane is one TCP connection. The device side owns a bounded send
+//! queue drained by a dedicated writer thread — `send` blocks when
+//! `capacity` frames are undrained, reusing the scheduler's backpressure
+//! semantics bound-for-bound (the kernel's socket buffer adds slack a
+//! channel does not have, but the queue bound is what stops a fast device
+//! from racing arbitrarily far ahead). The fusion side reads envelopes
+//! straight off the socket with a read timeout armed from the scheduler's
+//! round-denominated heartbeat deadline: a peer whose next frame misses the
+//! deadline looks exactly like a disconnect, which is the trait's one
+//! failure signal.
+//!
+//! Connection establishment retries with the same `min(2^(n−1), 8)` backoff
+//! factor schedule the scheduler prices retries with on the virtual clock
+//! ([`edvit_edge::StreamTiming::retry_backoff_seconds`]) — mapped to wall
+//! time via [`RECONNECT_BASE`].
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel;
+use edvit_edge::TransportKind;
+
+use crate::framing::{read_envelope, write_envelope, Envelope};
+use crate::transport::{FrameRx, FrameTx, LaneClosed, LaneEvent, Transport};
+use crate::{NetError, Result};
+
+/// Wall-time unit of one reconnect backoff step.
+pub const RECONNECT_BASE: Duration = Duration::from_millis(50);
+
+/// Connection attempts before [`connect_with_backoff`] gives up.
+pub const CONNECT_ATTEMPTS: u32 = 6;
+
+/// Floor of the mapped heartbeat deadline: virtual round intervals can be
+/// microseconds, but a real worker needs wall time to compute a round.
+const MIN_DEADLINE_SECONDS: f64 = 5.0;
+
+/// Cap of the mapped heartbeat deadline, so a mis-configured run cannot hang
+/// CI for longer than the job timeout.
+const MAX_DEADLINE_SECONDS: f64 = 600.0;
+
+/// Wall sleep before reconnect attempt `attempt` (1-based): the factor
+/// schedule is `min(2^(attempt−1), 8)`, the same one
+/// [`edvit_edge::StreamTiming::retry_backoff_seconds`] prices on the virtual
+/// clock.
+pub fn backoff_delay(attempt: u32) -> Duration {
+    let factor = 1u64 << u64::from(attempt.saturating_sub(1)).min(3);
+    RECONNECT_BASE * u32::try_from(factor).unwrap_or(8)
+}
+
+/// Dials `addr`, retrying up to `attempts` times with the round-denominated
+/// backoff schedule between attempts.
+///
+/// # Errors
+///
+/// Returns [`NetError::Connect`] carrying the last OS error once the whole
+/// schedule is exhausted.
+pub fn connect_with_backoff(addr: &SocketAddr, attempts: u32) -> Result<TcpStream> {
+    let mut last = "no attempt made".to_string();
+    for attempt in 1..=attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e.to_string(),
+        }
+        if attempt < attempts {
+            std::thread::sleep(backoff_delay(attempt));
+        }
+    }
+    Err(NetError::Connect {
+        addr: addr.to_string(),
+        message: last,
+    })
+}
+
+/// The loopback TCP transport: one listener, one connection per lane.
+#[derive(Debug)]
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+    read_timeout: Duration,
+}
+
+impl TcpTransport {
+    /// Binds a fresh loopback listener on an OS-assigned port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Bind`] when the OS refuses the socket.
+    pub fn bind() -> Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| NetError::Bind {
+            message: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| NetError::Bind {
+            message: e.to_string(),
+        })?;
+        Ok(TcpTransport {
+            listener,
+            addr,
+            read_timeout: Duration::from_secs_f64(MIN_DEADLINE_SECONDS),
+        })
+    }
+
+    /// The loopback address lanes connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Device-side half of a TCP lane: a bounded queue feeding a writer thread.
+struct TcpTx {
+    queue: channel::SyncSender<Envelope>,
+}
+
+impl FrameTx for TcpTx {
+    fn send(&self, frame: Bytes) -> std::result::Result<(), LaneClosed> {
+        self.queue
+            .send(Envelope::Frame(frame))
+            .map_err(|_| LaneClosed)
+    }
+
+    fn send_error(&self, message: String) -> std::result::Result<(), LaneClosed> {
+        self.queue
+            .send(Envelope::Error(message))
+            .map_err(|_| LaneClosed)
+    }
+}
+
+/// Fusion-side half of a TCP lane: reads envelopes off the accepted socket.
+struct TcpRx {
+    stream: TcpStream,
+    closed: bool,
+}
+
+impl FrameRx for TcpRx {
+    fn recv(&mut self) -> LaneEvent {
+        if self.closed {
+            return LaneEvent::Closed;
+        }
+        match read_envelope(&mut self.stream) {
+            Ok(Some(Envelope::Frame(frame))) => LaneEvent::Frame(frame),
+            Ok(Some(Envelope::Error(message))) => LaneEvent::PeerError(message),
+            // Clean EOF, a torn connection, a hostile envelope, or a missed
+            // read deadline: all of them mean "the next heartbeat never
+            // arrived", the trait's one failure signal.
+            Ok(None) | Err(_) => {
+                self.closed = true;
+                LaneEvent::Closed
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn open_lane(
+        &mut self,
+        peer: usize,
+        capacity: usize,
+    ) -> Result<(Box<dyn FrameTx>, Box<dyn FrameRx>)> {
+        // Loopback connect completes against the listen backlog, so dialing
+        // before accepting cannot deadlock.
+        let sender = connect_with_backoff(&self.addr, CONNECT_ATTEMPTS)?;
+        let (receiver, _) = self.listener.accept().map_err(|e| NetError::Accept {
+            message: format!("lane for peer {peer}: {e}"),
+        })?;
+        let configure = |stream: &TcpStream| -> std::io::Result<()> { stream.set_nodelay(true) };
+        configure(&sender).map_err(|e| NetError::io(&e))?;
+        configure(&receiver).map_err(|e| NetError::io(&e))?;
+        receiver
+            .set_read_timeout(Some(self.read_timeout))
+            .map_err(|e| NetError::io(&e))?;
+
+        let (queue_tx, queue_rx) = channel::bounded::<Envelope>(capacity);
+        std::thread::spawn(move || {
+            let mut stream = sender;
+            // Drain until every sender half is gone and the queue is empty;
+            // a write error drops the queue receiver, which unblocks any
+            // sender stuck in `send` (its next send fails as LaneClosed).
+            while let Ok(envelope) = queue_rx.recv() {
+                if write_envelope(&mut stream, &envelope).is_err() {
+                    return;
+                }
+            }
+            // Graceful close: the FIN lands after the final (leave) frame.
+            let _ = stream.shutdown(Shutdown::Write);
+        });
+
+        Ok((
+            Box::new(TcpTx { queue: queue_tx }),
+            Box::new(TcpRx {
+                stream: receiver,
+                closed: false,
+            }),
+        ))
+    }
+
+    fn set_round_deadline(&mut self, grace_rounds: u64, round_interval_seconds: f64) {
+        let virtual_seconds = (grace_rounds + 1) as f64 * round_interval_seconds.max(0.0);
+        let clamped = virtual_seconds.clamp(MIN_DEADLINE_SECONDS, MAX_DEADLINE_SECONDS);
+        self.read_timeout = Duration::from_secs_f64(clamped);
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Tcp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_matches_the_virtual_factors() {
+        assert_eq!(backoff_delay(1), RECONNECT_BASE);
+        assert_eq!(backoff_delay(2), RECONNECT_BASE * 2);
+        assert_eq!(backoff_delay(3), RECONNECT_BASE * 4);
+        assert_eq!(backoff_delay(4), RECONNECT_BASE * 8);
+        assert_eq!(
+            backoff_delay(9),
+            RECONNECT_BASE * 8,
+            "factor saturates at 8"
+        );
+    }
+
+    #[test]
+    fn connect_to_a_dead_port_exhausts_the_schedule() {
+        // Bind-then-drop guarantees a port nothing listens on right now.
+        let addr = {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            listener.local_addr().unwrap()
+        };
+        let err = connect_with_backoff(&addr, 2).unwrap_err();
+        assert!(matches!(err, NetError::Connect { .. }), "{err}");
+        assert!(err.to_string().contains(&addr.to_string()), "{err}");
+    }
+
+    #[test]
+    fn tcp_lane_round_trips_frames_and_closes_cleanly() {
+        let mut transport = TcpTransport::bind().unwrap();
+        let (tx, mut rx) = transport.open_lane(0, 4).unwrap();
+        tx.send(Bytes::copy_from_slice(b"alpha")).unwrap();
+        tx.send_error("device 0: boom".to_string()).unwrap();
+        tx.send(Bytes::copy_from_slice(b"omega")).unwrap();
+        drop(tx);
+        assert_eq!(
+            rx.recv(),
+            LaneEvent::Frame(Bytes::copy_from_slice(b"alpha"))
+        );
+        assert_eq!(
+            rx.recv(),
+            LaneEvent::PeerError("device 0: boom".to_string())
+        );
+        assert_eq!(
+            rx.recv(),
+            LaneEvent::Frame(Bytes::copy_from_slice(b"omega"))
+        );
+        assert_eq!(rx.recv(), LaneEvent::Closed);
+        assert_eq!(rx.recv(), LaneEvent::Closed, "closed is sticky");
+    }
+
+    #[test]
+    fn deadline_mapping_clamps_to_the_wall_window() {
+        let mut transport = TcpTransport::bind().unwrap();
+        transport.set_round_deadline(2, 1e-6);
+        assert_eq!(transport.read_timeout, Duration::from_secs(5));
+        transport.set_round_deadline(2, 1e6);
+        assert_eq!(transport.read_timeout, Duration::from_secs(600));
+        transport.set_round_deadline(1, 10.0);
+        assert_eq!(transport.read_timeout, Duration::from_secs(20));
+    }
+}

@@ -45,6 +45,14 @@ pub enum SchedError {
         /// The conflicting device id.
         device: usize,
     },
+    /// The transport backend could not be stood up or open a peer lane
+    /// (e.g. the TCP backend failed to bind or connect its loopback sockets).
+    /// Frame-level failures are *not* this variant — a torn or silent lane
+    /// surfaces as a device death through the normal repartition path.
+    Transport {
+        /// Human-readable description from the transport layer.
+        message: String,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -69,6 +77,9 @@ impl fmt::Display for SchedError {
                 f,
                 "device {device} is still a live member; a rejoin must follow a death or leave"
             ),
+            SchedError::Transport { message } => {
+                write!(f, "stream transport failure: {message}")
+            }
         }
     }
 }
@@ -135,10 +146,15 @@ mod tests {
         assert!(degraded.to_string().contains("tolerance of 1"));
         let conflict = SchedError::RejoinConflict { device: 4 };
         assert!(conflict.to_string().contains("device 4"));
+        let transport = SchedError::Transport {
+            message: "bind failed: address in use".into(),
+        };
+        assert!(transport.to_string().contains("address in use"));
         use std::error::Error;
         assert!(edge.source().is_some());
         assert!(lost.source().is_none());
         assert!(degraded.source().is_none());
         assert!(conflict.source().is_none());
+        assert!(transport.source().is_none());
     }
 }

@@ -9,7 +9,9 @@
 //!
 //! * **Pipelined rounds** — the input stream is cut into rounds; every device
 //!   computes round *k+1* while the fusion worker drains round *k*. Frames
-//!   travel through a *bounded* channel, so backpressure is explicit: a
+//!   travel through a *bounded* per-device lane opened from the configured
+//!   [`Transport`] backend (in-process channels or real loopback TCP — same
+//!   frames, same order, same reports), so backpressure is explicit: a
 //!   device can buffer at most `pipeline_depth` undrained rounds (one more
 //!   may be in computation). Steady-state throughput approaches the
 //!   per-device bound instead of the barrier bound (compare
@@ -72,9 +74,11 @@ pub use faults::{apply_fault, FaultScript, FaultedDelivery, FrameFault, FrameSlo
 pub use health::{DeviceHealth, HealthTracker};
 pub use stream::{FailureInjection, ScheduleMode, StreamConfig, StreamReport, StreamScheduler};
 
-// Re-exported so stream configurations can pick a wire codec without a
-// direct `edvit-edge` dependency at the call site.
-pub use edvit_edge::PayloadCodec;
+// Re-exported so stream configurations can pick a wire codec and transport
+// backend without a direct `edvit-edge`/`edvit-net` dependency at the call
+// site.
+pub use edvit_edge::{NetOptions, PayloadCodec, TransportKind};
+pub use edvit_net::{FrameRx, FrameTx, LaneEvent, SimTransport, TcpTransport, Transport};
 
 /// Convenience result alias for scheduler operations.
 pub type Result<T> = std::result::Result<T, SchedError>;

@@ -1,5 +1,5 @@
-//! The streaming scheduler: pipelined rounds over bounded channels, heartbeat
-//! health tracking, and live repartitioning on device death.
+//! The streaming scheduler: pipelined rounds over bounded transport lanes,
+//! heartbeat health tracking, and live repartitioning on device death.
 //!
 //! # Execution model
 //!
@@ -8,15 +8,18 @@
 //! every active device runs on its own worker thread, processing rounds in
 //! order: it computes the features of every sub-model it hosts, ships them as
 //! wire-v2 [`FeatureBatchMessage`] frames, and follows each round with a
-//! [`ControlMessage`] heartbeat. Every device owns a *bounded* channel to the
-//! fusion worker sized for `pipeline_depth` rounds of frames — when the
-//! fusion side falls behind, `send` blocks, so a device can buffer at most
+//! [`ControlMessage`] heartbeat. Every device owns a *bounded* lane to the
+//! fusion worker — opened from the configured [`Transport`] backend
+//! ([`TransportKind::Sim`] for in-process channels, [`TransportKind::Tcp`]
+//! for real loopback sockets) and sized for `pipeline_depth` rounds of
+//! frames. When the fusion side falls behind, `send` blocks, so a device can
+//! buffer at most
 //! `pipeline_depth` undrained rounds (and thus run at most
 //! `pipeline_depth + 1` rounds ahead of the fused frontier, counting the one
 //! it is computing): the backpressure is explicit, not emergent, and
 //! inter-device skew is bounded by construction.
 //!
-//! The fusion worker consumes the per-device channels *round by round*: for
+//! The fusion worker consumes the per-device lanes *round by round*: for
 //! round *k* it drains every device's frames up to and including that round's
 //! heartbeat, then fuses the round. Consumption order, not OS scheduling,
 //! therefore decides what the collector observes — which keeps failure
@@ -76,12 +79,12 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use crossbeam::channel;
 use edvit_edge::wire::FeatureBatchMessage;
 use edvit_edge::{
-    ControlDeduper, ControlKind, ControlMessage, FusionFn, LatencyModel, NetworkConfig,
-    PayloadCodec, StreamTiming, SubModelFn, WireFrame,
+    ControlDeduper, ControlKind, ControlMessage, FusionFn, LatencyModel, NetOptions, NetworkConfig,
+    PayloadCodec, StreamTiming, SubModelFn, TransportKind, WireFrame,
 };
+use edvit_net::{transport_for, FrameRx, FrameTx, LaneEvent, Transport};
 use edvit_partition::{DeviceSpec, PartitionError, SplitPlan};
 use edvit_tensor::Tensor;
 
@@ -146,8 +149,15 @@ pub struct StreamConfig {
     pub energy_samples_per_round: u64,
     /// Wire codec every device encodes its batch frames with (control frames
     /// always ship codec 0). Also prices the virtual timing via
-    /// [`LatencyModel::with_codec`].
+    /// [`LatencyModel::with_options`].
     pub codec: PayloadCodec,
+    /// Which backend carries the device→fusion lanes. The default
+    /// [`TransportKind::Sim`] is the deterministic bounded-channel backend
+    /// every test and chaos drill runs on; [`TransportKind::Tcp`] carries the
+    /// identical frames over loopback sockets, with the heartbeat deadline
+    /// mapped from rounds to wall time. Frame-content observables (outputs,
+    /// byte counts, dedupe decisions) are transport-independent.
+    pub transport: TransportKind,
     /// Scripted device deaths.
     pub failures: Vec<FailureInjection>,
     /// Scripted mid-stream joins, applied in `at_round` order. A join whose
@@ -179,6 +189,7 @@ impl Default for StreamConfig {
             replan_seconds: 0.05,
             energy_samples_per_round: 1,
             codec: PayloadCodec::F32,
+            transport: TransportKind::Sim,
             failures: Vec::new(),
             joins: Vec::new(),
             faults: FaultScript::new(),
@@ -195,7 +206,28 @@ impl StreamConfig {
         self
     }
 
-    /// Selects the wire codec the deployment ships batch frames with.
+    /// Applies the shared [`NetOptions`]: wire codec, transport backend and
+    /// per-frame retry budget in one struct, the same surface
+    /// `LatencyModel::with_options` and `ClusterRuntime::with_options`
+    /// consume.
+    pub fn with_options(mut self, options: &NetOptions) -> Self {
+        self.codec = options.codec;
+        self.transport = options.transport;
+        self.max_retries = options.max_retries;
+        self
+    }
+
+    /// The network-facing knobs of this configuration as a [`NetOptions`].
+    pub fn net_options(&self) -> NetOptions {
+        NetOptions::default()
+            .with_codec(self.codec)
+            .with_transport(self.transport)
+            .with_max_retries(self.max_retries)
+    }
+
+    /// Deprecated per-surface builder; use [`StreamConfig::with_options`].
+    #[deprecated(since = "0.8.0", note = "use with_options(&NetOptions) instead")]
+    // edvit:allow(builder-drift)
     pub fn with_codec(mut self, codec: PayloadCodec) -> Self {
         self.codec = codec;
         self
@@ -224,7 +256,9 @@ impl StreamConfig {
         self
     }
 
-    /// Sets the per-frame re-request budget.
+    /// Deprecated per-surface builder; use [`StreamConfig::with_options`].
+    #[deprecated(since = "0.8.0", note = "use with_options(&NetOptions) instead")]
+    // edvit:allow(builder-drift)
     pub fn with_max_retries(mut self, max_retries: u32) -> Self {
         self.max_retries = max_retries;
         self
@@ -511,6 +545,11 @@ impl StreamScheduler {
         let mut join_queue: Vec<JoinInjection> = cfg.joins.clone();
         join_queue.sort_by_key(|j| j.at_round);
 
+        // One transport for the whole run: epochs reuse the backend (and, on
+        // TCP, its listener) while opening fresh per-device lanes.
+        let mut transport = transport_for(cfg.transport).map_err(|e| SchedError::Transport {
+            message: e.to_string(),
+        })?;
         let mut current_plan = self.plan.clone();
         let mut current_devices = self.devices.clone();
         let mut pending: Vec<u64> = (0..total_rounds as u64).collect();
@@ -574,6 +613,10 @@ impl StreamScheduler {
             report.epochs += 1;
             tracker.begin_epoch();
             let timing = self.timing(&current_plan, &current_devices)?;
+            // Hand the backend this epoch's liveness deadline in its native
+            // round denomination; the TCP backend maps it to a read timeout,
+            // the sim backend charges it analytically.
+            transport.set_round_deadline(cfg.grace_rounds, timing.round_interval_seconds);
             let missing_dims: Vec<(u32, usize)> = missing
                 .iter()
                 .map(|&i| {
@@ -606,6 +649,7 @@ impl StreamScheduler {
                 &mut fusion,
                 &mut fused,
                 &mut tracker,
+                transport.as_mut(),
             )?;
 
             report.heartbeats_seen += outcome.heartbeats;
@@ -745,7 +789,8 @@ impl StreamScheduler {
     }
 
     fn timing(&self, plan: &SplitPlan, devices: &[DeviceSpec]) -> Result<StreamTiming> {
-        let mut model = LatencyModel::new(self.config.network).with_codec(self.config.codec);
+        let mut model =
+            LatencyModel::new(self.config.network).with_options(&self.config.net_options());
         if self.config.fusion_flops > 0 {
             model = model.with_fusion_flops(self.config.fusion_flops);
         }
@@ -846,10 +891,10 @@ fn round_unfused(
 }
 
 /// One membership epoch: spawns a worker thread per active device, consumes
-/// the per-device channels round by round on the calling thread, fuses each
-/// completed round, and reports any death (a device whose channel
-/// disconnected before it delivered all its rounds, or whose link exhausted
-/// its retry budget).
+/// the per-device transport lanes round by round on the calling thread, fuses
+/// each completed round, and reports any death (a device whose lane closed
+/// before it delivered all its rounds, or whose link exhausted its retry
+/// budget).
 #[allow(clippy::too_many_arguments)]
 fn run_epoch(
     plan: &SplitPlan,
@@ -861,6 +906,7 @@ fn run_epoch(
     fusion: &mut FusionFn,
     fused: &mut [Option<Tensor>],
     tracker: &mut HealthTracker,
+    transport: &mut dyn Transport,
 ) -> Result<EpochOutcome> {
     // Group the per-sub-model executors by hosting device. `iter_mut` hands
     // out disjoint `&mut` borrows, so each worker thread exclusively owns the
@@ -904,17 +950,23 @@ fn run_epoch(
     let produced_ref = &produced_max;
 
     crossbeam::scope(|scope| -> Result<EpochOutcome> {
-        let mut receivers: BTreeMap<usize, channel::Receiver<DeviceToFusion>> = BTreeMap::new();
+        let mut receivers: BTreeMap<usize, Box<dyn FrameRx>> = BTreeMap::new();
         // Drain in ascending device order (BTreeMap) so spawn order — and
         // with it the deterministic replay accounting — is stable.
         while let Some((device_id, execs)) = by_device.pop_first() {
-            // Per-device bounded channel: `pipeline_depth` rounds of frames
+            // Per-device bounded lane: `pipeline_depth` rounds of frames
             // (data frames for each hosted sub-model plus the heartbeat),
             // with two slots of slack for the join and leave announcements.
             // Once the buffer is full the device blocks in `send` — explicit
-            // backpressure, and a hard bound on how far devices can skew.
+            // backpressure, and a hard bound on how far devices can skew —
+            // whatever backend carries the lane.
             let capacity = (execs.len() + 1) * params.pipeline_depth.max(1) + 2;
-            let (tx, rx) = channel::bounded::<DeviceToFusion>(capacity);
+            let (tx, rx) =
+                transport
+                    .open_lane(device_id, capacity)
+                    .map_err(|e| SchedError::Transport {
+                        message: e.to_string(),
+                    })?;
             receivers.insert(device_id, rx);
             let capacity_flops = devices
                 .iter()
@@ -935,7 +987,7 @@ fn run_epoch(
                     capacity_flops,
                     dies_at,
                     produced_ref,
-                    &tx,
+                    tx.as_ref(),
                 );
             });
         }
@@ -958,15 +1010,11 @@ fn run_epoch(
     })?
 }
 
-/// What travels from a device worker to the fusion worker: an encoded wire
-/// frame, or an executor failure that must abort the stream.
-type DeviceToFusion = std::result::Result<bytes::Bytes, String>;
-
 /// One device's epoch loop: per round, compute + ship every hosted
 /// sub-model's batch frame, then a heartbeat. A scripted death makes the
 /// worker return silently — no leave frame, no further beacons — so the
-/// fusion side observes exactly what a crashed device looks like: a channel
-/// that goes quiet and then disconnects.
+/// fusion side observes exactly what a crashed device looks like: a lane
+/// that goes quiet and then closes.
 #[allow(clippy::too_many_arguments)]
 fn run_device_worker(
     device_id: usize,
@@ -979,11 +1027,11 @@ fn run_device_worker(
     capacity_flops: f64,
     dies_at: Option<u64>,
     produced_max: &AtomicU64,
-    tx: &channel::SyncSender<DeviceToFusion>,
+    tx: &dyn FrameTx,
 ) {
-    // A closed channel means the collector bailed; stop quietly everywhere.
+    // A closed lane means the collector bailed; stop quietly everywhere.
     if tx
-        .send(Ok(ControlMessage::join(device_id, capacity_flops).encode()))
+        .send(ControlMessage::join(device_id, capacity_flops).encode())
         .is_err()
     {
         return;
@@ -1000,37 +1048,32 @@ fn run_device_worker(
                 let feature = match executor(&inputs[sample]) {
                     Ok(f) => f,
                     Err(message) => {
-                        let _ = tx.send(Err(format!("device {device_id}: {message}")));
+                        let _ = tx.send_error(format!("device {device_id}: {message}"));
                         return;
                     }
                 };
                 let slot = batch
                     .get_or_insert_with(|| FeatureBatchMessage::new(*sub_index, feature.numel()));
                 if let Err(e) = slot.push_tensor(sample, &feature) {
-                    let _ = tx.send(Err(format!("device {device_id}: {e}")));
+                    let _ = tx.send_error(format!("device {device_id}: {e}"));
                     return;
                 }
             }
             let Some(batch) = batch else { continue };
-            if tx.send(Ok(batch.encode_with(codec))).is_err() {
+            if tx.send(batch.encode_with(codec)).is_err() {
                 return;
             }
         }
         completed += 1;
         produced_max.fetch_max(completed, Ordering::Relaxed);
         if tx
-            .send(Ok(ControlMessage::heartbeat(
-                device_id,
-                completed,
-                capacity_flops,
-            )
-            .encode()))
+            .send(ControlMessage::heartbeat(device_id, completed, capacity_flops).encode())
             .is_err()
         {
             return;
         }
     }
-    let _ = tx.send(Ok(ControlMessage::leave(device_id, completed).encode()));
+    let _ = tx.send(ControlMessage::leave(device_id, completed).encode());
 }
 
 /// What one received message turned out to be, after dedupe: a fresh
@@ -1103,8 +1146,7 @@ impl Collector<'_> {
     /// lost heartbeat is a lost beacon; corrupt, truncated or lost data
     /// frames burn retry attempts until the script exhausts (clean
     /// re-delivery) or the budget does (escalation).
-    fn process(&mut self, message: DeviceToFusion, device: usize) -> Result<Processed> {
-        let pristine = message.map_err(|message| SchedError::Runtime { message })?;
+    fn process(&mut self, pristine: Bytes, device: usize) -> Result<Processed> {
         let key = self.fault_key(device);
         let mut attempt: u32 = 0;
         loop {
@@ -1302,12 +1344,12 @@ impl Collector<'_> {
 
 /// The fusion worker's epoch loop: drain every device up to round *k*'s
 /// heartbeat (or leave, when a beacon was lost), fuse round *k*, repeat. A
-/// disconnect before a device closes the current round — or a frame whose
+/// closed lane before a device closes the current round — or a frame whose
 /// retry budget ran out — is that device's death. A scripted join barrier
 /// ends the epoch early with the fused frontier as the checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn collect_epoch(
-    receivers: BTreeMap<usize, channel::Receiver<DeviceToFusion>>,
+    mut receivers: BTreeMap<usize, Box<dyn FrameRx>>,
     epoch_rounds: &[u64],
     params: &EpochParams<'_>,
     frames_per_round: &BTreeMap<usize, usize>,
@@ -1343,10 +1385,10 @@ fn collect_epoch(
             break 'rounds;
         }
         let expected_sequence = position as u64 + 1;
-        for (&device, rx) in &receivers {
+        for (&device, rx) in &mut receivers {
             loop {
                 match rx.recv() {
-                    Ok(message) => match collector.process(message, device)? {
+                    LaneEvent::Frame(frame) => match collector.process(frame, device)? {
                         Processed::Seen(Seen::Beacon(seq) | Seen::Leave(seq))
                             if seq >= expected_sequence =>
                         {
@@ -1361,8 +1403,13 @@ fn collect_epoch(
                             break 'rounds;
                         }
                     },
-                    Err(_) => {
-                        // The device's sender dropped before this round's
+                    // The device reported a fatal executor failure in-band;
+                    // the stream must abort, not repartition around it.
+                    LaneEvent::PeerError(message) => {
+                        return Err(SchedError::Runtime { message });
+                    }
+                    LaneEvent::Closed => {
+                        // The device's lane closed before this round's
                         // heartbeat: its deadline passed. Terminal.
                         collector.tracker.declare_dead(device);
                         collector.outcome.newly_dead.push(device);
@@ -1383,10 +1430,18 @@ fn collect_epoch(
     }
 
     if collector.outcome.newly_dead.is_empty() && !collector.outcome.join_due {
-        // Graceful tail: consume the leave announcements.
-        for (&device, rx) in &receivers {
-            for message in rx {
-                collector.process(message, device)?;
+        // Graceful tail: consume the leave announcements down to lane close.
+        for (&device, rx) in &mut receivers {
+            loop {
+                match rx.recv() {
+                    LaneEvent::Frame(frame) => {
+                        collector.process(frame, device)?;
+                    }
+                    LaneEvent::PeerError(message) => {
+                        return Err(SchedError::Runtime { message });
+                    }
+                    LaneEvent::Closed => break,
+                }
             }
         }
     } else if !collector.outcome.newly_dead.is_empty()

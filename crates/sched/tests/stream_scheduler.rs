@@ -8,7 +8,9 @@ use std::sync::Arc;
 
 use edvit_edge::{FusionFn, SubModelFn};
 use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlan, SplitPlanner};
-use edvit_sched::{PayloadCodec, SchedError, ScheduleMode, StreamConfig, StreamScheduler};
+use edvit_sched::{
+    NetOptions, PayloadCodec, SchedError, ScheduleMode, StreamConfig, StreamScheduler,
+};
 use edvit_tensor::Tensor;
 use edvit_vit::ViTConfig;
 
@@ -281,7 +283,7 @@ fn f16_codec_streams_shrink_the_wire_with_identical_fusion_outputs() {
         StreamScheduler::new(
             plan.clone(),
             devices.clone(),
-            StreamConfig::default().with_codec(codec),
+            StreamConfig::default().with_options(&NetOptions::default().with_codec(codec)),
         )
         .unwrap()
         .run(&samples, executors_for(&plan, &calls), concat_fusion())
@@ -319,7 +321,7 @@ fn coded_streams_survive_a_death_with_identical_predictions() {
         let healthy = StreamScheduler::new(
             plan.clone(),
             devices.clone(),
-            StreamConfig::default().with_codec(codec),
+            StreamConfig::default().with_options(&NetOptions::default().with_codec(codec)),
         )
         .unwrap()
         .run(&samples, executors_for(&plan, &calls), concat_fusion())
@@ -328,7 +330,7 @@ fn coded_streams_survive_a_death_with_identical_predictions() {
             plan.clone(),
             devices.clone(),
             StreamConfig::default()
-                .with_codec(codec)
+                .with_options(&NetOptions::default().with_codec(codec))
                 .with_failure(victim, 2),
         )
         .unwrap()

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run -p edvit --example quickstart --release`
 
-use edvit::edge::{LatencyModel, NetworkConfig, PayloadCodec};
+use edvit::edge::{LatencyModel, NetOptions, NetworkConfig, PayloadCodec};
 use edvit::pipeline::{EdVitConfig, EdVitPipeline};
 use edvit::sched::StreamConfig;
 use edvit::streaming::run_streaming;
@@ -89,7 +89,9 @@ fn main() -> Result<(), edvit::EdVitError> {
         deployment.clone(),
         &samples,
         devices.clone(),
-        stream_config.clone().with_codec(PayloadCodec::F16),
+        stream_config
+            .clone()
+            .with_options(&NetOptions::default().with_codec(PayloadCodec::F16)),
     )?;
     let report = run_streaming(deployment, &samples, devices.clone(), stream_config)?;
     assert_eq!(

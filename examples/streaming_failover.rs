@@ -171,7 +171,7 @@ fn main() -> Result<(), edvit::EdVitError> {
     // Throughput restored: the reported steady state must match the analytic
     // StreamTiming bound of the rejoined plan on the full membership.
     let timing = LatencyModel::new(stream_config.network)
-        .with_codec(stream_config.codec)
+        .with_options(&stream_config.net_options())
         .estimate_stream(
             &rejoined.final_plan,
             &devices,

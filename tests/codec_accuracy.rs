@@ -5,8 +5,8 @@
 //! f16 family demonstrably shrinks `bytes_on_wire` in both the one-shot
 //! `RuntimeReport` and the streamed `StreamReport`.
 
-use edvit::distributed::{run_distributed, run_distributed_with_codec};
-use edvit::edge::{wire as edge_wire, NetworkConfig, PayloadCodec};
+use edvit::distributed::{run_distributed, RunOptions};
+use edvit::edge::{wire as edge_wire, NetOptions, PayloadCodec};
 use edvit::pipeline::{EdVitConfig, EdVitDeployment, EdVitPipeline};
 use edvit::sched::StreamConfig;
 use edvit::streaming::run_streaming;
@@ -53,7 +53,7 @@ fn f16_streaming_predictions_are_identical_to_f32() {
             round_size: 2,
             ..StreamConfig::default()
         }
-        .with_codec(codec);
+        .with_options(&NetOptions::default().with_codec(codec));
         run_streaming(deployment.clone(), &samples, devices.clone(), config)
             .expect("stream completes")
     };
@@ -93,13 +93,15 @@ fn f16_halves_runtime_report_wire_bytes_with_identical_predictions() {
     let (deployment, samples, _devices) = trained_demo();
     let values = total_feature_values(&deployment, samples.len());
 
-    let f32_report = run_distributed(deployment.clone(), &samples, NetworkConfig::paper_default())
+    let f32_report = run_distributed(deployment.clone(), &samples, &RunOptions::default())
         .expect("distributed run completes");
-    let f16_report = run_distributed_with_codec(
+    let f16_report = run_distributed(
         deployment.clone(),
         &samples,
-        NetworkConfig::paper_default(),
-        PayloadCodec::F16,
+        &RunOptions {
+            net: NetOptions::default().with_codec(PayloadCodec::F16),
+            ..RunOptions::default()
+        },
     )
     .expect("distributed run completes");
 
@@ -140,14 +142,16 @@ fn streamed_coded_deployment_matches_the_one_shot_runtime() {
         round_size: 4,
         ..StreamConfig::default()
     }
-    .with_codec(PayloadCodec::F16);
+    .with_options(&NetOptions::default().with_codec(PayloadCodec::F16));
     let streamed = run_streaming(deployment.clone(), &samples, devices, stream_config)
         .expect("stream completes");
-    let one_shot = run_distributed_with_codec(
+    let one_shot = run_distributed(
         deployment,
         &samples,
-        NetworkConfig::paper_default(),
-        PayloadCodec::F16,
+        &RunOptions {
+            net: NetOptions::default().with_codec(PayloadCodec::F16),
+            ..RunOptions::default()
+        },
     )
     .expect("distributed run completes");
     assert_eq!(
