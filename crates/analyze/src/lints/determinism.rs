@@ -1,8 +1,9 @@
 //! `wall-clock-in-sim`: the scheduler's virtual-time contract.
 //!
 //! `edvit-sched` measures recovery and pipeline behaviour in `SimClock`
-//! virtual time so the numbers are machine-independent; the wire decode path
-//! likewise must not consult the host clock. Any mention of `Instant` or
+//! virtual time so the numbers are machine-independent; the serving
+//! front-door's drills and the wire decode path likewise must not consult
+//! the host clock. Any mention of `Instant` or
 //! `SystemTime` in those sources — including imports — is a violation,
 //! because an unused import is one refactor away from a used one.
 
@@ -16,7 +17,9 @@ pub struct WallClockInSim;
 
 /// Whether the virtual-time contract covers this file.
 fn in_scope(path: &str) -> bool {
-    path.starts_with("crates/sched/src/") || path == "crates/edge/src/wire.rs"
+    path.starts_with("crates/sched/src/")
+        || path.starts_with("crates/serve/src/")
+        || path == "crates/edge/src/wire.rs"
 }
 
 const BANNED: [&str; 2] = ["Instant", "SystemTime"];
@@ -27,7 +30,7 @@ impl Lint for WallClockInSim {
     }
 
     fn description(&self) -> &'static str {
-        "no Instant/SystemTime in crates/sched or the wire decode path (SimClock virtual-time contract)"
+        "no Instant/SystemTime in crates/sched, crates/serve, or the wire decode path (SimClock virtual-time contract)"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
@@ -74,6 +77,15 @@ mod tests {
             .collect();
         assert_eq!(hits.len(), 2, "import and use site both flagged");
         assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn flags_instant_in_serve() {
+        let ws = Workspace::from_memory([(
+            "crates/serve/src/server.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        )]);
+        assert!(run_all(&ws).iter().any(|d| d.lint == "wall-clock-in-sim"));
     }
 
     #[test]

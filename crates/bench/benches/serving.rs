@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the serving front-door's pure virtual-time path:
+//! the admission/batching drill over thousands of requests (no model
+//! execution), which is the piece that runs per serving decision and must
+//! stay cheap relative to the simulated cluster it schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edvit::serving::{ArrivalSpec, DepthController, ServeConfig, ServeScheduler, TenantSpec};
+use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlanner};
+use edvit_vit::ViTConfig;
+
+/// Same fusion-stage weighting the serving drills use: fusion comparable to
+/// the device stage, so continuous batching has something to pipeline.
+const FUSION_FLOPS: u64 = 1_250_000_000;
+
+fn scheduler_for(tenants: Vec<TenantSpec>, arrivals: ArrivalSpec) -> ServeScheduler {
+    let devices = DeviceSpec::raspberry_pi_cluster(4);
+    let plan = SplitPlanner::new(PlannerConfig::default())
+        .plan(&ViTConfig::vit_base(10), &devices, 7)
+        .unwrap();
+    let mut config = ServeConfig::new(tenants, arrivals);
+    config.stream.fusion_flops = FUSION_FLOPS;
+    config.depth = DepthController {
+        min_depth: 1,
+        max_depth: 4,
+        backlog_rounds: 2,
+    };
+    ServeScheduler::new(plan, devices, config).unwrap()
+}
+
+fn open_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("interactive", 100_000),
+        TenantSpec::new("batch", 100_000),
+    ]
+}
+
+fn bench_serving_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_throughput");
+    for &requests in &[256usize, 2048] {
+        // Offered load near the nominal capacity keeps queues busy without
+        // degenerating into pure shedding.
+        let probe = scheduler_for(open_tenants(), ArrivalSpec::new(1.0, 1, 0));
+        let rate = 0.9 * probe.nominal_capacity_per_second().unwrap();
+        let arrivals = ArrivalSpec::new(rate, requests, 11);
+        let scheduler = scheduler_for(open_tenants(), arrivals);
+        let drill_requests = arrivals.generate(2, 8).unwrap();
+        group.bench_with_input(BenchmarkId::new("drill", requests), &requests, |b, _| {
+            b.iter(|| scheduler.drill(&drill_requests).unwrap());
+        });
+    }
+    // The overload path exercises shedding on every arrival.
+    let overload = ArrivalSpec::new(1000.0, 1024, 23);
+    let tight = vec![
+        TenantSpec::new("interactive", 2),
+        TenantSpec::new("batch", 5),
+    ];
+    let scheduler = scheduler_for(tight, overload);
+    let drill_requests = overload.generate(2, 8).unwrap();
+    group.bench_function("drill_overload/1024", |b| {
+        b.iter(|| scheduler.drill(&drill_requests).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving_throughput);
+criterion_main!(benches);

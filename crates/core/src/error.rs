@@ -6,6 +6,7 @@ use edvit_nn::NnError;
 use edvit_partition::PartitionError;
 use edvit_pruning::PruningError;
 use edvit_sched::SchedError;
+use edvit_serve::ServeError;
 use edvit_tensor::TensorError;
 use edvit_vit::ViTError;
 
@@ -28,6 +29,8 @@ pub enum EdVitError {
     Edge(EdgeError),
     /// Streaming-scheduler failure (pipelined rounds, failover).
     Sched(SchedError),
+    /// Serving front-door failure (admission, batching, load drills).
+    Serve(ServeError),
     /// Pipeline-level configuration problem.
     InvalidConfig {
         /// Human-readable description.
@@ -46,6 +49,7 @@ impl fmt::Display for EdVitError {
             EdVitError::Partition(e) => write!(f, "partitioning error: {e}"),
             EdVitError::Edge(e) => write!(f, "edge simulation error: {e}"),
             EdVitError::Sched(e) => write!(f, "streaming scheduler error: {e}"),
+            EdVitError::Serve(e) => write!(f, "serving error: {e}"),
             EdVitError::InvalidConfig { message } => {
                 write!(f, "invalid pipeline configuration: {message}")
             }
@@ -64,6 +68,7 @@ impl std::error::Error for EdVitError {
             EdVitError::Partition(e) => Some(e),
             EdVitError::Edge(e) => Some(e),
             EdVitError::Sched(e) => Some(e),
+            EdVitError::Serve(e) => Some(e),
             EdVitError::InvalidConfig { .. } => None,
         }
     }
@@ -87,6 +92,7 @@ impl_from!(PruningError, Pruning);
 impl_from!(PartitionError, Partition);
 impl_from!(EdgeError, Edge);
 impl_from!(SchedError, Sched);
+impl_from!(ServeError, Serve);
 
 #[cfg(test)]
 mod tests {
@@ -126,6 +132,10 @@ mod tests {
         let e: EdVitError = SchedError::AllDevicesLost { lost: vec![3] }.into();
         assert!(matches!(e, EdVitError::Sched(_)));
         assert!(e.to_string().contains("[3]"));
+        let e: EdVitError = ServeError::AllDevicesLost { lost: vec![1] }.into();
+        assert!(matches!(e, EdVitError::Serve(_)));
+        assert!(e.to_string().contains("[1]"));
+        assert!(std::error::Error::source(&e).is_some());
         let e = EdVitError::InvalidConfig {
             message: "cfg".into(),
         };

@@ -626,6 +626,165 @@ pub fn streaming_comparison(options: &ExperimentOptions) -> Result<Vec<StreamRow
 }
 
 // ---------------------------------------------------------------------------
+// Serving front-door scenario (beyond the paper: multi-tenant continuous
+// batching over the streaming runtime)
+// ---------------------------------------------------------------------------
+
+/// One serving scenario's outcome: admission accounting, latency
+/// percentiles and batching behaviour under a seeded open-loop arrival
+/// process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRow {
+    /// Scenario name ("barrier per request", "continuous", ...).
+    pub scenario: String,
+    /// Tenants offering load.
+    pub tenants: usize,
+    /// Open-loop offered load, arrivals per virtual second.
+    pub offered_rate_per_second: f64,
+    /// Requests that arrived.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed (queue overflow + expired deadline).
+    pub shed: u64,
+    /// Rounds the batcher formed.
+    pub rounds_formed: usize,
+    /// Rounds dispatched below capacity (continuous batching never waits).
+    pub partial_rounds: usize,
+    /// Median round-trip latency in virtual seconds.
+    pub p50_latency_seconds: f64,
+    /// 99th-percentile round-trip latency in virtual seconds.
+    pub p99_latency_seconds: f64,
+    /// Completions per virtual second.
+    pub served_samples_per_second: f64,
+    /// Adaptive pipeline-depth transitions during the drill.
+    pub depth_transitions: usize,
+    /// Virtual seconds spent detecting a crash and re-planning.
+    pub recovery_seconds: f64,
+    /// Devices lost mid-drill.
+    pub devices_lost: usize,
+}
+
+/// Runs the serving scenario on a 4-device cluster: a barrier-per-request
+/// baseline, a continuous-batching run at the same offered load, an
+/// overloaded run against tight per-tenant queue bounds, and a continuous
+/// run with a mid-drill device crash. Every run is a seeded open-loop drill
+/// on the virtual clock, so the rows are bit-deterministic.
+///
+/// # Errors
+///
+/// Propagates pipeline/serving failures.
+pub fn serving_comparison(options: &ExperimentOptions) -> Result<Vec<ServingRow>> {
+    use crate::serve::run_server;
+    use edvit_serve::{ArrivalSpec, DepthController, ServeConfig, ServeScheduler, TenantSpec};
+
+    let devices = 4usize;
+    let requests = if options.fast { 24 } else { 96 };
+    let config = pipeline_config(
+        DatasetKind::Cifar10Like,
+        ViTVariant::Base,
+        devices,
+        options,
+        13,
+    );
+    let device_specs = config.devices.clone();
+    let trained = EdVitPipeline::new(config).run()?;
+    let test = trained.test_set.clone();
+    let n = test.len().min(8);
+    let inputs: Vec<_> = (0..n)
+        .map(|i| test.images().row(i))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(EdVitError::from)?;
+
+    // Fusion-MLP cost of roughly one sub-model's per-sample FLOPs: the
+    // pipelined round interval is max(device, fusion) where the barrier
+    // baseline pays device + fusion per request — the gap continuous
+    // batching exploits.
+    const SERVING_FUSION_FLOPS: u64 = 1_250_000_000;
+    let open_tenants = || {
+        vec![
+            TenantSpec::new("interactive", 10_000),
+            TenantSpec::new("batch", 10_000),
+        ]
+    };
+    let base_config = |tenants: Vec<TenantSpec>, arrivals: ArrivalSpec| {
+        let mut c = ServeConfig::new(tenants, arrivals);
+        c.stream.fusion_flops = SERVING_FUSION_FLOPS;
+        c
+    };
+    let capacity = ServeScheduler::new(
+        trained.plan.clone(),
+        device_specs.clone(),
+        base_config(open_tenants(), ArrivalSpec::new(1.0, 1, 0)),
+    )?
+    .nominal_capacity_per_second()?;
+
+    // Kill the device hosting sub-model 0 early in the crash scenario.
+    let victim =
+        trained
+            .plan
+            .assignment
+            .device_for(0)
+            .ok_or_else(|| EdVitError::InvalidConfig {
+                message: "sub-model 0 must have an assigned device to kill".to_string(),
+            })?;
+
+    let sustainable = ArrivalSpec::new(0.8 * capacity, requests, 11);
+    let mut pinned = base_config(open_tenants(), sustainable);
+    pinned.depth = DepthController {
+        min_depth: 2,
+        max_depth: 2,
+        backlog_rounds: usize::MAX,
+    };
+    let mut overloaded = base_config(
+        vec![
+            TenantSpec::new("interactive", 2),
+            TenantSpec::new("batch", 4),
+        ],
+        ArrivalSpec::new(6.0 * capacity, requests, 23),
+    );
+    overloaded.depth = DepthController::default();
+    let mut crashed = base_config(
+        open_tenants(),
+        ArrivalSpec::new(0.6 * capacity, requests, 17),
+    );
+    crashed.stream = crashed.stream.with_failure(victim, 1);
+
+    let scenarios: Vec<(&str, ServeConfig)> = vec![
+        (
+            "barrier per request",
+            base_config(open_tenants(), sustainable).barrier_per_request(),
+        ),
+        ("continuous", pinned),
+        ("continuous + overload", overloaded),
+        ("continuous + device death", crashed),
+    ];
+
+    let mut rows = Vec::with_capacity(scenarios.len());
+    for (name, serve_config) in scenarios {
+        let tenants = serve_config.tenants.len();
+        let report = run_server(trained.clone(), &inputs, device_specs.clone(), serve_config)?;
+        rows.push(ServingRow {
+            scenario: name.to_string(),
+            tenants,
+            offered_rate_per_second: report.offered_rate_per_second,
+            admitted: report.admitted,
+            completed: report.completed,
+            shed: report.shed,
+            rounds_formed: report.rounds_formed,
+            partial_rounds: report.partial_rounds,
+            p50_latency_seconds: report.p50_latency_seconds,
+            p99_latency_seconds: report.p99_latency_seconds,
+            served_samples_per_second: report.served_samples_per_second,
+            depth_transitions: report.depth_changes.len(),
+            recovery_seconds: report.recovery_seconds,
+            devices_lost: report.devices_lost.len(),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
 // Wire-codec comparison (beyond the paper: the ROADMAP's payload shrinking)
 // ---------------------------------------------------------------------------
 
@@ -851,6 +1010,32 @@ mod tests {
         assert!(chaos.recovery_seconds > 0.0);
         // Every scenario fused the full stream exactly once.
         assert!(rows.iter().all(|r| r.samples == barrier.samples));
+    }
+
+    #[test]
+    fn serving_comparison_batches_sheds_and_recovers() {
+        let rows = serving_comparison(&ExperimentOptions::fast()).unwrap();
+        assert_eq!(rows.len(), 4);
+        let barrier = &rows[0];
+        let continuous = &rows[1];
+        let overload = &rows[2];
+        let crash = &rows[3];
+        assert_eq!(barrier.scenario, "barrier per request");
+        // Same seeded arrivals: continuous batching wins the tail.
+        assert_eq!(barrier.admitted, continuous.admitted);
+        assert!(continuous.p99_latency_seconds < barrier.p99_latency_seconds);
+        assert!(continuous.served_samples_per_second > barrier.served_samples_per_second);
+        assert!(barrier.rounds_formed > continuous.rounds_formed);
+        // Overload sheds against the tight bounds but loses nothing.
+        assert!(overload.shed > 0);
+        // The crash shows up as recovery time, not as lost requests.
+        assert_eq!(crash.devices_lost, 1);
+        assert!(crash.recovery_seconds > 0.0);
+        // Exactly-one-disposition accounting on every row.
+        assert!(rows.iter().all(|r| r.admitted == r.completed + r.shed));
+        assert!(rows
+            .iter()
+            .all(|r| r.p99_latency_seconds >= r.p50_latency_seconds));
     }
 
     #[test]

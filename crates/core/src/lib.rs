@@ -25,6 +25,7 @@
 //! | [`fusion`](edvit_fusion) | tower-MLP feature fusion |
 //! | [`baselines`](edvit_baselines) | Split-CNN and Split-SNN comparators |
 //! | [`chaos`](edvit_chaos) | declarative seeded fault-injection plans |
+//! | [`serving`](edvit_serve) | multi-tenant continuous-batching request front-door |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub mod distributed;
 mod error;
 pub mod experiments;
 pub mod pipeline;
+pub mod serve;
 pub mod streaming;
 
 pub use error::EdVitError;
@@ -61,6 +63,7 @@ pub use edvit_nn as nn;
 pub use edvit_partition as partition;
 pub use edvit_pruning as pruning;
 pub use edvit_sched as sched;
+pub use edvit_serve as serving;
 pub use edvit_tensor as tensor;
 pub use edvit_vit as vit;
 

@@ -1,0 +1,112 @@
+//! Bridging a trained [`crate::pipeline::EdVitDeployment`] onto the
+//! multi-tenant serving front-door of `edvit-serve`: concurrent requests
+//! arrive on their own clock, coalesce into continuously-batched cluster
+//! rounds, and every tenant gets its own p50/p99 SLO row — instead of the
+//! single pre-collected batch of [`crate::distributed`] or the fixed sample
+//! stream of [`crate::streaming`].
+
+use edvit_partition::DeviceSpec;
+use edvit_serve::{ServeConfig, ServeReport, ServeScheduler};
+use edvit_tensor::Tensor;
+
+use crate::distributed::into_executors;
+use crate::pipeline::EdVitDeployment;
+use crate::{EdVitError, Result};
+
+/// Runs a seeded open-loop serving drill against the deployment: generates
+/// the configured arrival process, admits requests through per-tenant
+/// bounded queues, forms continuously-batched rounds, executes them on the
+/// streaming scheduler, and reports per-tenant latency percentiles plus the
+/// fused output for every request that was not shed.
+///
+/// The deployment is consumed (sub-models move onto their device threads);
+/// `samples` is the pool the arrival generator draws request payloads from.
+///
+/// # Errors
+///
+/// Returns an error when the sample pool is empty, the serving configuration
+/// is inconsistent (no tenants, zero arrival rate, round size 0), or every
+/// device crashes mid-drill.
+pub fn run_server(
+    deployment: EdVitDeployment,
+    samples: &[Tensor],
+    devices: Vec<DeviceSpec>,
+    config: ServeConfig,
+) -> Result<ServeReport> {
+    if samples.is_empty() {
+        return Err(EdVitError::InvalidConfig {
+            message: "no samples to draw serving requests from".to_string(),
+        });
+    }
+    let plan = deployment.plan.clone();
+    let (executors, fusion) = into_executors(deployment);
+    let scheduler = ServeScheduler::new(plan, devices, config)?;
+    Ok(scheduler.run(samples, executors, fusion)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{EdVitConfig, EdVitPipeline};
+    use edvit_serve::{ArrivalSpec, TenantSpec};
+
+    fn deployment_and_samples(
+        devices: usize,
+        samples: usize,
+    ) -> (EdVitDeployment, Vec<Tensor>, Vec<DeviceSpec>) {
+        let config = EdVitConfig::tiny_demo(devices);
+        let device_specs = config.devices.clone();
+        let deployment = EdVitPipeline::new(config).run().unwrap();
+        let test = deployment.test_set.clone();
+        let n = test.len().min(samples);
+        let inputs: Vec<Tensor> = (0..n).map(|i| test.images().row(i).unwrap()).collect();
+        (deployment, inputs, device_specs)
+    }
+
+    #[test]
+    fn served_deployment_fuses_every_admitted_request_once() {
+        let (deployment, samples, devices) = deployment_and_samples(2, 6);
+        let tenants = vec![
+            TenantSpec::new("cam-north", 64),
+            TenantSpec::new("cam-south", 64),
+        ];
+        let config = ServeConfig::new(tenants, ArrivalSpec::new(0.05, 10, 7));
+        let report = run_server(deployment, &samples, devices, config).unwrap();
+        assert_eq!(report.admitted, 10);
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.shed, 0);
+        assert!(report.no_lost_requests());
+        assert_eq!(report.tenants.len(), 2);
+        assert!(report.p99_latency_seconds >= report.p50_latency_seconds);
+        // Every fused output lives in the ViT's logit space.
+        let stream = report.stream.as_ref().unwrap();
+        assert!(report
+            .outputs
+            .values()
+            .all(|t| t.numel() == stream.outputs[0].numel()));
+    }
+
+    #[test]
+    fn empty_sample_pool_is_rejected() {
+        let (deployment, _, devices) = deployment_and_samples(2, 4);
+        let config = ServeConfig::new(vec![TenantSpec::new("t", 8)], ArrivalSpec::new(1.0, 4, 1));
+        assert!(matches!(
+            run_server(deployment, &[], devices, config),
+            Err(EdVitError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn overloaded_tenant_sheds_but_loses_nothing() {
+        let (deployment, samples, devices) = deployment_and_samples(2, 6);
+        let tenants = vec![TenantSpec::new("burst", 2)];
+        // Arrivals far faster than the cluster's virtual service rate: the
+        // bounded queue sheds the excess, and the books still balance.
+        let config = ServeConfig::new(tenants, ArrivalSpec::new(50.0, 24, 3));
+        let report = run_server(deployment, &samples, devices, config).unwrap();
+        assert_eq!(report.admitted, 24);
+        assert!(report.shed > 0);
+        assert!(report.no_lost_requests());
+        assert!(report.tenants[0].max_queue_depth <= 2);
+    }
+}

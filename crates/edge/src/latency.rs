@@ -368,6 +368,90 @@ impl LatencyModel {
     }
 }
 
+/// Per-round-size stream timings for one `(plan, devices)` deployment.
+///
+/// Continuous batching makes round sizes vary round to round (fill the batch
+/// from whatever is queued, never wait for stragglers), so callers need
+/// [`StreamTiming`]s for many `samples_per_round` values against the same
+/// deployment. `RoundTimings` memoizes [`LatencyModel::estimate_stream`] per
+/// size and knows how to price a whole *sequence* of heterogeneous rounds —
+/// the accounting that replaces "rounds × nominal interval" once partial
+/// rounds are legal.
+#[derive(Debug, Clone)]
+pub struct RoundTimings {
+    model: LatencyModel,
+    plan: SplitPlan,
+    devices: Vec<DeviceSpec>,
+    pipelined: bool,
+    cache: std::collections::BTreeMap<usize, StreamTiming>,
+}
+
+impl RoundTimings {
+    /// Creates a timing table for the deployment. The plan must only contain
+    /// hosted sub-models (a degraded caller filters first, exactly as it
+    /// would for [`LatencyModel::estimate_stream`]).
+    pub fn new(
+        model: LatencyModel,
+        plan: SplitPlan,
+        devices: Vec<DeviceSpec>,
+        pipelined: bool,
+    ) -> Self {
+        RoundTimings {
+            model,
+            plan,
+            devices,
+            pipelined,
+            cache: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Whether rounds overlap (pipelined) or barrier-synchronize.
+    pub fn pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// The stream timing for a round of `samples` samples, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LatencyModel::estimate_stream`] (notably
+    /// `samples == 0`).
+    pub fn timing_for(&mut self, samples: usize) -> Result<StreamTiming> {
+        if let Some(timing) = self.cache.get(&samples) {
+            return Ok(timing.clone());
+        }
+        let timing =
+            self.model
+                .estimate_stream(&self.plan, &self.devices, samples, self.pipelined)?;
+        self.cache.insert(samples, timing.clone());
+        Ok(timing)
+    }
+
+    /// Virtual seconds to fuse the given sequence of round sizes back to
+    /// back. Pipelined mode pays the first round's fill (device stage +
+    /// fusion stage) and then one per-size round interval for each later
+    /// round; barrier mode pays both stages for every round. For a uniform
+    /// sequence this is exactly [`StreamTiming::total_seconds`]; for a mixed
+    /// sequence every round is charged at *its own* sample count — an
+    /// under-filled final round no longer pays for samples it did not carry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LatencyModel::estimate_stream`].
+    pub fn seconds_for_rounds(&mut self, sizes: &[usize]) -> Result<f64> {
+        let mut total = 0.0f64;
+        for (index, &size) in sizes.iter().enumerate() {
+            let timing = self.timing_for(size)?;
+            total += if self.pipelined && index == 0 {
+                timing.device_round_seconds + timing.fusion_round_seconds
+            } else {
+                timing.round_interval_seconds
+            };
+        }
+        Ok(total)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +660,39 @@ mod tests {
             .unwrap();
         assert!(rle.total_wire_bytes() >= coded.total_wire_bytes());
         assert!(rle.total_wire_bytes() < base.total_wire_bytes());
+    }
+
+    #[test]
+    fn round_timings_match_uniform_totals_and_charge_partial_rounds_less() {
+        let model = LatencyModel::new(NetworkConfig::paper_default());
+        let (plan, devices) = plan_for(3);
+        for pipelined in [true, false] {
+            let mut table =
+                RoundTimings::new(model.clone(), plan.clone(), devices.clone(), pipelined);
+            assert_eq!(table.pipelined(), pipelined);
+            let reference = model
+                .estimate_stream(&plan, &devices, 4, pipelined)
+                .unwrap();
+            // Memoized lookups agree with the direct estimate.
+            assert_eq!(table.timing_for(4).unwrap(), reference);
+            assert_eq!(table.timing_for(4).unwrap(), reference);
+            // A uniform sequence prices exactly like the closed form.
+            let uniform = table.seconds_for_rounds(&[4, 4, 4]).unwrap();
+            assert!((uniform - reference.total_seconds(3)).abs() < 1e-12);
+            // An under-filled final round costs strictly less than a full one.
+            let partial = table.seconds_for_rounds(&[4, 4, 2]).unwrap();
+            assert!(
+                partial < uniform,
+                "{partial} !< {uniform} (pipelined={pipelined})"
+            );
+            // ... but more than dropping the round entirely.
+            assert!(partial > table.seconds_for_rounds(&[4, 4]).unwrap());
+            // Zero-sample rounds stay a configuration error.
+            assert!(table.timing_for(0).is_err());
+            assert!(table.seconds_for_rounds(&[4, 0]).is_err());
+            // The empty sequence costs nothing.
+            assert_eq!(table.seconds_for_rounds(&[]).unwrap(), 0.0);
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod wire;
 
 pub use dedupe::ControlDeduper;
 pub use error::EdgeError;
-pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency, StreamTiming};
+pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency, RoundTimings, StreamTiming};
 pub use network::NetworkConfig;
 pub use options::{NetOptions, TransportKind};
 pub use runtime::{ClusterRuntime, FusionFn, RuntimeReport, SubModelFn};

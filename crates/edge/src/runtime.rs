@@ -329,6 +329,42 @@ mod tests {
     }
 
     #[test]
+    fn throughput_divides_by_samples_actually_processed() {
+        // Regression pin for partial-round accounting: a batch that
+        // under-fills any nominal round size must still divide throughput by
+        // the samples actually fused — `outputs.len()` — never a nominal
+        // round size. 3 samples is deliberately not a power-of-two fill.
+        let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
+        let inputs = vec![Tensor::zeros(&[2]), Tensor::ones(&[2]), Tensor::zeros(&[2])];
+        let executors = vec![constant_executor(1.0, 2)];
+        let fusion: FusionFn = Box::new(|concat: &Tensor| Ok(concat.clone()));
+        let report = runtime.run(&inputs, executors, fusion).unwrap();
+        assert_eq!(report.outputs.len(), 3);
+        if report.wall_clock_seconds > 0.0 {
+            let expected = report.outputs.len() as f64 / report.wall_clock_seconds;
+            assert!(
+                (report.samples_per_second - expected).abs() <= expected * 1e-12,
+                "samples_per_second {} must equal outputs/wall = {expected}",
+                report.samples_per_second
+            );
+        } else {
+            assert_eq!(report.samples_per_second, f64::INFINITY);
+        }
+        // The per-device figures use the same actual-samples numerator.
+        for (rate, &seconds) in report
+            .per_device_samples_per_second()
+            .iter()
+            .zip(&report.per_device_compute_seconds)
+        {
+            if seconds > 0.0 {
+                assert!((rate - 3.0 / seconds).abs() <= rate * 1e-12);
+            } else {
+                assert_eq!(*rate, f64::INFINITY);
+            }
+        }
+    }
+
+    #[test]
     fn features_are_fused_in_sub_model_order() {
         let runtime = ClusterRuntime::new(NetworkConfig::paper_default());
         let inputs = vec![Tensor::zeros(&[2]), Tensor::ones(&[2])];

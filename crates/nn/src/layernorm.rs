@@ -1,4 +1,5 @@
-use edvit_tensor::{ops::NORM_EPS, Tensor};
+use edvit_parallel::ParallelPool;
+use edvit_tensor::{ops, Tensor};
 
 use crate::{Layer, NnError, Parameter, Result};
 
@@ -115,20 +116,16 @@ impl Layer for LayerNorm {
         let mut x_hat = vec![0.0f32; input.numel()];
         let mut inv_std = vec![0.0f32; rows];
         let mut out = vec![0.0f32; input.numel()];
-        for r in 0..rows {
-            let row = &input.data()[r * self.dim..(r + 1) * self.dim];
-            let mean: f32 = row.iter().sum::<f32>() / self.dim as f32;
-            let var: f32 =
-                row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
-            let istd = 1.0 / (var + NORM_EPS).sqrt();
-            inv_std[r] = istd;
-            for (i, &v) in row.iter().enumerate() {
-                let xh = (v - mean) * istd;
-                x_hat[r * self.dim + i] = xh;
-                out[r * self.dim + i] =
-                    xh * self.gamma.value().data()[i] + self.beta.value().data()[i];
-            }
-        }
+        ops::layer_norm_forward_rows(
+            input.data(),
+            self.dim,
+            self.gamma.value().data(),
+            self.beta.value().data(),
+            &mut x_hat,
+            &mut out,
+            &mut inv_std,
+            ParallelPool::global(),
+        );
         let lead_dims: Vec<usize> = input.dims()[..input.rank() - 1].to_vec();
         self.cache = Some(LayerNormCache {
             x_hat: Tensor::from_vec(x_hat, &[rows, self.dim])?,
@@ -146,29 +143,19 @@ impl Layer for LayerNorm {
         let rows = cache.inv_std.len();
         let d = self.dim;
         let g = grad_output.reshape(&[rows, d])?;
-        let mut grad_gamma = vec![0.0f32; d];
-        let mut grad_beta = vec![0.0f32; d];
+        let pool = ParallelPool::global();
+        let (grad_gamma, grad_beta) =
+            ops::layer_norm_param_grads_rows(g.data(), cache.x_hat.data(), d, pool);
         let mut grad_x = vec![0.0f32; rows * d];
-        for r in 0..rows {
-            let grow = &g.data()[r * d..(r + 1) * d];
-            let xrow = &cache.x_hat.data()[r * d..(r + 1) * d];
-            // Accumulate parameter gradients.
-            for i in 0..d {
-                grad_gamma[i] += grow[i] * xrow[i];
-                grad_beta[i] += grow[i];
-            }
-            // dL/dx_hat = g * gamma
-            let dxhat: Vec<f32> = (0..d)
-                .map(|i| grow[i] * self.gamma.value().data()[i])
-                .collect();
-            let sum_dxhat: f32 = dxhat.iter().sum();
-            let sum_dxhat_xhat: f32 = dxhat.iter().zip(xrow).map(|(a, b)| a * b).sum();
-            let istd = cache.inv_std[r];
-            for i in 0..d {
-                grad_x[r * d + i] =
-                    istd / d as f32 * (d as f32 * dxhat[i] - sum_dxhat - xrow[i] * sum_dxhat_xhat);
-            }
-        }
+        ops::layer_norm_backward_rows(
+            g.data(),
+            cache.x_hat.data(),
+            &cache.inv_std,
+            d,
+            self.gamma.value().data(),
+            &mut grad_x,
+            pool,
+        );
         self.gamma
             .accumulate_grad(&Tensor::from_vec(grad_gamma, &[d])?)?;
         self.beta
@@ -238,6 +225,55 @@ mod tests {
     #[test]
     fn gradcheck() {
         finite_difference_check(Box::new(LayerNorm::new(6)), &[3, 6], 3e-2, 21);
+    }
+
+    #[test]
+    fn layer_matches_sequential_kernels_bitwise() {
+        // The layer runs on the global pool (EDVIT_THREADS); the reference
+        // below runs the same kernels on an explicit 1-thread pool. The
+        // kernels promise thread-count-independent bit patterns, so the two
+        // must agree exactly — at any EDVIT_THREADS setting.
+        let d = 96;
+        let rows = 200; // rows * d straddles the parallel threshold
+        let mut rng = TensorRng::new(0xBEEF);
+        let x = rng.randn(&[rows, d], 0.0, 2.0);
+        let g = rng.randn(&[rows, d], 0.0, 1.0);
+        let gamma = rng.rand_uniform(&[d], 0.5, 1.5);
+        let beta = rng.rand_uniform(&[d], -0.5, 0.5);
+
+        let mut ln = LayerNorm::from_weights(gamma.clone(), beta.clone()).unwrap();
+        let y = ln.forward(&x).unwrap();
+        let gx = ln.backward(&g).unwrap();
+
+        let seq = ParallelPool::new(1);
+        let mut x_hat = vec![0.0f32; rows * d];
+        let mut out = vec![0.0f32; rows * d];
+        let mut inv_std = vec![0.0f32; rows];
+        ops::layer_norm_forward_rows(
+            x.data(),
+            d,
+            gamma.data(),
+            beta.data(),
+            &mut x_hat,
+            &mut out,
+            &mut inv_std,
+            &seq,
+        );
+        assert_eq!(y.data(), &out[..]);
+        let mut grad_x = vec![0.0f32; rows * d];
+        ops::layer_norm_backward_rows(
+            g.data(),
+            &x_hat,
+            &inv_std,
+            d,
+            gamma.data(),
+            &mut grad_x,
+            &seq,
+        );
+        assert_eq!(gx.data(), &grad_x[..]);
+        let (gg, gb) = ops::layer_norm_param_grads_rows(g.data(), &x_hat, d, &seq);
+        assert_eq!(ln.gamma().grad().data(), &gg[..]);
+        assert_eq!(ln.beta().grad().data(), &gb[..]);
     }
 
     #[test]

@@ -63,15 +63,19 @@
 #![forbid(unsafe_code)]
 
 mod clock;
+mod depth;
 mod error;
 mod faults;
 mod health;
+mod rounds;
 mod stream;
 
 pub use clock::SimClock;
+pub use depth::{DepthChange, DepthController};
 pub use error::SchedError;
 pub use faults::{apply_fault, FaultScript, FaultedDelivery, FrameFault, FrameSlot, JoinInjection};
 pub use health::{DeviceHealth, HealthTracker};
+pub use rounds::RoundLayout;
 pub use stream::{FailureInjection, ScheduleMode, StreamConfig, StreamReport, StreamScheduler};
 
 // Re-exported so stream configurations can pick a wire codec and transport

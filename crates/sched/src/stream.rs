@@ -82,13 +82,14 @@ use bytes::Bytes;
 use edvit_edge::wire::FeatureBatchMessage;
 use edvit_edge::{
     ControlDeduper, ControlKind, ControlMessage, FusionFn, LatencyModel, NetOptions, NetworkConfig,
-    PayloadCodec, StreamTiming, SubModelFn, TransportKind, WireFrame,
+    PayloadCodec, RoundTimings, SubModelFn, TransportKind, WireFrame,
 };
 use edvit_net::{transport_for, FrameRx, FrameTx, LaneEvent, Transport};
 use edvit_partition::{DeviceSpec, PartitionError, SplitPlan};
 use edvit_tensor::Tensor;
 
 use crate::faults::{apply_fault, FaultScript, FaultedDelivery, FrameFault, FrameSlot};
+use crate::rounds::RoundLayout;
 use crate::{HealthTracker, JoinInjection, Result, SchedError, SimClock};
 
 /// How rounds are scheduled relative to the fusion stage.
@@ -356,8 +357,15 @@ pub struct StreamReport {
     /// rounds. Zero when no device died.
     pub recovery_seconds: f64,
     /// Steady-state throughput of the final membership, from the analytic
-    /// stream timing.
+    /// stream timing at the *nominal* round size — what the pipeline would
+    /// sustain if every round were full.
     pub steady_state_samples_per_second: f64,
+    /// Realized throughput: samples actually fused divided by the virtual
+    /// end-to-end time. Unlike the steady-state figure this divides by what
+    /// the rounds really carried, so an under-filled final round (or a
+    /// stream of partial continuous batches) is priced at its true sample
+    /// count instead of the nominal `round_size`.
+    pub effective_samples_per_second: f64,
     /// Virtual end-to-end seconds on the [`SimClock`].
     pub simulated_total_seconds: f64,
     /// The plan in force when the stream finished (re-assigned if devices
@@ -439,7 +447,8 @@ impl EpochOutcome {
 
 /// Read-only knobs one epoch runs under.
 struct EpochParams<'a> {
-    round_size: usize,
+    /// Which sample span each global round covers.
+    layout: &'a RoundLayout,
     pipeline_depth: usize,
     codec: PayloadCodec,
     failures: &'a BTreeMap<usize, u64>,
@@ -517,12 +526,47 @@ impl StreamScheduler {
     pub fn run(
         &self,
         inputs: &[Tensor],
+        executors: Vec<SubModelFn>,
+        fusion: FusionFn,
+    ) -> Result<StreamReport> {
+        if inputs.is_empty() {
+            return Err(SchedError::InvalidConfig {
+                message: "no input samples".to_string(),
+            });
+        }
+        let layout = RoundLayout::uniform(inputs.len(), self.config.round_size)?;
+        self.run_rounds(inputs, &layout, executors, fusion)
+    }
+
+    /// Runs the stream over an explicit [`RoundLayout`] — the round-source
+    /// seam continuous batching plugs into. [`StreamScheduler::run`] is this
+    /// with the uniform layout; a serving front end hands in whatever
+    /// variable-size rounds its queues produced. Every virtual-clock charge
+    /// prices each round at its *own* sample count.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamScheduler::run`], plus [`SchedError::InvalidConfig`] when
+    /// the layout does not cover `inputs` exactly.
+    pub fn run_rounds(
+        &self,
+        inputs: &[Tensor],
+        layout: &RoundLayout,
         mut executors: Vec<SubModelFn>,
         mut fusion: FusionFn,
     ) -> Result<StreamReport> {
         if inputs.is_empty() {
             return Err(SchedError::InvalidConfig {
                 message: "no input samples".to_string(),
+            });
+        }
+        if layout.total_samples() != inputs.len() {
+            return Err(SchedError::InvalidConfig {
+                message: format!(
+                    "round layout covers {} samples but {} were provided",
+                    layout.total_samples(),
+                    inputs.len()
+                ),
             });
         }
         if executors.len() != self.plan.sub_models.len() {
@@ -536,7 +580,7 @@ impl StreamScheduler {
         }
         let cfg = &self.config;
         let round_size = cfg.round_size;
-        let total_rounds = inputs.len().div_ceil(round_size);
+        let total_rounds = layout.rounds();
         let mut failures: BTreeMap<usize, u64> = cfg
             .failures
             .iter()
@@ -591,6 +635,7 @@ impl StreamScheduler {
             missing_sub_models: Vec::new(),
             recovery_seconds: 0.0,
             steady_state_samples_per_second: 0.0,
+            effective_samples_per_second: 0.0,
             simulated_total_seconds: 0.0,
             final_plan: current_plan.clone(),
         };
@@ -612,7 +657,12 @@ impl StreamScheduler {
 
             report.epochs += 1;
             tracker.begin_epoch();
-            let timing = self.timing(&current_plan, &current_devices)?;
+            let mut round_timings = self.round_timings(&current_plan, &current_devices);
+            // Nominal-size timing: the heartbeat deadline, retry backoff and
+            // failure-detection windows stay round-denominated in the
+            // *configured* round size, so partial rounds don't jitter the
+            // liveness machinery.
+            let timing = round_timings.timing_for(cfg.round_size)?;
             // Hand the backend this epoch's liveness deadline in its native
             // round denomination; the TCP backend maps it to a read timeout,
             // the sim backend charges it analytically.
@@ -629,7 +679,7 @@ impl StreamScheduler {
                 })
                 .collect();
             let params = EpochParams {
-                round_size,
+                layout,
                 pipeline_depth: cfg.effective_depth(),
                 codec: cfg.codec,
                 failures: &failures,
@@ -680,9 +730,16 @@ impl StreamScheduler {
                 .sum();
             report.retries += outcome.retry_attempts.len() as u64;
             report.retry_seconds += retry_seconds;
-            clock.advance(timing.total_seconds(outcome.rounds_fused) + retry_seconds);
+            // Price the epoch round by round at each round's actual sample
+            // count: a partial round (under-filled tail or continuous batch)
+            // costs what it carried, not the nominal `round_size`.
+            let fused_sizes: Vec<usize> = pending[..outcome.rounds_fused]
+                .iter()
+                .map(|&round| layout.len_of(round))
+                .collect();
+            clock.advance(round_timings.seconds_for_rounds(&fused_sizes)? + retry_seconds);
 
-            pending.retain(|&round| round_unfused(&fused, round, round_size, inputs.len()));
+            pending.retain(|&round| round_unfused(&fused, round, layout));
 
             if outcome.newly_dead.is_empty() {
                 if outcome.join_due {
@@ -718,23 +775,34 @@ impl StreamScheduler {
             report.samples_replayed += outcome
                 .partial_rounds
                 .iter()
-                .map(|&r| round_len(r, round_size, inputs.len()))
+                .map(|&r| layout.len_of(r))
                 .sum::<usize>();
 
             // Detection costs one round interval for the missed heartbeat to
             // fall due plus `grace_rounds` intervals of deadline; then the
             // planner runs; then the in-flight rounds replay on the new
             // membership (their compute is charged to the next epoch's clock
-            // advance, but they are part of the recovery window).
+            // advance, but they are part of the recovery window). Each
+            // replayed round is priced at its own sample count on the new
+            // membership's timing.
             let detection_seconds = (cfg.grace_rounds + 1) as f64 * timing.round_interval_seconds;
-            let new_timing = self.timing(&current_plan, &current_devices)?;
-            let replay_seconds =
-                outcome.partial_rounds.len() as f64 * new_timing.round_interval_seconds;
+            let mut new_timings = self.round_timings(&current_plan, &current_devices);
+            let mut replay_seconds = 0.0f64;
+            for &round in &outcome.partial_rounds {
+                replay_seconds += new_timings
+                    .timing_for(layout.len_of(round))?
+                    .round_interval_seconds;
+            }
             report.recovery_seconds += detection_seconds + cfg.replan_seconds + replay_seconds;
             clock.advance(detection_seconds + cfg.replan_seconds);
         }
 
         report.simulated_total_seconds = clock.now();
+        report.effective_samples_per_second = if clock.now() > 0.0 {
+            inputs.len() as f64 / clock.now()
+        } else {
+            f64::INFINITY
+        };
         report.stale_heartbeats = tracker.stale_heartbeats();
         report.missing_sub_models = missing;
         report.final_plan = current_plan;
@@ -788,35 +856,35 @@ impl StreamScheduler {
         }
     }
 
-    fn timing(&self, plan: &SplitPlan, devices: &[DeviceSpec]) -> Result<StreamTiming> {
+    /// The per-round-size timing table for a membership: the analytic model
+    /// under this configuration's codec and fusion override, priced over the
+    /// hosted sub-models only (a degraded plan carries unassigned sub-models
+    /// the latency model would reject).
+    fn round_timings(&self, plan: &SplitPlan, devices: &[DeviceSpec]) -> RoundTimings {
         let mut model =
             LatencyModel::new(self.config.network).with_options(&self.config.net_options());
         if self.config.fusion_flops > 0 {
             model = model.with_fusion_flops(self.config.fusion_flops);
         }
-        // A degraded plan carries unassigned (dropped) sub-models that the
-        // latency model would reject; price only what actually runs.
-        let hosted_only;
         let priced = if plan
             .sub_models
             .iter()
             .all(|s| plan.assignment.device_for(s.index).is_some())
         {
-            plan
+            plan.clone()
         } else {
             let mut filtered = plan.clone();
             filtered
                 .sub_models
                 .retain(|s| plan.assignment.device_for(s.index).is_some());
-            hosted_only = filtered;
-            &hosted_only
+            filtered
         };
-        Ok(model.estimate_stream(
+        RoundTimings::new(
+            model,
             priced,
-            devices,
-            self.config.round_size,
+            devices.to_vec(),
             self.config.mode == ScheduleMode::Pipelined,
-        )?)
+        )
     }
 }
 
@@ -870,24 +938,8 @@ impl StreamConfig {
     }
 }
 
-/// Sample indices covered by the given global round.
-fn round_span(round: u64, round_size: usize, total_samples: usize) -> std::ops::Range<usize> {
-    let lo = round as usize * round_size;
-    let hi = (lo + round_size).min(total_samples);
-    lo..hi
-}
-
-fn round_len(round: u64, round_size: usize, total_samples: usize) -> usize {
-    round_span(round, round_size, total_samples).len()
-}
-
-fn round_unfused(
-    fused: &[Option<Tensor>],
-    round: u64,
-    round_size: usize,
-    total_samples: usize,
-) -> bool {
-    round_span(round, round_size, total_samples).any(|sample| fused[sample].is_none())
+fn round_unfused(fused: &[Option<Tensor>], round: u64, layout: &RoundLayout) -> bool {
+    layout.span(round).any(|sample| fused[sample].is_none())
 }
 
 /// One membership epoch: spawns a worker thread per active device, consumes
@@ -941,7 +993,6 @@ fn run_epoch(
         .map(|(&device, execs)| (device, execs.len()))
         .collect();
     let num_sub_models = plan.sub_models.len();
-    let total_samples = inputs.len();
     // Highest round count any device has produced this epoch. Purely
     // observational (it feeds the `max_rounds_in_flight` statistic, which is
     // scheduling-dependent by nature); timing and replay accounting never
@@ -974,14 +1025,13 @@ fn run_epoch(
                 .map_or(0.0, |d| d.flops_per_second);
             let dies_at = params.failures.get(&device_id).copied();
             let codec = params.codec;
-            let round_size = params.round_size;
+            let layout = params.layout;
             scope.spawn(move |_| {
                 run_device_worker(
                     device_id,
                     execs,
                     epoch_rounds,
-                    round_size,
-                    total_samples,
+                    layout,
                     codec,
                     inputs,
                     capacity_flops,
@@ -998,7 +1048,6 @@ fn run_epoch(
             params,
             &frames_per_round,
             num_sub_models,
-            total_samples,
             fusion,
             fused,
             produced_ref,
@@ -1020,8 +1069,7 @@ fn run_device_worker(
     device_id: usize,
     mut execs: Vec<(usize, &mut SubModelFn)>,
     epoch_rounds: &[u64],
-    round_size: usize,
-    total_samples: usize,
+    layout: &RoundLayout,
     codec: PayloadCodec,
     inputs: &[Tensor],
     capacity_flops: f64,
@@ -1041,7 +1089,7 @@ fn run_device_worker(
         if dies_at.is_some_and(|at| round >= at) {
             return; // scripted crash: silence, not a leave
         }
-        let span = round_span(round, round_size, total_samples);
+        let span = layout.span(round);
         for (sub_index, executor) in &mut execs {
             let mut batch: Option<FeatureBatchMessage> = None;
             for sample in span.clone() {
@@ -1095,8 +1143,7 @@ enum Processed {
 /// stash and the outcome under construction.
 struct Collector<'a> {
     epoch_rounds: &'a [u64],
-    round_size: usize,
-    total_samples: usize,
+    layout: &'a RoundLayout,
     num_sub_models: usize,
     faults: &'a FaultScript,
     max_retries: u32,
@@ -1252,15 +1299,14 @@ impl Collector<'_> {
                 let mut duplicated = false;
                 for single in batch.into_messages() {
                     let sample = single.sample_index as usize;
-                    if sample >= self.total_samples {
+                    let Some(round) = self.layout.round_of(sample) else {
                         return Err(SchedError::Runtime {
                             message: format!(
                                 "frame references sample {sample} beyond the stream of {}",
-                                self.total_samples
+                                self.layout.total_samples()
                             ),
                         });
-                    }
-                    let round = (sample / self.round_size) as u64;
+                    };
                     let slot = self
                         .partial
                         .entry(round)
@@ -1301,7 +1347,7 @@ impl Collector<'_> {
         fusion: &mut FusionFn,
         fused: &mut [Option<Tensor>],
     ) -> Result<()> {
-        let span = round_span(round, self.round_size, self.total_samples);
+        let span = self.layout.span(round);
         let samples = self.partial.remove(&round).unwrap_or_default();
         let hosted = self.num_sub_models - self.missing_dims.len();
         if span.len() != samples.len() || samples.values().any(|features| features.len() != hosted)
@@ -1354,7 +1400,6 @@ fn collect_epoch(
     params: &EpochParams<'_>,
     frames_per_round: &BTreeMap<usize, usize>,
     num_sub_models: usize,
-    total_samples: usize,
     fusion: &mut FusionFn,
     fused: &mut [Option<Tensor>],
     produced_max: &AtomicU64,
@@ -1365,8 +1410,7 @@ fn collect_epoch(
     }
     let mut collector = Collector {
         epoch_rounds,
-        round_size: params.round_size,
-        total_samples,
+        layout: params.layout,
         num_sub_models,
         faults: params.faults,
         max_retries: params.max_retries,

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use edvit_edge::{FusionFn, SubModelFn};
 use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlan, SplitPlanner};
 use edvit_sched::{
-    NetOptions, PayloadCodec, SchedError, ScheduleMode, StreamConfig, StreamScheduler,
+    NetOptions, PayloadCodec, RoundLayout, SchedError, ScheduleMode, StreamConfig, StreamScheduler,
 };
 use edvit_tensor::Tensor;
 use edvit_vit::ViTConfig;
@@ -435,4 +435,91 @@ fn degradation_past_the_limit_is_a_typed_error() {
         matches!(err, SchedError::DegradationLimit { ref missing, limit: 1 } if missing.len() == 2),
         "{err}"
     );
+}
+
+#[test]
+fn partial_final_round_is_priced_at_its_actual_sample_count() {
+    let devices = DeviceSpec::raspberry_pi_cluster(3);
+    let plan = plan_for(&devices);
+    let calls = Arc::new(AtomicUsize::new(0));
+    // 6 samples in rounds of 4: the final round carries only 2.
+    let samples = inputs(6);
+    let config = StreamConfig::default();
+    let report = StreamScheduler::new(plan.clone(), devices.clone(), config.clone())
+        .unwrap()
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap();
+    assert_eq!(report.rounds, 2);
+    assert_eq!(report.outputs.len(), 6);
+
+    // Reconstruct the expected charge from the same analytic model: the full
+    // round pays the pipeline fill, the 2-sample tail pays a 2-sample
+    // interval — not a nominal 4-sample one.
+    let model = edvit_edge::LatencyModel::new(config.network);
+    let full = model.estimate_stream(&plan, &devices, 4, true).unwrap();
+    let tail = model.estimate_stream(&plan, &devices, 2, true).unwrap();
+    let expected =
+        full.device_round_seconds + full.fusion_round_seconds + tail.round_interval_seconds;
+    assert!(
+        (report.simulated_total_seconds - expected).abs() < 1e-9,
+        "simulated {} != expected {expected}",
+        report.simulated_total_seconds
+    );
+    // The regression guard: the old accounting billed both rounds at the
+    // nominal round size, which is strictly more time.
+    assert!(
+        report.simulated_total_seconds < full.total_seconds(2),
+        "partial tail round must cost less than a nominal one: {} !< {}",
+        report.simulated_total_seconds,
+        full.total_seconds(2)
+    );
+    // Realized throughput divides by the 6 samples actually fused.
+    let effective = 6.0 / report.simulated_total_seconds;
+    assert!(
+        (report.effective_samples_per_second - effective).abs() < 1e-9,
+        "effective {} != {effective}",
+        report.effective_samples_per_second
+    );
+    // And therefore beats what the nominal-priced schedule would realize.
+    assert!(report.effective_samples_per_second > 6.0 / full.total_seconds(2));
+}
+
+#[test]
+fn explicit_round_layouts_drive_variable_size_batches_end_to_end() {
+    let devices = DeviceSpec::raspberry_pi_cluster(3);
+    let plan = plan_for(&devices);
+    let calls = Arc::new(AtomicUsize::new(0));
+    let samples = inputs(9);
+    let layout = RoundLayout::from_sizes(&[2, 4, 1, 2]).unwrap();
+    let scheduler = StreamScheduler::new(plan.clone(), devices, StreamConfig::default()).unwrap();
+    let report = scheduler
+        .run_rounds(
+            &samples,
+            &layout,
+            executors_for(&plan, &calls),
+            concat_fusion(),
+        )
+        .unwrap();
+    assert_eq!(report.rounds, 4);
+    assert_eq!(report.outputs.len(), 9);
+    assert!(report.effective_samples_per_second > 0.0);
+
+    // Continuous batches fuse the same outputs as the uniform layout.
+    let uniform = scheduler
+        .run(&samples, executors_for(&plan, &calls), concat_fusion())
+        .unwrap();
+    for (a, b) in report.outputs.iter().zip(&uniform.outputs) {
+        assert_eq!(a.data(), b.data());
+    }
+    // A layout that does not cover the inputs is a typed error.
+    let wrong = RoundLayout::from_sizes(&[2, 2]).unwrap();
+    let err = scheduler
+        .run_rounds(
+            &samples,
+            &wrong,
+            executors_for(&plan, &calls),
+            concat_fusion(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, SchedError::InvalidConfig { .. }), "{err}");
 }

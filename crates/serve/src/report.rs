@@ -1,0 +1,111 @@
+//! Serving reports: per-tenant SLO statistics and the drill-wide summary.
+
+use std::collections::BTreeMap;
+
+use edvit_sched::{DepthChange, StreamReport};
+use edvit_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentile of an ascending-sorted latency slice.
+///
+/// `q` is in `[0, 1]`; an empty slice reports `0.0` so all-shed tenants show
+/// a flat (not `NaN`) row.
+pub fn percentile(sorted_ascending: &[f64], q: f64) -> f64 {
+    if sorted_ascending.is_empty() {
+        return 0.0;
+    }
+    let n = sorted_ascending.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted_ascending[rank.saturating_sub(1).min(n - 1)]
+}
+
+/// One tenant's row in the serving report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant display name.
+    pub name: String,
+    /// Requests that arrived for this tenant.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed on arrival (queue full).
+    pub shed_overflow: u64,
+    /// Requests dropped at dispatch (deadline expired).
+    pub shed_deadline: u64,
+    /// Deepest this tenant's queue ever grew.
+    pub max_queue_depth: usize,
+    /// Median round-trip latency (arrival to fused output) in virtual
+    /// seconds; 0 when nothing completed.
+    pub p50_latency_seconds: f64,
+    /// 99th-percentile round-trip latency in virtual seconds.
+    pub p99_latency_seconds: f64,
+}
+
+/// Everything a serving run reports: admission accounting, SLO percentiles,
+/// batching/depth behaviour, recovery cost, and the fused outputs keyed by
+/// request id.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-tenant rows, in tenant index order.
+    pub tenants: Vec<TenantStats>,
+    /// Requests that arrived across all tenants.
+    pub admitted: u64,
+    /// Requests served to completion across all tenants.
+    pub completed: u64,
+    /// Requests shed across all tenants (overflow + deadline).
+    pub shed: u64,
+    /// Rounds the batcher formed.
+    pub rounds_formed: usize,
+    /// Rounds dispatched below the configured capacity (continuous batching
+    /// never waits to fill — partial rounds are the feature, not a bug).
+    pub partial_rounds: usize,
+    /// Every adaptive pipeline-depth transition, in round order.
+    pub depth_changes: Vec<DepthChange>,
+    /// Pipeline depth after the last round.
+    pub final_depth: usize,
+    /// Median round-trip latency over all completed requests.
+    pub p50_latency_seconds: f64,
+    /// 99th-percentile round-trip latency over all completed requests.
+    pub p99_latency_seconds: f64,
+    /// The open-loop offered load, arrivals per virtual second.
+    pub offered_rate_per_second: f64,
+    /// Completions per virtual second actually achieved.
+    pub served_samples_per_second: f64,
+    /// Virtual time from the first arrival to the last completion.
+    pub simulated_total_seconds: f64,
+    /// Virtual seconds spent detecting crashes, re-planning, and replaying.
+    pub recovery_seconds: f64,
+    /// Device ids lost to mid-drill crashes, in crash order.
+    pub devices_lost: Vec<usize>,
+    /// Fused model outputs keyed by request id. Every dispatched request has
+    /// an output here — shedding is the only way to lose a request.
+    pub outputs: BTreeMap<u64, Tensor>,
+    /// The embedded streaming scheduler's report, when any round executed
+    /// (`None` when every request was shed or none arrived).
+    pub stream: Option<StreamReport>,
+}
+
+impl ServeReport {
+    /// `true` when every admitted request was either completed or shed —
+    /// i.e. none silently vanished.
+    pub fn no_lost_requests(&self) -> bool {
+        self.admitted == self.completed + self.shed && self.outputs.len() as u64 == self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentile_matches_hand_computed_values() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.5), 2.0);
+        assert_eq!(percentile(&sorted, 0.99), 4.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&sorted, 2.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.25), 7.0);
+    }
+}

@@ -495,6 +495,168 @@ pub fn layer_norm_rows(
     });
 }
 
+/// Row-wise layer-norm forward pass for a training layer: writes the
+/// normalized rows `(x - mean) / sqrt(var + eps)` to `x_hat`, the affine
+/// output `x_hat * gamma + beta` to `out`, and the per-row
+/// `1 / sqrt(var + eps)` to `inv_std`. Rows are independent and every row is
+/// computed by identical per-row expressions whatever the pass structure, so
+/// results are bit-identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_norm_forward_rows(
+    x: &[f32],
+    row_len: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    x_hat: &mut [f32],
+    out: &mut [f32],
+    inv_std: &mut [f32],
+    pool: &ParallelPool,
+) {
+    debug_assert!(row_len > 0 && x.len().is_multiple_of(row_len));
+    debug_assert!(x_hat.len() == x.len() && out.len() == x.len());
+    debug_assert!(inv_std.len() == x.len() / row_len);
+    debug_assert!(gamma.len() == row_len && beta.len() == row_len);
+    let row_stats = |row: &[f32]| -> (f32, f32) {
+        let n = row_len as f32;
+        let mean: f32 = row.iter().sum::<f32>() / n;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        (mean, 1.0 / (var + NORM_EPS).sqrt())
+    };
+    if x.len() < PAR_ELEMS_THRESHOLD || pool.is_sequential() {
+        for (r, row) in x.chunks(row_len).enumerate() {
+            let (mean, istd) = row_stats(row);
+            inv_std[r] = istd;
+            for (i, &v) in row.iter().enumerate() {
+                let xh = (v - mean) * istd;
+                x_hat[r * row_len + i] = xh;
+                out[r * row_len + i] = xh * gamma[i] + beta[i];
+            }
+        }
+        return;
+    }
+    // Three disjoint output buffers, three chunked passes; per-row stats are
+    // recomputed from the same `x` bits, so all passes agree exactly.
+    let chunk_elems = rows_per_chunk(row_len) * row_len;
+    pool.scope_chunks(x_hat, chunk_elems, |base, chunk| {
+        for (j, xh_row) in chunk.chunks_mut(row_len).enumerate() {
+            let at = base + j * row_len;
+            let row = &x[at..at + row_len];
+            let (mean, istd) = row_stats(row);
+            for (i, &v) in row.iter().enumerate() {
+                xh_row[i] = (v - mean) * istd;
+            }
+        }
+    });
+    pool.scope_chunks(inv_std, rows_per_chunk(row_len), |base_row, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let at = (base_row + j) * row_len;
+            *slot = row_stats(&x[at..at + row_len]).1;
+        }
+    });
+    let shared_x_hat: &[f32] = x_hat;
+    pool.scope_chunks(out, chunk_elems, |base, chunk| {
+        for (j, out_row) in chunk.chunks_mut(row_len).enumerate() {
+            let at = base + j * row_len;
+            for i in 0..row_len {
+                out_row[i] = shared_x_hat[at + i] * gamma[i] + beta[i];
+            }
+        }
+    });
+}
+
+/// Row-wise layer-norm input gradient: for each row,
+/// `grad_x = inv_std / n * (n * dxhat - Σ dxhat - x_hat * Σ dxhat·x_hat)`
+/// with `dxhat = grad_out * gamma`. Rows are independent, so the kernel is
+/// bit-identical at every thread count.
+pub fn layer_norm_backward_rows(
+    grad_out: &[f32],
+    x_hat: &[f32],
+    inv_std: &[f32],
+    row_len: usize,
+    gamma: &[f32],
+    grad_x: &mut [f32],
+    pool: &ParallelPool,
+) {
+    debug_assert!(row_len > 0 && grad_out.len().is_multiple_of(row_len));
+    debug_assert!(x_hat.len() == grad_out.len() && grad_x.len() == grad_out.len());
+    debug_assert!(inv_std.len() == grad_out.len() / row_len);
+    debug_assert!(gamma.len() == row_len);
+    let backward_row = |row: usize, gx_row: &mut [f32]| {
+        let at = row * row_len;
+        let g = &grad_out[at..at + row_len];
+        let xh = &x_hat[at..at + row_len];
+        let n = row_len as f32;
+        let mut sum_dxhat = 0.0f32;
+        let mut sum_dxhat_xhat = 0.0f32;
+        for i in 0..row_len {
+            let dx = g[i] * gamma[i];
+            sum_dxhat += dx;
+            sum_dxhat_xhat += dx * xh[i];
+        }
+        let istd = inv_std[row];
+        for i in 0..row_len {
+            let dx = g[i] * gamma[i];
+            gx_row[i] = istd / n * (n * dx - sum_dxhat - xh[i] * sum_dxhat_xhat);
+        }
+    };
+    if grad_out.len() < PAR_ELEMS_THRESHOLD || pool.is_sequential() {
+        for (r, gx_row) in grad_x.chunks_mut(row_len).enumerate() {
+            backward_row(r, gx_row);
+        }
+        return;
+    }
+    pool.scope_chunks(grad_x, rows_per_chunk(row_len) * row_len, |base, chunk| {
+        for (j, gx_row) in chunk.chunks_mut(row_len).enumerate() {
+            backward_row(base / row_len + j, gx_row);
+        }
+    });
+}
+
+/// Row-wise layer-norm parameter gradients: `grad_gamma = Σ_rows g·x_hat`
+/// and `grad_beta = Σ_rows g`. The reduction is chunked over a *fixed*
+/// row-chunk decomposition (one partial per chunk, folded in chunk order),
+/// so the floating-point summation order — and therefore every output bit —
+/// is independent of the thread count.
+pub fn layer_norm_param_grads_rows(
+    grad_out: &[f32],
+    x_hat: &[f32],
+    row_len: usize,
+    pool: &ParallelPool,
+) -> (Vec<f32>, Vec<f32>) {
+    debug_assert!(row_len > 0 && grad_out.len().is_multiple_of(row_len));
+    debug_assert!(x_hat.len() == grad_out.len());
+    let rows = grad_out.len() / row_len;
+    let rpc = rows_per_chunk(row_len);
+    let chunks = rows.div_ceil(rpc);
+    let partial = |c: usize| -> (Vec<f32>, Vec<f32>) {
+        let mut gg = vec![0.0f32; row_len];
+        let mut gb = vec![0.0f32; row_len];
+        for r in c * rpc..rows.min((c + 1) * rpc) {
+            let at = r * row_len;
+            for i in 0..row_len {
+                gg[i] += grad_out[at + i] * x_hat[at + i];
+                gb[i] += grad_out[at + i];
+            }
+        }
+        (gg, gb)
+    };
+    let partials: Vec<(Vec<f32>, Vec<f32>)> =
+        if grad_out.len() < PAR_ELEMS_THRESHOLD || pool.is_sequential() {
+            (0..chunks).map(partial).collect()
+        } else {
+            pool.map_indexed(chunks, partial)
+        };
+    let mut grad_gamma = vec![0.0f32; row_len];
+    let mut grad_beta = vec![0.0f32; row_len];
+    for (gg, gb) in partials {
+        for i in 0..row_len {
+            grad_gamma[i] += gg[i];
+            grad_beta[i] += gb[i];
+        }
+    }
+    (grad_gamma, grad_beta)
+}
+
 /// In-place elementwise GELU over `data`, split across `pool`; elementwise,
 /// so chunk boundaries cannot change any value — bit-identical at every
 /// thread count.

@@ -331,3 +331,83 @@ fn matvec_and_outer_handle_zero_dims() {
     let w = Tensor::zeros(&[3]);
     assert_eq!(empty.outer(&w).unwrap().dims(), &[0, 3]);
 }
+
+#[test]
+fn layer_norm_training_kernels_are_bitwise_identical_across_thread_counts() {
+    // The forward/backward layer-norm kernels used by `edvit_nn::LayerNorm`:
+    // per-row math is identical at every thread count, and the parameter
+    // gradients fold fixed row-chunks in a fixed order, so all five outputs
+    // (x_hat, out, inv_std, grad_x, grad_gamma/grad_beta) must be
+    // bit-identical between a 1-thread and a 4-thread pool.
+    let seq_pool = ParallelPool::new(1);
+    let par_pool = ParallelPool::new(4);
+    let mut rng = TensorRng::new(0x1A7E);
+    for (rows, cols) in row_shapes() {
+        if cols == 0 || rows == 0 {
+            continue;
+        }
+        let x = rng.randn(&[rows * cols], 0.0, 2.0).data().to_vec();
+        let g = rng.randn(&[rows * cols], 0.0, 1.0).data().to_vec();
+        let gamma: Vec<f32> = rng.rand_uniform(&[cols], 0.5, 1.5).data().to_vec();
+        let beta: Vec<f32> = rng.rand_uniform(&[cols], -0.5, 0.5).data().to_vec();
+
+        let run_forward = |pool: &ParallelPool| {
+            let mut x_hat = vec![0.0f32; rows * cols];
+            let mut out = vec![0.0f32; rows * cols];
+            let mut inv_std = vec![0.0f32; rows];
+            ops::layer_norm_forward_rows(
+                &x,
+                cols,
+                &gamma,
+                &beta,
+                &mut x_hat,
+                &mut out,
+                &mut inv_std,
+                pool,
+            );
+            (x_hat, out, inv_std)
+        };
+        let (x_hat, out, inv_std) = run_forward(&seq_pool);
+        assert_eq!(
+            run_forward(&par_pool),
+            (x_hat.clone(), out.clone(), inv_std.clone()),
+            "layernorm forward {rows}x{cols} differs across thread counts"
+        );
+        // The affine output matches the inference kernel up to rounding (it
+        // multiplies by 1/std instead of dividing by std).
+        let mut reference = x.clone();
+        for row in reference.chunks_mut(cols) {
+            ops::layer_norm_slice(row, &gamma, &beta);
+        }
+        assert_close(&out, &reference, &format!("layernorm fwd {rows}x{cols}"));
+
+        let run_backward = |pool: &ParallelPool| {
+            let mut grad_x = vec![0.0f32; rows * cols];
+            ops::layer_norm_backward_rows(&g, &x_hat, &inv_std, cols, &gamma, &mut grad_x, pool);
+            let (gg, gb) = ops::layer_norm_param_grads_rows(&g, &x_hat, cols, pool);
+            (grad_x, gg, gb)
+        };
+        let (grad_x, grad_gamma, grad_beta) = run_backward(&seq_pool);
+        assert_eq!(
+            run_backward(&par_pool),
+            (grad_x, grad_gamma.clone(), grad_beta.clone()),
+            "layernorm backward {rows}x{cols} differs across thread counts"
+        );
+        // Parameter gradients agree with a naive row-order accumulation up
+        // to the reassociation introduced by chunked folding.
+        let mut naive_gamma = vec![0.0f32; cols];
+        let mut naive_beta = vec![0.0f32; cols];
+        for r in 0..rows {
+            for i in 0..cols {
+                naive_gamma[i] += g[r * cols + i] * x_hat[r * cols + i];
+                naive_beta[i] += g[r * cols + i];
+            }
+        }
+        assert_close(
+            &grad_gamma,
+            &naive_gamma,
+            &format!("grad_gamma {rows}x{cols}"),
+        );
+        assert_close(&grad_beta, &naive_beta, &format!("grad_beta {rows}x{cols}"));
+    }
+}

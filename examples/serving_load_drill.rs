@@ -1,0 +1,224 @@
+//! Serving load drill: a seeded open-loop arrival process against the
+//! multi-tenant continuous-batching front door, with hard assertions that
+//! CI depends on — continuous batching beats the barrier-per-request
+//! baseline on p99 at the same offered load, overload sheds
+//! deterministically within every tenant's queue bound, the adaptive
+//! pipeline depth actually moves, and a mid-drill device crash shows up as
+//! recovery time in the tail latencies, never as a lost request.
+//!
+//! All timing is virtual (`SimClock` semantics): thousands of requests
+//! drill in milliseconds of host time and the printed percentiles are
+//! bit-reproducible from the seed (first CLI argument, or
+//! `EDVIT_SERVE_SEED`, default 0).
+//!
+//! Run with: `cargo run -p edvit --example serving_load_drill --release -- 3`
+
+use edvit::pipeline::{EdVitConfig, EdVitPipeline};
+use edvit::serve::run_server;
+use edvit::serving::{ArrivalSpec, DepthController, ServeConfig, ServeScheduler, TenantSpec};
+use edvit::tensor::Tensor;
+
+/// Fusion-MLP cost of roughly one sub-model's per-sample FLOPs, so the
+/// fusion stage is comparable to the device stage: the pipelined round
+/// interval is `max(device, fusion)` where the barrier baseline pays
+/// `device + fusion` per request.
+const FUSION_FLOPS: u64 = 1_250_000_000;
+
+fn open_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("interactive", 100_000),
+        TenantSpec::new("batch", 100_000),
+    ]
+}
+
+fn drill_config(tenants: Vec<TenantSpec>, arrivals: ArrivalSpec) -> ServeConfig {
+    let mut config = ServeConfig::new(tenants, arrivals);
+    config.stream.fusion_flops = FUSION_FLOPS;
+    config
+}
+
+fn main() -> Result<(), edvit::EdVitError> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("EDVIT_SERVE_SEED").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let config = EdVitConfig::tiny_demo(4).with_seed(seed);
+    let devices = config.devices.clone();
+    let trained = EdVitPipeline::new(config).run()?;
+    let test = trained.test_set.clone();
+    let n = test.len().min(8);
+    let samples: Vec<Tensor> = (0..n)
+        .map(|i| test.images().row(i))
+        .collect::<Result<_, _>>()
+        .map_err(edvit::EdVitError::from)?;
+
+    // Calibrate offered load against the cluster's nominal continuous
+    // service rate, so the drill stresses the same operating points at
+    // every seed.
+    let capacity = ServeScheduler::new(
+        trained.plan.clone(),
+        devices.clone(),
+        drill_config(open_tenants(), ArrivalSpec::new(1.0, 1, 0)),
+    )?
+    .nominal_capacity_per_second()?;
+    println!("nominal continuous capacity: {capacity:.4} requests/s (virtual)");
+
+    // --- Leg 1: continuous batching vs barrier-per-request at 0.8x load. ----
+    let arrivals = ArrivalSpec::new(0.8 * capacity, 48, seed.wrapping_add(11));
+    let mut continuous_config = drill_config(open_tenants(), arrivals);
+    continuous_config.depth = DepthController {
+        min_depth: 2,
+        max_depth: 2,
+        backlog_rounds: usize::MAX,
+    };
+    let continuous = run_server(
+        trained.clone(),
+        &samples,
+        devices.clone(),
+        continuous_config,
+    )?;
+    let barrier = run_server(
+        trained.clone(),
+        &samples,
+        devices.clone(),
+        drill_config(open_tenants(), arrivals).barrier_per_request(),
+    )?;
+    assert!(continuous.no_lost_requests(), "continuous lost requests");
+    assert!(barrier.no_lost_requests(), "barrier lost requests");
+    assert_eq!(continuous.shed, 0, "sustainable load must not shed");
+    assert_eq!(barrier.admitted, continuous.admitted);
+    assert!(
+        continuous.p99_latency_seconds < barrier.p99_latency_seconds,
+        "continuous p99 {:.3}s must beat barrier p99 {:.3}s at the same load",
+        continuous.p99_latency_seconds,
+        barrier.p99_latency_seconds
+    );
+    assert!(
+        continuous.partial_rounds > 0,
+        "continuous batching should have dispatched at least one partial round"
+    );
+    println!(
+        "ok: continuous p99 {:.3}s beats barrier p99 {:.3}s over {} requests \
+         ({} rounds vs {})",
+        continuous.p99_latency_seconds,
+        barrier.p99_latency_seconds,
+        continuous.completed,
+        continuous.rounds_formed,
+        barrier.rounds_formed
+    );
+
+    // --- Leg 2: overload against tight per-tenant bounds. -------------------
+    let overload_arrivals = ArrivalSpec::new(5.0 * capacity, 80, seed.wrapping_add(23));
+    let tight_tenants = || {
+        vec![
+            TenantSpec::new("interactive", 2),
+            TenantSpec::new("batch", 5),
+        ]
+    };
+    let overloaded = run_server(
+        trained.clone(),
+        &samples,
+        devices.clone(),
+        drill_config(tight_tenants(), overload_arrivals),
+    )?;
+    assert!(overloaded.no_lost_requests(), "overload lost requests");
+    assert!(overloaded.shed > 0, "5x overload must shed");
+    assert!(overloaded.tenants[0].max_queue_depth <= 2);
+    assert!(overloaded.tenants[1].max_queue_depth <= 5);
+    // Deterministic from the seed: the same drill sheds the same requests.
+    let again = run_server(
+        trained.clone(),
+        &samples,
+        devices.clone(),
+        drill_config(tight_tenants(), overload_arrivals),
+    )?;
+    assert_eq!(overloaded.shed, again.shed, "shed counts must be seeded");
+    assert_eq!(
+        overloaded.p99_latency_seconds, again.p99_latency_seconds,
+        "latency percentiles must be bit-reproducible"
+    );
+    println!(
+        "ok: overload shed {} of {} deterministically; bounds held at {:?}",
+        overloaded.shed,
+        overloaded.admitted,
+        overloaded
+            .tenants
+            .iter()
+            .map(|t| t.max_queue_depth)
+            .collect::<Vec<_>>()
+    );
+
+    // --- Leg 3: adaptive depth moves under a 3x burst. ----------------------
+    let mut adaptive = drill_config(
+        open_tenants(),
+        ArrivalSpec::new(3.0 * capacity, 48, seed.wrapping_add(5)),
+    );
+    adaptive.depth = DepthController {
+        min_depth: 1,
+        max_depth: 4,
+        backlog_rounds: 2,
+    };
+    let burst = run_server(trained.clone(), &samples, devices.clone(), adaptive)?;
+    assert!(burst.no_lost_requests(), "burst lost requests");
+    assert!(
+        !burst.depth_changes.is_empty(),
+        "the adaptive controller must change depth at least once"
+    );
+    println!(
+        "ok: adaptive depth made {} transitions, ending at depth {}",
+        burst.depth_changes.len(),
+        burst.final_depth
+    );
+
+    // --- Leg 4: mid-drill device crash — recovery, not loss. ----------------
+    let victim = trained
+        .plan
+        .assignment
+        .device_for((seed as usize) % trained.plan.sub_models.len())
+        .expect("every sub-model is assigned");
+    let mut crash_config = drill_config(
+        open_tenants(),
+        ArrivalSpec::new(0.7 * capacity, 48, seed.wrapping_add(17)),
+    );
+    crash_config.stream = crash_config.stream.with_failure(victim, 2);
+    let crashed = run_server(trained, &samples, devices, crash_config)?;
+    assert!(
+        crashed.no_lost_requests(),
+        "the crash must cost latency, never requests: {} admitted, {} completed, {} shed",
+        crashed.admitted,
+        crashed.completed,
+        crashed.shed
+    );
+    assert_eq!(crashed.devices_lost, vec![victim], "wrong device died");
+    assert!(crashed.recovery_seconds > 0.0, "recovery must be recorded");
+    assert!(
+        crashed.p99_latency_seconds > continuous.p99_latency_seconds,
+        "the crash must be visible in the tail"
+    );
+    println!(
+        "ok: device {victim} died mid-drill; {} requests all served, recovery {:.2}s, \
+         p99 {:.3}s vs healthy {:.3}s",
+        crashed.completed,
+        crashed.recovery_seconds,
+        crashed.p99_latency_seconds,
+        continuous.p99_latency_seconds
+    );
+
+    // Per-tenant SLO table, the report CI archives.
+    println!("tenant                admitted completed shed  p50(s)   p99(s)  maxq");
+    for t in &crashed.tenants {
+        println!(
+            "{:<22}{:>8}{:>10}{:>5}{:>8.3}{:>9.3}{:>6}",
+            t.name,
+            t.admitted,
+            t.completed,
+            t.shed_overflow + t.shed_deadline,
+            t.p50_latency_seconds,
+            t.p99_latency_seconds,
+            t.max_queue_depth
+        );
+    }
+    Ok(())
+}
