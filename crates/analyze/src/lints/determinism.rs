@@ -2,8 +2,9 @@
 //!
 //! `edvit-sched` measures recovery and pipeline behaviour in `SimClock`
 //! virtual time so the numbers are machine-independent; the serving
-//! front-door's drills and the wire decode path likewise must not consult
-//! the host clock. Any mention of `Instant` or
+//! front-door's drills, the observability journal (whose timestamps are the
+//! schedulers' virtual clocks) and the wire decode path likewise must not
+//! consult the host clock. Any mention of `Instant` or
 //! `SystemTime` in those sources — including imports — is a violation,
 //! because an unused import is one refactor away from a used one.
 
@@ -19,6 +20,7 @@ pub struct WallClockInSim;
 fn in_scope(path: &str) -> bool {
     path.starts_with("crates/sched/src/")
         || path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/metrics/src/")
         || path == "crates/edge/src/wire.rs"
 }
 
@@ -30,7 +32,7 @@ impl Lint for WallClockInSim {
     }
 
     fn description(&self) -> &'static str {
-        "no Instant/SystemTime in crates/sched, crates/serve, or the wire decode path (SimClock virtual-time contract)"
+        "no Instant/SystemTime in crates/sched, crates/serve, crates/metrics, or the wire decode path (SimClock virtual-time contract)"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
@@ -84,6 +86,15 @@ mod tests {
         let ws = Workspace::from_memory([(
             "crates/serve/src/server.rs",
             "fn f() { let t = std::time::Instant::now(); }\n",
+        )]);
+        assert!(run_all(&ws).iter().any(|d| d.lint == "wall-clock-in-sim"));
+    }
+
+    #[test]
+    fn flags_instant_in_metrics() {
+        let ws = Workspace::from_memory([(
+            "crates/metrics/src/journal.rs",
+            "fn stamp() -> std::time::SystemTime { std::time::SystemTime::now() }\n",
         )]);
         assert!(run_all(&ws).iter().any(|d| d.lint == "wall-clock-in-sim"));
     }

@@ -4,9 +4,10 @@
 //! software analogue of the paper's Raspberry-Pi prototype (Fig. 3).
 
 use edvit_edge::{
-    ClusterRuntime, FusionFn, NetOptions, NetworkConfig, PayloadCodec, RuntimeReport, SubModelFn,
-    TransportKind,
+    record_batch_events, ClusterRuntime, FusionFn, NetOptions, NetworkConfig, PayloadCodec,
+    RuntimeReport, SubModelFn, TransportKind,
 };
+use edvit_metrics::MetricsSink;
 use edvit_net::run_batch_over_tcp;
 use edvit_tensor::Tensor;
 
@@ -29,13 +30,17 @@ use crate::{EdVitError, Result};
 /// };
 /// assert_eq!(options.net.codec, PayloadCodec::F16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
     /// Network model pricing the simulated communication time.
     pub network: NetworkConfig,
     /// Wire codec and transport backend, shared with every other
     /// `with_options` surface.
     pub net: NetOptions,
+    /// Observability sink the run journals its batch accounting into.
+    /// Disabled (a no-op) by default; sim and TCP transports emit the same
+    /// event stream for the same workload.
+    pub sink: MetricsSink,
 }
 
 impl Default for RunOptions {
@@ -43,6 +48,7 @@ impl Default for RunOptions {
         RunOptions {
             network: NetworkConfig::paper_default(),
             net: NetOptions::default(),
+            sink: MetricsSink::disabled(),
         }
     }
 }
@@ -116,16 +122,31 @@ pub fn run_distributed(
     let (executors, fusion) = into_executors(deployment);
     match options.net.transport {
         TransportKind::Sim => {
-            let runtime = ClusterRuntime::new(options.network).with_options(&options.net);
+            let runtime = ClusterRuntime::new(options.network)
+                .with_options(&options.net)
+                .with_sink(options.sink.clone());
             Ok(runtime.run(samples, executors, fusion)?)
         }
-        TransportKind::Tcp => Ok(run_batch_over_tcp(
-            samples,
-            executors,
-            fusion,
-            options.net.codec,
-            &options.network,
-        )?),
+        TransportKind::Tcp => {
+            let report = run_batch_over_tcp(
+                samples,
+                executors,
+                fusion,
+                options.net.codec,
+                &options.network,
+            )?;
+            // The TCP path journals post-hoc from the report so both
+            // transports emit the same event stream for the same workload.
+            record_batch_events(
+                &options.sink,
+                report.per_device_wire_bytes.len(),
+                report.outputs.len(),
+                &report.per_device_wire_bytes,
+                report.frames,
+                report.simulated_communication_seconds,
+            );
+            Ok(report)
+        }
     }
 }
 
@@ -176,6 +197,7 @@ pub fn run_distributed_with_codec(
         &RunOptions {
             network,
             net: NetOptions::default().with_codec(codec),
+            ..RunOptions::default()
         },
     )
 }

@@ -26,6 +26,7 @@
 //! | [`baselines`](edvit_baselines) | Split-CNN and Split-SNN comparators |
 //! | [`chaos`](edvit_chaos) | declarative seeded fault-injection plans |
 //! | [`serving`](edvit_serve) | multi-tenant continuous-batching request front-door |
+//! | [`metrics`](edvit_metrics) | metrics registry + event-sourced run journal |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use edvit_chaos as chaos;
 pub use edvit_datasets as datasets;
 pub use edvit_edge as edge;
 pub use edvit_fusion as fusion;
+pub use edvit_metrics as metrics;
 pub use edvit_net as net;
 pub use edvit_nn as nn;
 pub use edvit_partition as partition;

@@ -48,7 +48,7 @@ pub use error::EdgeError;
 pub use latency::{LatencyBreakdown, LatencyModel, PerDeviceLatency, RoundTimings, StreamTiming};
 pub use network::NetworkConfig;
 pub use options::{NetOptions, TransportKind};
-pub use runtime::{ClusterRuntime, FusionFn, RuntimeReport, SubModelFn};
+pub use runtime::{record_batch_events, ClusterRuntime, FusionFn, RuntimeReport, SubModelFn};
 pub use wire::{
     ControlKind, ControlMessage, FeatureBatchMessage, FeatureMessage, FrameKind, PayloadCodec,
     WireFrame,

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel;
+use edvit_metrics::{MetricsSink, RunEvent};
 use edvit_tensor::Tensor;
 
 use crate::{
@@ -111,6 +112,7 @@ impl RuntimeReport {
 pub struct ClusterRuntime {
     network: NetworkConfig,
     codec: PayloadCodec,
+    sink: MetricsSink,
 }
 
 impl ClusterRuntime {
@@ -120,7 +122,16 @@ impl ClusterRuntime {
         ClusterRuntime {
             network,
             codec: PayloadCodec::F32,
+            sink: MetricsSink::disabled(),
         }
+    }
+
+    /// Attaches an observability sink; each batch run journals its frame
+    /// and byte accounting into it. Disabled (a no-op) by default.
+    #[must_use]
+    pub fn with_sink(mut self, sink: MetricsSink) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Applies the shared [`NetOptions`]: selects the wire codec every device
@@ -277,6 +288,15 @@ impl ClusterRuntime {
             outputs.push(fused);
         }
 
+        record_batch_events(
+            &self.sink,
+            num_sub_models,
+            outputs.len(),
+            &per_device_wire_bytes,
+            frames,
+            slowest_frame_seconds,
+        );
+
         let wall_clock_seconds = started.elapsed().as_secs_f64();
         let samples_per_second = if wall_clock_seconds > 0.0 {
             outputs.len() as f64 / wall_clock_seconds
@@ -297,6 +317,62 @@ impl ClusterRuntime {
             samples_per_second,
         })
     }
+}
+
+/// Journals one one-shot batch execution: a `BatchStarted` marker, one
+/// `Delivery` + `DataFrame` pair per sub-model (in index order — the
+/// channel's arrival order is nondeterministic, the accounting is not), and
+/// a `BatchEnded` summary stamped at the simulated communication time.
+///
+/// Shared between the in-process runtime above and the TCP batch path,
+/// which journals post-hoc from its [`RuntimeReport`] so both transports
+/// emit the same event stream for the same workload. To keep that true, the
+/// journaled `bytes_on_wire` is always the data-plane sum of
+/// `per_device_wire_bytes` — transport-invariant by construction — whereas
+/// the TCP report's own `bytes_on_wire` additionally counts its join/leave
+/// control frames.
+pub fn record_batch_events(
+    sink: &MetricsSink,
+    devices: usize,
+    samples: usize,
+    per_device_wire_bytes: &[u64],
+    frames: usize,
+    simulated_seconds: f64,
+) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let bytes_on_wire: u64 = per_device_wire_bytes.iter().sum();
+    sink.record(
+        0.0,
+        RunEvent::BatchStarted {
+            devices: devices as u64,
+            samples: samples as u64,
+        },
+    );
+    for (device, &bytes) in per_device_wire_bytes.iter().enumerate() {
+        sink.record(
+            0.0,
+            RunEvent::Delivery {
+                device: device as u64,
+                bytes,
+            },
+        );
+        sink.record(
+            0.0,
+            RunEvent::DataFrame {
+                device: device as u64,
+            },
+        );
+    }
+    sink.record(
+        simulated_seconds,
+        RunEvent::BatchEnded {
+            frames: frames as u64,
+            bytes_on_wire,
+            simulated_seconds,
+        },
+    );
 }
 
 /// Runs one device's executor over every sample and packs the results into a

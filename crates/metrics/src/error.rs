@@ -1,0 +1,59 @@
+//! Typed errors for journal parsing and offline replay.
+
+use std::fmt;
+
+/// Errors the metrics crate can produce.
+///
+/// Recording never fails (a disabled sink is a no-op, an enabled one only
+/// appends); errors arise when a serialized journal is read back or replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// A journal line failed to parse.
+    Parse {
+        /// 1-based line number in the journal text.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A structurally valid journal could not be replayed into counters
+    /// (e.g. it never recorded a run-started event).
+    Replay {
+        /// What the replay was missing.
+        message: String,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::Parse { line, message } => {
+                write!(f, "journal line {line}: {message}")
+            }
+            MetricsError::Replay { message } => write!(f, "journal replay: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MetricsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let parse = MetricsError::Parse {
+            line: 3,
+            message: "missing field `device`".to_string(),
+        };
+        assert_eq!(parse.to_string(), "journal line 3: missing field `device`");
+        let replay = MetricsError::Replay {
+            message: "no StreamStarted event".to_string(),
+        };
+        assert_eq!(replay.to_string(), "journal replay: no StreamStarted event");
+        assert_ne!(parse, replay);
+    }
+}

@@ -1,0 +1,1047 @@
+//! The typed run-journal events and their deterministic line codec.
+//!
+//! Every event is one line of text: `t=<virtual seconds> <EventName>
+//! key=value ...`. Numbers use Rust's `Display`, whose shortest-round-trip
+//! guarantee makes `f64` values survive the text round trip *bitwise* — the
+//! property the offline replay leans on. Strings are double-quoted with
+//! `\\`, `\"` and `\n` escapes; `u64` lists are comma-joined.
+//!
+//! The `Serialize`/`Deserialize` derives mark the types for the workspace's
+//! vendored serde surface; the wire format itself is this hand-rolled line
+//! codec, exactly as for the control frames in `edvit-edge`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MetricsError, Result};
+
+/// Why the scheduler re-ran the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplanCause {
+    /// A scripted mid-stream join changed the membership.
+    Join,
+    /// A device death forced a repartition onto the survivors.
+    Death,
+}
+
+impl ReplanCause {
+    /// The journal token for this cause (`"join"` / `"death"`), also used as
+    /// a metric label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReplanCause::Join => "join",
+            ReplanCause::Death => "death",
+        }
+    }
+
+    fn parse(s: &str, line: usize) -> Result<Self> {
+        match s {
+            "join" => Ok(ReplanCause::Join),
+            "death" => Ok(ReplanCause::Death),
+            other => Err(MetricsError::Parse {
+                line,
+                message: format!("unknown replan cause `{other}`"),
+            }),
+        }
+    }
+}
+
+/// One typed observation from a run. Stream events come from the streaming
+/// scheduler's fusion worker, serve events from the admission queue and the
+/// serving drill, batch events from the one-shot cluster runtime; all three
+/// families can share one journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunEvent {
+    // ---- Streaming scheduler ------------------------------------------
+    /// The stream began: its layout and initial membership.
+    StreamStarted {
+        /// Total rounds in the layout.
+        rounds: u64,
+        /// Configured (nominal) samples per round.
+        round_size: u64,
+        /// Total input samples.
+        samples: u64,
+        /// Devices in the initial membership.
+        devices: u64,
+    },
+    /// A membership epoch opened (1-based).
+    EpochStarted {
+        /// Epoch ordinal.
+        epoch: u64,
+    },
+    /// Encoded bytes arrived from (or were shipped by) a device — including
+    /// corrupted, duplicated and eaten frames: they travelled too.
+    Delivery {
+        /// Sending device id.
+        device: u64,
+        /// Encoded frame length in bytes.
+        bytes: u64,
+    },
+    /// A control frame (join, heartbeat or leave) was observed.
+    ControlFrame {
+        /// Sending device id.
+        device: u64,
+    },
+    /// A feature-batch data frame was observed.
+    DataFrame {
+        /// Sending device id.
+        device: u64,
+    },
+    /// A heartbeat beacon was observed (fresh or stale).
+    Heartbeat {
+        /// Beating device id.
+        device: u64,
+        /// Rounds the device claims to have completed this epoch.
+        sequence: u64,
+    },
+    /// The sequence deduper rejected a control frame as a replay.
+    StaleControlFrame {
+        /// Sending device id.
+        device: u64,
+    },
+    /// The health tracker ignored a heartbeat as stale.
+    StaleHeartbeat {
+        /// Beating device id.
+        device: u64,
+    },
+    /// A delivery failed: corrupt, truncated, or a data frame the link ate.
+    CorruptFrame {
+        /// Sending device id.
+        device: u64,
+    },
+    /// A data frame's payload duplicated already-stashed samples.
+    DuplicateFrame {
+        /// Sending device id.
+        device: u64,
+    },
+    /// The link ate a heartbeat beacon (not retried).
+    DroppedHeartbeat {
+        /// Beating device id.
+        device: u64,
+    },
+    /// A data-frame re-request was issued.
+    Retry {
+        /// Device whose frame is re-requested.
+        device: u64,
+        /// Attempt ordinal (1-based).
+        attempt: u64,
+    },
+    /// Virtual seconds one epoch spent in retry backoff (pre-summed, in the
+    /// scheduler's own summation order, so replay accumulates bitwise).
+    RetryCost {
+        /// Backoff seconds charged to the clock.
+        seconds: f64,
+    },
+    /// A round was fused.
+    RoundFused {
+        /// Global round id.
+        round: u64,
+        /// Samples the round carried.
+        samples: u64,
+        /// Whether missing sub-models were zero-filled.
+        degraded: bool,
+    },
+    /// A membership epoch closed.
+    EpochEnded {
+        /// Epoch ordinal.
+        epoch: u64,
+        /// Most rounds simultaneously in flight this epoch.
+        max_in_flight: u64,
+    },
+    /// Rounds one device delivered within the closing epoch (every receiver
+    /// gets one, including zero-round entries).
+    DeviceRounds {
+        /// Device id.
+        device: u64,
+        /// Rounds delivered (highest fresh heartbeat sequence).
+        rounds: u64,
+    },
+    /// A device was declared dead.
+    DeviceDead {
+        /// The dead device id.
+        device: u64,
+    },
+    /// A device was admitted mid-stream.
+    DeviceJoined {
+        /// The joining device id.
+        device: u64,
+        /// Whether this was a rejoin (new identity-epoch of a terminal id).
+        rejoin: bool,
+    },
+    /// The planner re-assigned sub-models.
+    Replan {
+        /// What triggered it.
+        cause: ReplanCause,
+        /// Sub-models the new plan leaves unhosted (empty at full fidelity).
+        missing: Vec<u64>,
+    },
+    /// In-flight rounds were scheduled for replay after a death.
+    RoundsReplayed {
+        /// Rounds replayed.
+        rounds: u64,
+        /// Samples those rounds carried.
+        samples: u64,
+    },
+    /// Virtual seconds charged to one death's recovery window (pre-summed:
+    /// detection + replan + replay).
+    Recovery {
+        /// Recovery seconds.
+        seconds: f64,
+    },
+    /// The stream finished; the timestamp is the virtual end-to-end time.
+    StreamEnded {
+        /// Steady-state throughput of the final membership.
+        steady_state_samples_per_second: f64,
+    },
+
+    // ---- Serving front-door -------------------------------------------
+    /// A serving drill began.
+    ServeStarted {
+        /// Number of tenants.
+        tenants: u64,
+        /// Round capacity the batcher fills up to.
+        capacity: u64,
+        /// Pipeline depth the drill starts at (post-clamp).
+        initial_depth: u64,
+        /// Configured open-loop arrival rate.
+        offered_rate_per_second: f64,
+    },
+    /// One tenant's admission contract was registered.
+    TenantRegistered {
+        /// Tenant index.
+        tenant: u64,
+        /// Tenant display name.
+        name: String,
+    },
+    /// A request arrived at admission.
+    RequestAdmitted {
+        /// Tenant index.
+        tenant: u64,
+        /// Request id.
+        id: u64,
+    },
+    /// A tenant queue's depth after an enqueue.
+    QueueDepth {
+        /// Tenant index.
+        tenant: u64,
+        /// Requests now queued for the tenant.
+        depth: u64,
+    },
+    /// A request was shed on arrival (queue full).
+    RequestShedOverflow {
+        /// Tenant index.
+        tenant: u64,
+        /// Request id.
+        id: u64,
+    },
+    /// A queued request was dropped at dispatch (deadline expired).
+    RequestShedDeadline {
+        /// Tenant index.
+        tenant: u64,
+        /// Request id.
+        id: u64,
+    },
+    /// A request was handed to a round.
+    RequestDispatched {
+        /// Tenant index.
+        tenant: u64,
+        /// Request id.
+        id: u64,
+        /// When the request arrived, for latency reconstruction.
+        arrival_seconds: f64,
+    },
+    /// The adaptive controller changed the pipeline depth.
+    DepthChanged {
+        /// Round ordinal the transition took effect before.
+        round: u64,
+        /// Depth before.
+        from: u64,
+        /// Depth after.
+        to: u64,
+    },
+    /// A scripted device crash fired mid-drill.
+    ServeCrash {
+        /// The crashed device id.
+        device: u64,
+        /// Round ordinal the crash hit.
+        round: u64,
+    },
+    /// Virtual seconds one mid-drill crash charged to recovery (pre-summed).
+    ServeRecovery {
+        /// Recovery seconds.
+        seconds: f64,
+    },
+    /// The batcher formed and priced one round; the requests dispatched since
+    /// the previous round ride in it, in batch order.
+    ServeRound {
+        /// Round ordinal.
+        round: u64,
+        /// Virtual dispatch time.
+        start_seconds: f64,
+        /// Virtual completion time.
+        completion_seconds: f64,
+        /// Requests the round carried.
+        size: u64,
+    },
+    /// The serving drill finished; the timestamp is the last completion.
+    ServeEnded,
+
+    // ---- One-shot batch runtime ---------------------------------------
+    /// A one-shot cluster batch run began.
+    BatchStarted {
+        /// Devices in the run.
+        devices: u64,
+        /// Samples in the batch.
+        samples: u64,
+    },
+    /// A one-shot cluster batch run finished.
+    BatchEnded {
+        /// Frames shipped.
+        frames: u64,
+        /// Encoded bytes shipped.
+        bytes_on_wire: u64,
+        /// Virtual communication seconds of the bottleneck device.
+        simulated_seconds: f64,
+    },
+}
+
+/// One journal entry: an event plus its virtual-clock timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Virtual seconds on the run's `SimClock` when the event was recorded.
+    pub at: f64,
+    /// The event.
+    pub event: RunEvent,
+}
+
+// ---- encoding -----------------------------------------------------------
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push(' ');
+    out.push_str(key);
+    out.push_str("=\"");
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+fn push_list_field(out: &mut String, key: &str, values: &[u64]) {
+    out.push(' ');
+    out.push_str(key);
+    out.push('=');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+}
+
+macro_rules! push_display {
+    ($out:expr, $($key:literal = $value:expr),+) => {{
+        $( $out.push_str(&format!(concat!(" ", $key, "={}"), $value)); )+
+    }};
+}
+
+impl EventRecord {
+    /// Encodes the record as one journal line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = format!("t={} {}", self.at, self.event.name());
+        match &self.event {
+            RunEvent::StreamStarted {
+                rounds,
+                round_size,
+                samples,
+                devices,
+            } => push_display!(
+                out,
+                "rounds" = rounds,
+                "round_size" = round_size,
+                "samples" = samples,
+                "devices" = devices
+            ),
+            RunEvent::EpochStarted { epoch } => push_display!(out, "epoch" = epoch),
+            RunEvent::Delivery { device, bytes } => {
+                push_display!(out, "device" = device, "bytes" = bytes);
+            }
+            RunEvent::ControlFrame { device }
+            | RunEvent::DataFrame { device }
+            | RunEvent::StaleControlFrame { device }
+            | RunEvent::StaleHeartbeat { device }
+            | RunEvent::CorruptFrame { device }
+            | RunEvent::DuplicateFrame { device }
+            | RunEvent::DroppedHeartbeat { device }
+            | RunEvent::DeviceDead { device } => push_display!(out, "device" = device),
+            RunEvent::Heartbeat { device, sequence } => {
+                push_display!(out, "device" = device, "sequence" = sequence);
+            }
+            RunEvent::Retry { device, attempt } => {
+                push_display!(out, "device" = device, "attempt" = attempt);
+            }
+            RunEvent::RetryCost { seconds }
+            | RunEvent::Recovery { seconds }
+            | RunEvent::ServeRecovery { seconds } => push_display!(out, "seconds" = seconds),
+            RunEvent::RoundFused {
+                round,
+                samples,
+                degraded,
+            } => push_display!(
+                out,
+                "round" = round,
+                "samples" = samples,
+                "degraded" = degraded
+            ),
+            RunEvent::EpochEnded {
+                epoch,
+                max_in_flight,
+            } => push_display!(out, "epoch" = epoch, "max_in_flight" = max_in_flight),
+            RunEvent::DeviceRounds { device, rounds } => {
+                push_display!(out, "device" = device, "rounds" = rounds);
+            }
+            RunEvent::DeviceJoined { device, rejoin } => {
+                push_display!(out, "device" = device, "rejoin" = rejoin);
+            }
+            RunEvent::Replan { cause, missing } => {
+                push_display!(out, "cause" = cause.as_str());
+                push_list_field(&mut out, "missing", missing);
+            }
+            RunEvent::RoundsReplayed { rounds, samples } => {
+                push_display!(out, "rounds" = rounds, "samples" = samples);
+            }
+            RunEvent::StreamEnded {
+                steady_state_samples_per_second,
+            } => push_display!(out, "steady_state" = steady_state_samples_per_second),
+            RunEvent::ServeStarted {
+                tenants,
+                capacity,
+                initial_depth,
+                offered_rate_per_second,
+            } => push_display!(
+                out,
+                "tenants" = tenants,
+                "capacity" = capacity,
+                "initial_depth" = initial_depth,
+                "offered_rate" = offered_rate_per_second
+            ),
+            RunEvent::TenantRegistered { tenant, name } => {
+                push_display!(out, "tenant" = tenant);
+                push_str_field(&mut out, "name", name);
+            }
+            RunEvent::RequestAdmitted { tenant, id }
+            | RunEvent::RequestShedOverflow { tenant, id }
+            | RunEvent::RequestShedDeadline { tenant, id } => {
+                push_display!(out, "tenant" = tenant, "id" = id);
+            }
+            RunEvent::QueueDepth { tenant, depth } => {
+                push_display!(out, "tenant" = tenant, "depth" = depth);
+            }
+            RunEvent::RequestDispatched {
+                tenant,
+                id,
+                arrival_seconds,
+            } => push_display!(
+                out,
+                "tenant" = tenant,
+                "id" = id,
+                "arrival" = arrival_seconds
+            ),
+            RunEvent::DepthChanged { round, from, to } => {
+                push_display!(out, "round" = round, "from" = from, "to" = to);
+            }
+            RunEvent::ServeCrash { device, round } => {
+                push_display!(out, "device" = device, "round" = round);
+            }
+            RunEvent::ServeRound {
+                round,
+                start_seconds,
+                completion_seconds,
+                size,
+            } => push_display!(
+                out,
+                "round" = round,
+                "start" = start_seconds,
+                "completion" = completion_seconds,
+                "size" = size
+            ),
+            RunEvent::ServeEnded => {}
+            RunEvent::BatchStarted { devices, samples } => {
+                push_display!(out, "devices" = devices, "samples" = samples);
+            }
+            RunEvent::BatchEnded {
+                frames,
+                bytes_on_wire,
+                simulated_seconds,
+            } => push_display!(
+                out,
+                "frames" = frames,
+                "bytes_on_wire" = bytes_on_wire,
+                "simulated_seconds" = simulated_seconds
+            ),
+        }
+        out
+    }
+
+    /// Decodes one journal line. `line_number` is 1-based, for error context.
+    pub fn from_line(line: &str, line_number: usize) -> Result<Self> {
+        let fields = Fields::tokenize(line, line_number)?;
+        let at = fields.f64("t")?;
+        let event = RunEvent::from_fields(&fields)?;
+        Ok(EventRecord { at, event })
+    }
+}
+
+impl RunEvent {
+    /// The event's journal name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunEvent::StreamStarted { .. } => "StreamStarted",
+            RunEvent::EpochStarted { .. } => "EpochStarted",
+            RunEvent::Delivery { .. } => "Delivery",
+            RunEvent::ControlFrame { .. } => "ControlFrame",
+            RunEvent::DataFrame { .. } => "DataFrame",
+            RunEvent::Heartbeat { .. } => "Heartbeat",
+            RunEvent::StaleControlFrame { .. } => "StaleControlFrame",
+            RunEvent::StaleHeartbeat { .. } => "StaleHeartbeat",
+            RunEvent::CorruptFrame { .. } => "CorruptFrame",
+            RunEvent::DuplicateFrame { .. } => "DuplicateFrame",
+            RunEvent::DroppedHeartbeat { .. } => "DroppedHeartbeat",
+            RunEvent::Retry { .. } => "Retry",
+            RunEvent::RetryCost { .. } => "RetryCost",
+            RunEvent::RoundFused { .. } => "RoundFused",
+            RunEvent::EpochEnded { .. } => "EpochEnded",
+            RunEvent::DeviceRounds { .. } => "DeviceRounds",
+            RunEvent::DeviceDead { .. } => "DeviceDead",
+            RunEvent::DeviceJoined { .. } => "DeviceJoined",
+            RunEvent::Replan { .. } => "Replan",
+            RunEvent::RoundsReplayed { .. } => "RoundsReplayed",
+            RunEvent::Recovery { .. } => "Recovery",
+            RunEvent::StreamEnded { .. } => "StreamEnded",
+            RunEvent::ServeStarted { .. } => "ServeStarted",
+            RunEvent::TenantRegistered { .. } => "TenantRegistered",
+            RunEvent::RequestAdmitted { .. } => "RequestAdmitted",
+            RunEvent::QueueDepth { .. } => "QueueDepth",
+            RunEvent::RequestShedOverflow { .. } => "RequestShedOverflow",
+            RunEvent::RequestShedDeadline { .. } => "RequestShedDeadline",
+            RunEvent::RequestDispatched { .. } => "RequestDispatched",
+            RunEvent::DepthChanged { .. } => "DepthChanged",
+            RunEvent::ServeCrash { .. } => "ServeCrash",
+            RunEvent::ServeRecovery { .. } => "ServeRecovery",
+            RunEvent::ServeRound { .. } => "ServeRound",
+            RunEvent::ServeEnded => "ServeEnded",
+            RunEvent::BatchStarted { .. } => "BatchStarted",
+            RunEvent::BatchEnded { .. } => "BatchEnded",
+        }
+    }
+
+    fn from_fields(f: &Fields<'_>) -> Result<Self> {
+        Ok(match f.name {
+            "StreamStarted" => RunEvent::StreamStarted {
+                rounds: f.u64("rounds")?,
+                round_size: f.u64("round_size")?,
+                samples: f.u64("samples")?,
+                devices: f.u64("devices")?,
+            },
+            "EpochStarted" => RunEvent::EpochStarted {
+                epoch: f.u64("epoch")?,
+            },
+            "Delivery" => RunEvent::Delivery {
+                device: f.u64("device")?,
+                bytes: f.u64("bytes")?,
+            },
+            "ControlFrame" => RunEvent::ControlFrame {
+                device: f.u64("device")?,
+            },
+            "DataFrame" => RunEvent::DataFrame {
+                device: f.u64("device")?,
+            },
+            "Heartbeat" => RunEvent::Heartbeat {
+                device: f.u64("device")?,
+                sequence: f.u64("sequence")?,
+            },
+            "StaleControlFrame" => RunEvent::StaleControlFrame {
+                device: f.u64("device")?,
+            },
+            "StaleHeartbeat" => RunEvent::StaleHeartbeat {
+                device: f.u64("device")?,
+            },
+            "CorruptFrame" => RunEvent::CorruptFrame {
+                device: f.u64("device")?,
+            },
+            "DuplicateFrame" => RunEvent::DuplicateFrame {
+                device: f.u64("device")?,
+            },
+            "DroppedHeartbeat" => RunEvent::DroppedHeartbeat {
+                device: f.u64("device")?,
+            },
+            "Retry" => RunEvent::Retry {
+                device: f.u64("device")?,
+                attempt: f.u64("attempt")?,
+            },
+            "RetryCost" => RunEvent::RetryCost {
+                seconds: f.f64("seconds")?,
+            },
+            "RoundFused" => RunEvent::RoundFused {
+                round: f.u64("round")?,
+                samples: f.u64("samples")?,
+                degraded: f.bool("degraded")?,
+            },
+            "EpochEnded" => RunEvent::EpochEnded {
+                epoch: f.u64("epoch")?,
+                max_in_flight: f.u64("max_in_flight")?,
+            },
+            "DeviceRounds" => RunEvent::DeviceRounds {
+                device: f.u64("device")?,
+                rounds: f.u64("rounds")?,
+            },
+            "DeviceDead" => RunEvent::DeviceDead {
+                device: f.u64("device")?,
+            },
+            "DeviceJoined" => RunEvent::DeviceJoined {
+                device: f.u64("device")?,
+                rejoin: f.bool("rejoin")?,
+            },
+            "Replan" => RunEvent::Replan {
+                cause: ReplanCause::parse(f.raw("cause")?, f.line)?,
+                missing: f.list("missing")?,
+            },
+            "RoundsReplayed" => RunEvent::RoundsReplayed {
+                rounds: f.u64("rounds")?,
+                samples: f.u64("samples")?,
+            },
+            "Recovery" => RunEvent::Recovery {
+                seconds: f.f64("seconds")?,
+            },
+            "StreamEnded" => RunEvent::StreamEnded {
+                steady_state_samples_per_second: f.f64("steady_state")?,
+            },
+            "ServeStarted" => RunEvent::ServeStarted {
+                tenants: f.u64("tenants")?,
+                capacity: f.u64("capacity")?,
+                initial_depth: f.u64("initial_depth")?,
+                offered_rate_per_second: f.f64("offered_rate")?,
+            },
+            "TenantRegistered" => RunEvent::TenantRegistered {
+                tenant: f.u64("tenant")?,
+                name: f.string("name")?,
+            },
+            "RequestAdmitted" => RunEvent::RequestAdmitted {
+                tenant: f.u64("tenant")?,
+                id: f.u64("id")?,
+            },
+            "QueueDepth" => RunEvent::QueueDepth {
+                tenant: f.u64("tenant")?,
+                depth: f.u64("depth")?,
+            },
+            "RequestShedOverflow" => RunEvent::RequestShedOverflow {
+                tenant: f.u64("tenant")?,
+                id: f.u64("id")?,
+            },
+            "RequestShedDeadline" => RunEvent::RequestShedDeadline {
+                tenant: f.u64("tenant")?,
+                id: f.u64("id")?,
+            },
+            "RequestDispatched" => RunEvent::RequestDispatched {
+                tenant: f.u64("tenant")?,
+                id: f.u64("id")?,
+                arrival_seconds: f.f64("arrival")?,
+            },
+            "DepthChanged" => RunEvent::DepthChanged {
+                round: f.u64("round")?,
+                from: f.u64("from")?,
+                to: f.u64("to")?,
+            },
+            "ServeCrash" => RunEvent::ServeCrash {
+                device: f.u64("device")?,
+                round: f.u64("round")?,
+            },
+            "ServeRecovery" => RunEvent::ServeRecovery {
+                seconds: f.f64("seconds")?,
+            },
+            "ServeRound" => RunEvent::ServeRound {
+                round: f.u64("round")?,
+                start_seconds: f.f64("start")?,
+                completion_seconds: f.f64("completion")?,
+                size: f.u64("size")?,
+            },
+            "ServeEnded" => RunEvent::ServeEnded,
+            "BatchStarted" => RunEvent::BatchStarted {
+                devices: f.u64("devices")?,
+                samples: f.u64("samples")?,
+            },
+            "BatchEnded" => RunEvent::BatchEnded {
+                frames: f.u64("frames")?,
+                bytes_on_wire: f.u64("bytes_on_wire")?,
+                simulated_seconds: f.f64("simulated_seconds")?,
+            },
+            other => {
+                return Err(MetricsError::Parse {
+                    line: f.line,
+                    message: format!("unknown event `{other}`"),
+                })
+            }
+        })
+    }
+}
+
+// ---- decoding -----------------------------------------------------------
+
+/// One tokenized field value: plain text or an unescaped quoted string.
+enum Token {
+    Plain(String),
+    Quoted(String),
+}
+
+/// The tokenized fields of one journal line, with typed getters.
+struct Fields<'a> {
+    line: usize,
+    name: &'a str,
+    entries: Vec<(String, Token)>,
+}
+
+impl<'a> Fields<'a> {
+    fn tokenize(text: &'a str, line: usize) -> Result<Self> {
+        let err = |message: String| MetricsError::Parse { line, message };
+        let mut chars = text.char_indices().peekable();
+        let mut entries: Vec<(String, Token)> = Vec::new();
+        let mut name: Option<&'a str> = None;
+        while let Some(&(start, c)) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            // A bare token (no `=`) is the event name.
+            let mut end = text.len();
+            let mut eq: Option<usize> = None;
+            for (i, c) in chars.clone() {
+                if c == '=' {
+                    eq = Some(i);
+                    break;
+                }
+                if c.is_whitespace() {
+                    end = i;
+                    break;
+                }
+            }
+            let Some(eq) = eq else {
+                if name.replace(&text[start..end]).is_some() {
+                    return Err(err("two event names on one line".to_string()));
+                }
+                while chars.peek().is_some_and(|&(i, _)| i < end) {
+                    chars.next();
+                }
+                continue;
+            };
+            let key = text[start..eq].to_string();
+            if key.is_empty() || key.chars().any(char::is_whitespace) {
+                return Err(err(format!("malformed field near `{}`", &text[start..eq])));
+            }
+            // Skip past the `=`.
+            while chars.next().is_some_and(|(i, _)| i < eq) {}
+            let token = if chars.peek().is_some_and(|&(_, c)| c == '"') {
+                chars.next();
+                let mut value = String::new();
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, '\\')) => value.push('\\'),
+                            Some((_, '"')) => value.push('"'),
+                            Some((_, 'n')) => value.push('\n'),
+                            other => {
+                                return Err(err(format!(
+                                    "bad escape `\\{}` in field `{key}`",
+                                    other.map_or(String::new(), |(_, c)| c.to_string())
+                                )))
+                            }
+                        },
+                        other => value.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(err(format!("unterminated string in field `{key}`")));
+                }
+                Token::Quoted(value)
+            } else {
+                let mut value = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    value.push(c);
+                    chars.next();
+                }
+                Token::Plain(value)
+            };
+            entries.push((key, token));
+        }
+        let name = name.ok_or_else(|| MetricsError::Parse {
+            line,
+            message: "missing event name".to_string(),
+        })?;
+        Ok(Fields {
+            line,
+            name,
+            entries,
+        })
+    }
+
+    fn raw(&self, key: &str) -> Result<&str> {
+        match self.entries.iter().find(|(k, _)| k == key) {
+            Some((_, Token::Plain(v))) => Ok(v),
+            Some((_, Token::Quoted(_))) => Err(MetricsError::Parse {
+                line: self.line,
+                message: format!("field `{key}` must not be quoted"),
+            }),
+            None => Err(MetricsError::Parse {
+                line: self.line,
+                message: format!("missing field `{key}`"),
+            }),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64> {
+        self.raw(key)?.parse().map_err(|_| MetricsError::Parse {
+            line: self.line,
+            message: format!("field `{key}` is not a u64"),
+        })
+    }
+
+    fn f64(&self, key: &str) -> Result<f64> {
+        self.raw(key)?.parse().map_err(|_| MetricsError::Parse {
+            line: self.line,
+            message: format!("field `{key}` is not an f64"),
+        })
+    }
+
+    fn bool(&self, key: &str) -> Result<bool> {
+        self.raw(key)?.parse().map_err(|_| MetricsError::Parse {
+            line: self.line,
+            message: format!("field `{key}` is not a bool"),
+        })
+    }
+
+    fn list(&self, key: &str) -> Result<Vec<u64>> {
+        let raw = self.raw(key)?;
+        if raw.is_empty() {
+            return Ok(Vec::new());
+        }
+        raw.split(',')
+            .map(|part| {
+                part.parse().map_err(|_| MetricsError::Parse {
+                    line: self.line,
+                    message: format!("field `{key}` has a non-u64 element"),
+                })
+            })
+            .collect()
+    }
+
+    fn string(&self, key: &str) -> Result<String> {
+        match self.entries.iter().find(|(k, _)| k == key) {
+            Some((_, Token::Quoted(v))) => Ok(v.clone()),
+            Some((_, Token::Plain(_))) => Err(MetricsError::Parse {
+                line: self.line,
+                message: format!("field `{key}` must be quoted"),
+            }),
+            None => Err(MetricsError::Parse {
+                line: self.line,
+                message: format!("missing field `{key}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(record: EventRecord) {
+        let line = record.to_line();
+        let back = EventRecord::from_line(&line, 1).expect(&line);
+        assert_eq!(back.at.to_bits(), record.at.to_bits(), "{line}");
+        assert_eq!(back, record, "{line}");
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_its_line() {
+        let samples = vec![
+            RunEvent::StreamStarted {
+                rounds: 8,
+                round_size: 2,
+                samples: 16,
+                devices: 4,
+            },
+            RunEvent::EpochStarted { epoch: 1 },
+            RunEvent::Delivery {
+                device: 3,
+                bytes: 4096,
+            },
+            RunEvent::ControlFrame { device: 0 },
+            RunEvent::DataFrame { device: 1 },
+            RunEvent::Heartbeat {
+                device: 2,
+                sequence: 7,
+            },
+            RunEvent::StaleControlFrame { device: 1 },
+            RunEvent::StaleHeartbeat { device: 0 },
+            RunEvent::CorruptFrame { device: 2 },
+            RunEvent::DuplicateFrame { device: 3 },
+            RunEvent::DroppedHeartbeat { device: 1 },
+            RunEvent::Retry {
+                device: 2,
+                attempt: 1,
+            },
+            RunEvent::RetryCost { seconds: 0.1 + 0.2 },
+            RunEvent::RoundFused {
+                round: 5,
+                samples: 2,
+                degraded: true,
+            },
+            RunEvent::EpochEnded {
+                epoch: 2,
+                max_in_flight: 3,
+            },
+            RunEvent::DeviceRounds {
+                device: 9,
+                rounds: 0,
+            },
+            RunEvent::DeviceDead { device: 2 },
+            RunEvent::DeviceJoined {
+                device: 5,
+                rejoin: true,
+            },
+            RunEvent::Replan {
+                cause: ReplanCause::Death,
+                missing: vec![1, 3],
+            },
+            RunEvent::Replan {
+                cause: ReplanCause::Join,
+                missing: Vec::new(),
+            },
+            RunEvent::RoundsReplayed {
+                rounds: 1,
+                samples: 2,
+            },
+            RunEvent::Recovery { seconds: 1.25 },
+            RunEvent::StreamEnded {
+                steady_state_samples_per_second: 123.456_789,
+            },
+            RunEvent::ServeStarted {
+                tenants: 2,
+                capacity: 4,
+                initial_depth: 2,
+                offered_rate_per_second: 0.3,
+            },
+            RunEvent::TenantRegistered {
+                tenant: 0,
+                name: "edge \"cam\"\\north\n".to_string(),
+            },
+            RunEvent::RequestAdmitted { tenant: 0, id: 17 },
+            RunEvent::QueueDepth {
+                tenant: 1,
+                depth: 4,
+            },
+            RunEvent::RequestShedOverflow { tenant: 1, id: 18 },
+            RunEvent::RequestShedDeadline { tenant: 0, id: 19 },
+            RunEvent::RequestDispatched {
+                tenant: 0,
+                id: 20,
+                arrival_seconds: 2.5,
+            },
+            RunEvent::DepthChanged {
+                round: 3,
+                from: 2,
+                to: 4,
+            },
+            RunEvent::ServeCrash {
+                device: 1,
+                round: 2,
+            },
+            RunEvent::ServeRecovery { seconds: 0.75 },
+            RunEvent::ServeRound {
+                round: 0,
+                start_seconds: 0.0,
+                completion_seconds: 1.5,
+                size: 4,
+            },
+            RunEvent::ServeEnded,
+            RunEvent::BatchStarted {
+                devices: 4,
+                samples: 8,
+            },
+            RunEvent::BatchEnded {
+                frames: 4,
+                bytes_on_wire: 65536,
+                simulated_seconds: 0.875,
+            },
+        ];
+        for (i, event) in samples.into_iter().enumerate() {
+            round_trip(EventRecord {
+                at: i as f64 * 0.3,
+                event,
+            });
+        }
+    }
+
+    #[test]
+    fn extreme_floats_round_trip_bitwise() {
+        for value in [
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            1.0 / 3.0,
+            f64::MAX,
+            6.021_023e-19,
+        ] {
+            round_trip(EventRecord {
+                at: value,
+                event: RunEvent::RetryCost { seconds: value },
+            });
+        }
+        // NaN compares unequal; check the bits directly.
+        let record = EventRecord {
+            at: 0.0,
+            event: RunEvent::RetryCost { seconds: f64::NAN },
+        };
+        let back = EventRecord::from_line(&record.to_line(), 1).unwrap();
+        let RunEvent::RetryCost { seconds } = back.event else {
+            panic!("wrong variant");
+        };
+        assert!(seconds.is_nan());
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_parse_errors() {
+        for bad in [
+            "",
+            "t=1.0",
+            "t=1.0 NoSuchEvent",
+            "t=abc Delivery device=0 bytes=1",
+            "t=1.0 Delivery device=0",
+            "t=1.0 Delivery device=-1 bytes=2",
+            "t=1.0 TenantRegistered tenant=0 name=unquoted",
+            "t=1.0 TenantRegistered tenant=0 name=\"open",
+            "t=1.0 TenantRegistered tenant=0 name=\"bad\\q\"",
+            "t=1.0 Replan cause=nope missing=",
+            "t=1.0 Replan cause=death missing=1,x",
+            "t=1.0 Delivery Delivery device=0 bytes=1",
+        ] {
+            let err = EventRecord::from_line(bad, 7).unwrap_err();
+            assert!(
+                matches!(err, MetricsError::Parse { line: 7, .. }),
+                "`{bad}` gave {err:?}"
+            );
+        }
+    }
+}

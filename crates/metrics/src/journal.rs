@@ -1,0 +1,1003 @@
+//! The event-sourced run journal and its offline replay.
+//!
+//! A [`RunJournal`] is an append-only sequence of [`EventRecord`]s. Replay
+//! folds the events back into [`StreamCounters`] / [`ServeCounters`] — exact
+//! mirrors of the accounting fields of `StreamReport` and `ServeReport` —
+//! using the *same arithmetic in the same order* as the live schedulers, so
+//! a journal from an instrumented run reconstructs every counter **bitwise**
+//! (`f64`s compared by bit pattern, not epsilon). That property is what makes
+//! the journal a post-mortem artifact: any divergence between a replay and
+//! the live report is a counter bug in one of them, never float noise.
+//!
+//! One journal can hold all three event families (stream, serve, batch);
+//! each replay folds its own family and ignores the others, so a serving run
+//! that embeds a streaming execution pass replays both ways from one file.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MetricsError, Result};
+use crate::event::{EventRecord, RunEvent};
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0.0 when empty.
+/// Duplicates the serving report's arithmetic exactly — replay must price
+/// percentiles the same way the live report does.
+fn percentile(sorted_ascending: &[f64], q: f64) -> f64 {
+    if sorted_ascending.is_empty() {
+        return 0.0;
+    }
+    let n = sorted_ascending.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted_ascending[rank.saturating_sub(1).min(n - 1)]
+}
+
+fn f64_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// The accounting fields of a `StreamReport`, reconstructed by replay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamCounters {
+    /// Total rounds in the layout.
+    pub rounds: usize,
+    /// Configured samples per round.
+    pub round_size: usize,
+    /// Membership epochs executed.
+    pub epochs: usize,
+    /// Most rounds simultaneously in flight.
+    pub max_rounds_in_flight: usize,
+    /// Heartbeat control frames observed.
+    pub heartbeats_seen: u64,
+    /// All control frames observed.
+    pub control_frames: usize,
+    /// Feature-batch data frames observed.
+    pub data_frames: usize,
+    /// Encoded bytes shipped over the channel.
+    pub bytes_on_wire: u64,
+    /// Encoded bytes per sending device.
+    pub per_device_wire_bytes: BTreeMap<usize, u64>,
+    /// Rounds delivered per device, accumulated across epochs.
+    pub per_device_rounds: BTreeMap<usize, u64>,
+    /// Devices declared dead, in detection order.
+    pub devices_lost: Vec<usize>,
+    /// Devices admitted mid-stream, in admission order.
+    pub devices_joined: Vec<usize>,
+    /// Admissions that were rejoins.
+    pub rejoins: usize,
+    /// Planner re-runs.
+    pub repartitions: usize,
+    /// Samples recomputed after deaths.
+    pub samples_replayed: usize,
+    /// Data-frame re-requests issued.
+    pub retries: u64,
+    /// Virtual seconds spent in retry backoff.
+    pub retry_seconds: f64,
+    /// Failed deliveries observed.
+    pub corrupt_frames: u64,
+    /// Duplicate data frames observed.
+    pub duplicate_frames: u64,
+    /// Heartbeat beacons the link ate.
+    pub dropped_heartbeats: u64,
+    /// Control frames rejected as replays.
+    pub stale_control_frames: u64,
+    /// Heartbeats the health tracker ignored as stale.
+    pub stale_heartbeats: u64,
+    /// Rounds fused in degraded mode, in fusion order.
+    pub degraded_rounds: Vec<u64>,
+    /// Sub-models unhosted by the final membership.
+    pub missing_sub_models: Vec<usize>,
+    /// Virtual seconds charged to crash recovery.
+    pub recovery_seconds: f64,
+    /// Steady-state throughput of the final membership.
+    pub steady_state_samples_per_second: f64,
+    /// Realized throughput (samples over virtual end-to-end time).
+    pub effective_samples_per_second: f64,
+    /// Virtual end-to-end seconds.
+    pub simulated_total_seconds: f64,
+}
+
+impl StreamCounters {
+    /// Field names whose values differ from `other`, comparing floats by bit
+    /// pattern. Empty means bitwise-identical accounting.
+    pub fn diff(&self, other: &StreamCounters) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        let mut check = |name, equal: bool| {
+            if !equal {
+                out.push(name);
+            }
+        };
+        check("rounds", self.rounds == other.rounds);
+        check("round_size", self.round_size == other.round_size);
+        check("epochs", self.epochs == other.epochs);
+        check(
+            "max_rounds_in_flight",
+            self.max_rounds_in_flight == other.max_rounds_in_flight,
+        );
+        check(
+            "heartbeats_seen",
+            self.heartbeats_seen == other.heartbeats_seen,
+        );
+        check(
+            "control_frames",
+            self.control_frames == other.control_frames,
+        );
+        check("data_frames", self.data_frames == other.data_frames);
+        check("bytes_on_wire", self.bytes_on_wire == other.bytes_on_wire);
+        check(
+            "per_device_wire_bytes",
+            self.per_device_wire_bytes == other.per_device_wire_bytes,
+        );
+        check(
+            "per_device_rounds",
+            self.per_device_rounds == other.per_device_rounds,
+        );
+        check("devices_lost", self.devices_lost == other.devices_lost);
+        check(
+            "devices_joined",
+            self.devices_joined == other.devices_joined,
+        );
+        check("rejoins", self.rejoins == other.rejoins);
+        check("repartitions", self.repartitions == other.repartitions);
+        check(
+            "samples_replayed",
+            self.samples_replayed == other.samples_replayed,
+        );
+        check("retries", self.retries == other.retries);
+        check(
+            "retry_seconds",
+            f64_eq(self.retry_seconds, other.retry_seconds),
+        );
+        check(
+            "corrupt_frames",
+            self.corrupt_frames == other.corrupt_frames,
+        );
+        check(
+            "duplicate_frames",
+            self.duplicate_frames == other.duplicate_frames,
+        );
+        check(
+            "dropped_heartbeats",
+            self.dropped_heartbeats == other.dropped_heartbeats,
+        );
+        check(
+            "stale_control_frames",
+            self.stale_control_frames == other.stale_control_frames,
+        );
+        check(
+            "stale_heartbeats",
+            self.stale_heartbeats == other.stale_heartbeats,
+        );
+        check(
+            "degraded_rounds",
+            self.degraded_rounds == other.degraded_rounds,
+        );
+        check(
+            "missing_sub_models",
+            self.missing_sub_models == other.missing_sub_models,
+        );
+        check(
+            "recovery_seconds",
+            f64_eq(self.recovery_seconds, other.recovery_seconds),
+        );
+        check(
+            "steady_state_samples_per_second",
+            f64_eq(
+                self.steady_state_samples_per_second,
+                other.steady_state_samples_per_second,
+            ),
+        );
+        check(
+            "effective_samples_per_second",
+            f64_eq(
+                self.effective_samples_per_second,
+                other.effective_samples_per_second,
+            ),
+        );
+        check(
+            "simulated_total_seconds",
+            f64_eq(self.simulated_total_seconds, other.simulated_total_seconds),
+        );
+        out
+    }
+
+    /// Whether every counter matches `other` bitwise.
+    pub fn bitwise_eq(&self, other: &StreamCounters) -> bool {
+        self.diff(other).is_empty()
+    }
+}
+
+/// One tenant's row of a `ServeReport`, reconstructed by replay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantRow {
+    /// Tenant display name.
+    pub name: String,
+    /// Requests that arrived.
+    pub admitted: u64,
+    /// Requests served to completion (dispatched).
+    pub completed: u64,
+    /// Requests shed on arrival.
+    pub shed_overflow: u64,
+    /// Requests dropped at dispatch.
+    pub shed_deadline: u64,
+    /// Deepest the tenant's queue grew.
+    pub max_queue_depth: usize,
+    /// Median round-trip latency.
+    pub p50_latency_seconds: f64,
+    /// 99th-percentile round-trip latency.
+    pub p99_latency_seconds: f64,
+}
+
+/// One adaptive pipeline-depth transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepthStep {
+    /// Round ordinal the transition took effect before.
+    pub round: u64,
+    /// Depth before.
+    pub from: usize,
+    /// Depth after.
+    pub to: usize,
+}
+
+/// The accounting fields of a `ServeReport`, reconstructed by replay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// Per-tenant rows, in tenant index order.
+    pub tenants: Vec<TenantRow>,
+    /// Requests that arrived across all tenants.
+    pub admitted: u64,
+    /// Requests served to completion across all tenants.
+    pub completed: u64,
+    /// Requests shed across all tenants.
+    pub shed: u64,
+    /// Rounds the batcher formed.
+    pub rounds_formed: usize,
+    /// Rounds dispatched below capacity.
+    pub partial_rounds: usize,
+    /// Every depth transition, in round order.
+    pub depth_changes: Vec<DepthStep>,
+    /// Pipeline depth the drill started at (post-clamp).
+    pub initial_depth: usize,
+    /// Pipeline depth after the last round.
+    pub final_depth: usize,
+    /// Median round-trip latency over all completions.
+    pub p50_latency_seconds: f64,
+    /// 99th-percentile round-trip latency over all completions.
+    pub p99_latency_seconds: f64,
+    /// Configured open-loop offered load.
+    pub offered_rate_per_second: f64,
+    /// Completions per virtual second achieved.
+    pub served_samples_per_second: f64,
+    /// Virtual time of the last completion.
+    pub simulated_total_seconds: f64,
+    /// Virtual seconds charged to mid-drill crash recovery.
+    pub recovery_seconds: f64,
+    /// Devices lost mid-drill, in crash order.
+    pub devices_lost: Vec<usize>,
+}
+
+impl ServeCounters {
+    /// Field names whose values differ from `other`, floats compared by bit
+    /// pattern. Tenant rows are compared field by field the same way.
+    pub fn diff(&self, other: &ServeCounters) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        let mut check = |name, equal: bool| {
+            if !equal {
+                out.push(name);
+            }
+        };
+        let tenants_eq = self.tenants.len() == other.tenants.len()
+            && self.tenants.iter().zip(&other.tenants).all(|(a, b)| {
+                a.name == b.name
+                    && a.admitted == b.admitted
+                    && a.completed == b.completed
+                    && a.shed_overflow == b.shed_overflow
+                    && a.shed_deadline == b.shed_deadline
+                    && a.max_queue_depth == b.max_queue_depth
+                    && f64_eq(a.p50_latency_seconds, b.p50_latency_seconds)
+                    && f64_eq(a.p99_latency_seconds, b.p99_latency_seconds)
+            });
+        check("tenants", tenants_eq);
+        check("admitted", self.admitted == other.admitted);
+        check("completed", self.completed == other.completed);
+        check("shed", self.shed == other.shed);
+        check("rounds_formed", self.rounds_formed == other.rounds_formed);
+        check(
+            "partial_rounds",
+            self.partial_rounds == other.partial_rounds,
+        );
+        check("depth_changes", self.depth_changes == other.depth_changes);
+        check("initial_depth", self.initial_depth == other.initial_depth);
+        check("final_depth", self.final_depth == other.final_depth);
+        check(
+            "p50_latency_seconds",
+            f64_eq(self.p50_latency_seconds, other.p50_latency_seconds),
+        );
+        check(
+            "p99_latency_seconds",
+            f64_eq(self.p99_latency_seconds, other.p99_latency_seconds),
+        );
+        check(
+            "offered_rate_per_second",
+            f64_eq(self.offered_rate_per_second, other.offered_rate_per_second),
+        );
+        check(
+            "served_samples_per_second",
+            f64_eq(
+                self.served_samples_per_second,
+                other.served_samples_per_second,
+            ),
+        );
+        check(
+            "simulated_total_seconds",
+            f64_eq(self.simulated_total_seconds, other.simulated_total_seconds),
+        );
+        check(
+            "recovery_seconds",
+            f64_eq(self.recovery_seconds, other.recovery_seconds),
+        );
+        check("devices_lost", self.devices_lost == other.devices_lost);
+        out
+    }
+
+    /// Whether every counter matches `other` bitwise.
+    pub fn bitwise_eq(&self, other: &ServeCounters) -> bool {
+        self.diff(other).is_empty()
+    }
+}
+
+/// The append-only event journal of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunJournal {
+    events: Vec<EventRecord>,
+}
+
+impl RunJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        RunJournal::default()
+    }
+
+    /// Appends one event at virtual time `at`.
+    pub fn push(&mut self, at: f64, event: RunEvent) {
+        self.events.push(EventRecord { at, event });
+    }
+
+    /// The recorded events, in append order.
+    pub fn records(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the journal: one event per line, trailing newline.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for record in &self.events {
+            out.push_str(&record.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a journal back from its text form. Blank lines and `#` comment
+    /// lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::Parse`] with the offending 1-based line number.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut events = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            events.push(EventRecord::from_line(trimmed, index + 1)?);
+        }
+        Ok(RunJournal { events })
+    }
+
+    /// Replays the journal's streaming events into [`StreamCounters`],
+    /// ignoring serve and batch events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::Replay`] when the journal holds no complete
+    /// stream run (missing `StreamStarted` or `StreamEnded`).
+    pub fn replay_stream(&self) -> Result<StreamCounters> {
+        let mut c = StreamCounters::default();
+        let mut samples: u64 = 0;
+        let mut started = false;
+        let mut ended = false;
+        for record in &self.events {
+            match &record.event {
+                RunEvent::StreamStarted {
+                    rounds,
+                    round_size,
+                    samples: total,
+                    devices: _,
+                } => {
+                    started = true;
+                    c.rounds = *rounds as usize;
+                    c.round_size = *round_size as usize;
+                    samples = *total;
+                }
+                RunEvent::EpochStarted { .. } => c.epochs += 1,
+                RunEvent::Delivery { device, bytes } => {
+                    c.bytes_on_wire += bytes;
+                    *c.per_device_wire_bytes.entry(*device as usize).or_insert(0) += bytes;
+                }
+                RunEvent::ControlFrame { .. } => c.control_frames += 1,
+                RunEvent::DataFrame { .. } => c.data_frames += 1,
+                RunEvent::Heartbeat { .. } => c.heartbeats_seen += 1,
+                RunEvent::StaleControlFrame { .. } => c.stale_control_frames += 1,
+                RunEvent::StaleHeartbeat { .. } => c.stale_heartbeats += 1,
+                RunEvent::CorruptFrame { .. } => c.corrupt_frames += 1,
+                RunEvent::DuplicateFrame { .. } => c.duplicate_frames += 1,
+                RunEvent::DroppedHeartbeat { .. } => c.dropped_heartbeats += 1,
+                RunEvent::Retry { .. } => c.retries += 1,
+                RunEvent::RetryCost { seconds } => c.retry_seconds += seconds,
+                RunEvent::RoundFused {
+                    round,
+                    degraded: true,
+                    ..
+                } => c.degraded_rounds.push(*round),
+                RunEvent::RoundFused { .. } => {}
+                RunEvent::EpochEnded { max_in_flight, .. } => {
+                    c.max_rounds_in_flight = c.max_rounds_in_flight.max(*max_in_flight as usize);
+                }
+                RunEvent::DeviceRounds { device, rounds } => {
+                    *c.per_device_rounds.entry(*device as usize).or_insert(0) += rounds;
+                }
+                RunEvent::DeviceDead { device } => c.devices_lost.push(*device as usize),
+                RunEvent::DeviceJoined { device, rejoin } => {
+                    c.devices_joined.push(*device as usize);
+                    if *rejoin {
+                        c.rejoins += 1;
+                    }
+                }
+                RunEvent::Replan { missing, .. } => {
+                    c.repartitions += 1;
+                    c.missing_sub_models = missing.iter().map(|&m| m as usize).collect();
+                }
+                RunEvent::RoundsReplayed { samples, .. } => {
+                    c.samples_replayed += *samples as usize;
+                }
+                RunEvent::Recovery { seconds } => c.recovery_seconds += seconds,
+                RunEvent::StreamEnded {
+                    steady_state_samples_per_second,
+                } => {
+                    ended = true;
+                    c.steady_state_samples_per_second = *steady_state_samples_per_second;
+                    c.simulated_total_seconds = record.at;
+                }
+                // Serve and batch events belong to the other replays.
+                _ => {}
+            }
+        }
+        if !started {
+            return Err(MetricsError::Replay {
+                message: "no StreamStarted event in the journal".to_string(),
+            });
+        }
+        if !ended {
+            return Err(MetricsError::Replay {
+                message: "journal records a stream that never ended".to_string(),
+            });
+        }
+        // Mirror the live division exactly, including the idle-stream branch.
+        c.effective_samples_per_second = if c.simulated_total_seconds > 0.0 {
+            samples as f64 / c.simulated_total_seconds
+        } else {
+            f64::INFINITY
+        };
+        Ok(c)
+    }
+
+    /// Replays the journal's serving events into [`ServeCounters`], ignoring
+    /// stream and batch events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::Replay`] when the journal holds no complete
+    /// serving drill, names an out-of-range tenant, or carries a round whose
+    /// size disagrees with its dispatch events.
+    pub fn replay_serve(&self) -> Result<ServeCounters> {
+        let mut c = ServeCounters::default();
+        let mut capacity: usize = 0;
+        let mut started = false;
+        let mut ended = false;
+        // Requests dispatched since the last formed round: (tenant, arrival).
+        let mut pending: Vec<(usize, f64)> = Vec::new();
+        let mut per_tenant: Vec<Vec<f64>> = Vec::new();
+        let mut all: Vec<f64> = Vec::new();
+        let tenant_err = |t: usize| MetricsError::Replay {
+            message: format!("event names tenant {t} beyond the registered set"),
+        };
+        for record in &self.events {
+            match &record.event {
+                RunEvent::ServeStarted {
+                    tenants,
+                    capacity: cap,
+                    initial_depth,
+                    offered_rate_per_second,
+                } => {
+                    started = true;
+                    capacity = *cap as usize;
+                    c.initial_depth = *initial_depth as usize;
+                    c.offered_rate_per_second = *offered_rate_per_second;
+                    c.tenants = vec![TenantRow::default(); *tenants as usize];
+                    per_tenant = vec![Vec::new(); *tenants as usize];
+                }
+                RunEvent::TenantRegistered { tenant, name } => {
+                    let t = *tenant as usize;
+                    let row = c.tenants.get_mut(t).ok_or_else(|| tenant_err(t))?;
+                    row.name.clone_from(name);
+                }
+                RunEvent::RequestAdmitted { tenant, .. } => {
+                    let t = *tenant as usize;
+                    c.tenants.get_mut(t).ok_or_else(|| tenant_err(t))?.admitted += 1;
+                }
+                RunEvent::QueueDepth { tenant, depth } => {
+                    let t = *tenant as usize;
+                    let row = c.tenants.get_mut(t).ok_or_else(|| tenant_err(t))?;
+                    row.max_queue_depth = row.max_queue_depth.max(*depth as usize);
+                }
+                RunEvent::RequestShedOverflow { tenant, .. } => {
+                    let t = *tenant as usize;
+                    c.tenants
+                        .get_mut(t)
+                        .ok_or_else(|| tenant_err(t))?
+                        .shed_overflow += 1;
+                }
+                RunEvent::RequestShedDeadline { tenant, .. } => {
+                    let t = *tenant as usize;
+                    c.tenants
+                        .get_mut(t)
+                        .ok_or_else(|| tenant_err(t))?
+                        .shed_deadline += 1;
+                }
+                RunEvent::RequestDispatched {
+                    tenant,
+                    arrival_seconds,
+                    ..
+                } => {
+                    let t = *tenant as usize;
+                    c.tenants.get_mut(t).ok_or_else(|| tenant_err(t))?.completed += 1;
+                    pending.push((t, *arrival_seconds));
+                }
+                RunEvent::DepthChanged { round, from, to } => {
+                    c.depth_changes.push(DepthStep {
+                        round: *round,
+                        from: *from as usize,
+                        to: *to as usize,
+                    });
+                }
+                RunEvent::ServeCrash { device, .. } => {
+                    c.devices_lost.push(*device as usize);
+                }
+                RunEvent::ServeRecovery { seconds } => c.recovery_seconds += seconds,
+                RunEvent::ServeRound {
+                    completion_seconds,
+                    size,
+                    ..
+                } => {
+                    if pending.len() != *size as usize {
+                        return Err(MetricsError::Replay {
+                            message: format!(
+                                "round of size {size} but {} dispatch events precede it",
+                                pending.len()
+                            ),
+                        });
+                    }
+                    c.rounds_formed += 1;
+                    if (*size as usize) < capacity {
+                        c.partial_rounds += 1;
+                    }
+                    // Same fold the live drill uses for `end_seconds`.
+                    c.simulated_total_seconds =
+                        f64::max(c.simulated_total_seconds, *completion_seconds);
+                    for &(tenant, arrival) in &pending {
+                        let latency = completion_seconds - arrival;
+                        per_tenant
+                            .get_mut(tenant)
+                            .ok_or_else(|| tenant_err(tenant))?
+                            .push(latency);
+                        all.push(latency);
+                    }
+                    pending.clear();
+                }
+                RunEvent::ServeEnded => ended = true,
+                // Stream and batch events belong to the other replays.
+                _ => {}
+            }
+        }
+        if !started {
+            return Err(MetricsError::Replay {
+                message: "no ServeStarted event in the journal".to_string(),
+            });
+        }
+        if !ended {
+            return Err(MetricsError::Replay {
+                message: "journal records a serving drill that never ended".to_string(),
+            });
+        }
+        all.sort_by(f64::total_cmp);
+        for lats in &mut per_tenant {
+            lats.sort_by(f64::total_cmp);
+        }
+        for (row, lats) in c.tenants.iter_mut().zip(&per_tenant) {
+            row.p50_latency_seconds = percentile(lats, 0.50);
+            row.p99_latency_seconds = percentile(lats, 0.99);
+        }
+        c.admitted = c.tenants.iter().map(|t| t.admitted).sum();
+        c.completed = c.tenants.iter().map(|t| t.completed).sum();
+        c.shed = c
+            .tenants
+            .iter()
+            .map(|t| t.shed_overflow + t.shed_deadline)
+            .sum();
+        c.p50_latency_seconds = percentile(&all, 0.50);
+        c.p99_latency_seconds = percentile(&all, 0.99);
+        c.served_samples_per_second = if c.simulated_total_seconds > 0.0 {
+            c.completed as f64 / c.simulated_total_seconds
+        } else {
+            0.0
+        };
+        c.final_depth = c
+            .depth_changes
+            .last()
+            .map_or(c.initial_depth, |step| step.to);
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReplanCause;
+
+    fn stream_fixture() -> RunJournal {
+        let mut j = RunJournal::new();
+        j.push(
+            0.0,
+            RunEvent::StreamStarted {
+                rounds: 4,
+                round_size: 2,
+                samples: 8,
+                devices: 2,
+            },
+        );
+        j.push(0.0, RunEvent::EpochStarted { epoch: 1 });
+        for device in 0..2u64 {
+            j.push(
+                0.0,
+                RunEvent::Delivery {
+                    device,
+                    bytes: 100 + device,
+                },
+            );
+            j.push(0.0, RunEvent::ControlFrame { device });
+            j.push(
+                0.0,
+                RunEvent::Heartbeat {
+                    device,
+                    sequence: 1,
+                },
+            );
+            j.push(0.0, RunEvent::DataFrame { device });
+        }
+        j.push(
+            0.0,
+            RunEvent::Retry {
+                device: 1,
+                attempt: 1,
+            },
+        );
+        j.push(0.0, RunEvent::RetryCost { seconds: 0.25 });
+        j.push(
+            0.0,
+            RunEvent::RoundFused {
+                round: 0,
+                samples: 2,
+                degraded: true,
+            },
+        );
+        j.push(
+            1.0,
+            RunEvent::EpochEnded {
+                epoch: 1,
+                max_in_flight: 2,
+            },
+        );
+        j.push(
+            1.0,
+            RunEvent::DeviceRounds {
+                device: 0,
+                rounds: 4,
+            },
+        );
+        j.push(
+            1.0,
+            RunEvent::DeviceRounds {
+                device: 1,
+                rounds: 0,
+            },
+        );
+        j.push(1.0, RunEvent::DeviceDead { device: 1 });
+        j.push(
+            1.0,
+            RunEvent::Replan {
+                cause: ReplanCause::Death,
+                missing: vec![2],
+            },
+        );
+        j.push(
+            1.0,
+            RunEvent::RoundsReplayed {
+                rounds: 1,
+                samples: 2,
+            },
+        );
+        j.push(1.0, RunEvent::Recovery { seconds: 0.5 });
+        j.push(
+            2.0,
+            RunEvent::StreamEnded {
+                steady_state_samples_per_second: 4.0,
+            },
+        );
+        j
+    }
+
+    #[test]
+    fn stream_replay_folds_every_counter() {
+        let c = stream_fixture().replay_stream().unwrap();
+        assert_eq!(c.rounds, 4);
+        assert_eq!(c.round_size, 2);
+        assert_eq!(c.epochs, 1);
+        assert_eq!(c.heartbeats_seen, 2);
+        assert_eq!(c.control_frames, 2);
+        assert_eq!(c.data_frames, 2);
+        assert_eq!(c.bytes_on_wire, 201);
+        assert_eq!(c.per_device_wire_bytes[&0], 100);
+        assert_eq!(c.per_device_wire_bytes[&1], 101);
+        assert_eq!(c.per_device_rounds[&0], 4);
+        assert_eq!(c.per_device_rounds[&1], 0);
+        assert_eq!(c.devices_lost, vec![1]);
+        assert_eq!(c.retries, 1);
+        assert_eq!(c.retry_seconds, 0.25);
+        assert_eq!(c.degraded_rounds, vec![0]);
+        assert_eq!(c.missing_sub_models, vec![2]);
+        assert_eq!(c.repartitions, 1);
+        assert_eq!(c.samples_replayed, 2);
+        assert_eq!(c.recovery_seconds, 0.5);
+        assert_eq!(c.max_rounds_in_flight, 2);
+        assert_eq!(c.simulated_total_seconds, 2.0);
+        assert_eq!(c.effective_samples_per_second, 4.0);
+        let again = stream_fixture().replay_stream().unwrap();
+        assert!(c.bitwise_eq(&again));
+        assert!(c.diff(&again).is_empty());
+    }
+
+    #[test]
+    fn journal_text_round_trips_and_replays_identically() {
+        let journal = stream_fixture();
+        let text = journal.to_text();
+        let back = RunJournal::from_text(&text).unwrap();
+        assert_eq!(back, journal);
+        assert_eq!(back.len(), journal.len());
+        assert!(!back.is_empty());
+        assert!(journal
+            .replay_stream()
+            .unwrap()
+            .bitwise_eq(&back.replay_stream().unwrap()));
+        // Comments and blank lines are tolerated.
+        let annotated = format!("# post-mortem dump\n\n{text}");
+        assert_eq!(RunJournal::from_text(&annotated).unwrap(), journal);
+    }
+
+    #[test]
+    fn incomplete_journals_are_replay_errors() {
+        let empty = RunJournal::new();
+        assert!(matches!(
+            empty.replay_stream(),
+            Err(MetricsError::Replay { .. })
+        ));
+        assert!(matches!(
+            empty.replay_serve(),
+            Err(MetricsError::Replay { .. })
+        ));
+        let mut truncated = RunJournal::new();
+        truncated.push(
+            0.0,
+            RunEvent::StreamStarted {
+                rounds: 1,
+                round_size: 1,
+                samples: 1,
+                devices: 1,
+            },
+        );
+        assert!(matches!(
+            truncated.replay_stream(),
+            Err(MetricsError::Replay { .. })
+        ));
+        // A bad line surfaces as a parse error with its line number.
+        let err = RunJournal::from_text("t=0 StreamStarted rounds=1\n").unwrap_err();
+        assert!(matches!(err, MetricsError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn serve_replay_reconstructs_tenant_rows_and_depth_chain() {
+        let mut j = RunJournal::new();
+        j.push(
+            0.0,
+            RunEvent::ServeStarted {
+                tenants: 2,
+                capacity: 2,
+                initial_depth: 2,
+                offered_rate_per_second: 3.5,
+            },
+        );
+        j.push(
+            0.0,
+            RunEvent::TenantRegistered {
+                tenant: 0,
+                name: "interactive".to_string(),
+            },
+        );
+        j.push(
+            0.0,
+            RunEvent::TenantRegistered {
+                tenant: 1,
+                name: "batch".to_string(),
+            },
+        );
+        for id in 0..3u64 {
+            j.push(0.1, RunEvent::RequestAdmitted { tenant: 0, id });
+        }
+        j.push(
+            0.1,
+            RunEvent::QueueDepth {
+                tenant: 0,
+                depth: 2,
+            },
+        );
+        j.push(0.1, RunEvent::RequestShedOverflow { tenant: 0, id: 2 });
+        j.push(0.2, RunEvent::RequestAdmitted { tenant: 1, id: 3 });
+        j.push(
+            0.2,
+            RunEvent::QueueDepth {
+                tenant: 1,
+                depth: 1,
+            },
+        );
+        j.push(
+            0.3,
+            RunEvent::RequestDispatched {
+                tenant: 0,
+                id: 0,
+                arrival_seconds: 0.1,
+            },
+        );
+        j.push(
+            0.3,
+            RunEvent::RequestDispatched {
+                tenant: 1,
+                id: 3,
+                arrival_seconds: 0.2,
+            },
+        );
+        j.push(
+            0.3,
+            RunEvent::DepthChanged {
+                round: 0,
+                from: 2,
+                to: 3,
+            },
+        );
+        j.push(
+            0.3,
+            RunEvent::ServeCrash {
+                device: 1,
+                round: 0,
+            },
+        );
+        j.push(0.3, RunEvent::ServeRecovery { seconds: 0.4 });
+        j.push(
+            0.3,
+            RunEvent::ServeRound {
+                round: 0,
+                start_seconds: 0.3,
+                completion_seconds: 1.3,
+                size: 2,
+            },
+        );
+        j.push(
+            0.9,
+            RunEvent::RequestDispatched {
+                tenant: 0,
+                id: 1,
+                arrival_seconds: 0.1,
+            },
+        );
+        j.push(0.9, RunEvent::RequestShedDeadline { tenant: 0, id: 9 });
+        j.push(
+            0.9,
+            RunEvent::ServeRound {
+                round: 1,
+                start_seconds: 0.9,
+                completion_seconds: 1.9,
+                size: 1,
+            },
+        );
+        j.push(1.9, RunEvent::ServeEnded);
+        let c = j.replay_serve().unwrap();
+        assert_eq!(c.tenants[0].name, "interactive");
+        assert_eq!(c.tenants[0].admitted, 3);
+        assert_eq!(c.tenants[0].completed, 2);
+        assert_eq!(c.tenants[0].shed_overflow, 1);
+        assert_eq!(c.tenants[0].shed_deadline, 1);
+        assert_eq!(c.tenants[0].max_queue_depth, 2);
+        assert_eq!(c.tenants[1].completed, 1);
+        assert_eq!(c.admitted, 4);
+        assert_eq!(c.completed, 3);
+        assert_eq!(c.shed, 2);
+        assert_eq!(c.rounds_formed, 2);
+        assert_eq!(c.partial_rounds, 1);
+        assert_eq!(c.initial_depth, 2);
+        assert_eq!(c.final_depth, 3);
+        assert_eq!(c.depth_changes.len(), 1);
+        assert_eq!(c.devices_lost, vec![1]);
+        assert_eq!(c.recovery_seconds, 0.4);
+        assert_eq!(c.simulated_total_seconds, 1.9);
+        // p50 over [1.1, 1.2, 1.8] sorted.
+        assert_eq!(c.p50_latency_seconds, 1.2);
+        assert!(c.bitwise_eq(&j.replay_serve().unwrap()));
+    }
+
+    #[test]
+    fn serve_replay_rejects_inconsistent_rounds_and_unknown_tenants() {
+        let mut j = RunJournal::new();
+        j.push(
+            0.0,
+            RunEvent::ServeStarted {
+                tenants: 1,
+                capacity: 2,
+                initial_depth: 1,
+                offered_rate_per_second: 1.0,
+            },
+        );
+        j.push(0.0, RunEvent::RequestAdmitted { tenant: 5, id: 0 });
+        assert!(matches!(j.replay_serve(), Err(MetricsError::Replay { .. })));
+        let mut j = RunJournal::new();
+        j.push(
+            0.0,
+            RunEvent::ServeStarted {
+                tenants: 1,
+                capacity: 2,
+                initial_depth: 1,
+                offered_rate_per_second: 1.0,
+            },
+        );
+        j.push(
+            0.0,
+            RunEvent::ServeRound {
+                round: 0,
+                start_seconds: 0.0,
+                completion_seconds: 1.0,
+                size: 3,
+            },
+        );
+        j.push(1.0, RunEvent::ServeEnded);
+        assert!(matches!(j.replay_serve(), Err(MetricsError::Replay { .. })));
+    }
+}

@@ -1,0 +1,219 @@
+//! Golden-file test pinning the Prometheus text exposition format.
+//!
+//! A fixed event sequence must render byte-identically to the checked-in
+//! golden. Regenerate with `UPDATE_GOLDEN=1 cargo test -p edvit-metrics`
+//! after an intentional format change, and review the diff.
+
+use edvit_metrics::{MetricsSink, ReplanCause, RunEvent};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/exposition.prom");
+
+/// A miniature failover drill touching every metric family: frames, bytes,
+/// anomalies, retries, a degraded fusion, a death + replan, and a serving
+/// round with sheds and a depth change.
+fn fixture() -> MetricsSink {
+    let sink = MetricsSink::recording();
+    sink.record(
+        0.0,
+        RunEvent::StreamStarted {
+            rounds: 4,
+            round_size: 2,
+            samples: 8,
+            devices: 2,
+        },
+    );
+    sink.record(0.0, RunEvent::EpochStarted { epoch: 1 });
+    for device in 0..2u64 {
+        sink.record(
+            0.0,
+            RunEvent::Delivery {
+                device,
+                bytes: 96 + device,
+            },
+        );
+        sink.record(0.0, RunEvent::ControlFrame { device });
+        sink.record(
+            0.0,
+            RunEvent::Heartbeat {
+                device,
+                sequence: 1,
+            },
+        );
+        sink.record(0.0, RunEvent::DataFrame { device });
+    }
+    sink.record(0.0, RunEvent::StaleHeartbeat { device: 0 });
+    sink.record(0.0, RunEvent::StaleControlFrame { device: 1 });
+    sink.record(0.0, RunEvent::CorruptFrame { device: 1 });
+    sink.record(0.0, RunEvent::DuplicateFrame { device: 0 });
+    sink.record(0.0, RunEvent::DroppedHeartbeat { device: 1 });
+    sink.record(
+        0.0,
+        RunEvent::Retry {
+            device: 1,
+            attempt: 1,
+        },
+    );
+    sink.record(0.0, RunEvent::RetryCost { seconds: 0.25 });
+    sink.record(
+        0.5,
+        RunEvent::RoundFused {
+            round: 0,
+            samples: 2,
+            degraded: false,
+        },
+    );
+    sink.record(
+        1.0,
+        RunEvent::RoundFused {
+            round: 1,
+            samples: 2,
+            degraded: true,
+        },
+    );
+    sink.record(1.0, RunEvent::DeviceDead { device: 1 });
+    sink.record(
+        1.0,
+        RunEvent::Replan {
+            cause: ReplanCause::Death,
+            missing: vec![3],
+        },
+    );
+    sink.record(
+        1.0,
+        RunEvent::RoundsReplayed {
+            rounds: 1,
+            samples: 2,
+        },
+    );
+    sink.record(1.0, RunEvent::Recovery { seconds: 0.75 });
+    sink.record(
+        1.5,
+        RunEvent::DeviceJoined {
+            device: 1,
+            rejoin: true,
+        },
+    );
+    sink.record(
+        1.5,
+        RunEvent::Replan {
+            cause: ReplanCause::Join,
+            missing: vec![],
+        },
+    );
+    sink.record(
+        2.0,
+        RunEvent::EpochEnded {
+            epoch: 1,
+            max_in_flight: 2,
+        },
+    );
+    sink.record(
+        2.0,
+        RunEvent::StreamEnded {
+            steady_state_samples_per_second: 4.0,
+        },
+    );
+    sink.record(
+        0.0,
+        RunEvent::ServeStarted {
+            tenants: 2,
+            capacity: 2,
+            initial_depth: 2,
+            offered_rate_per_second: 3.5,
+        },
+    );
+    sink.record(
+        0.0,
+        RunEvent::TenantRegistered {
+            tenant: 0,
+            name: "interactive".to_string(),
+        },
+    );
+    sink.record(0.1, RunEvent::RequestAdmitted { tenant: 0, id: 0 });
+    sink.record(
+        0.1,
+        RunEvent::QueueDepth {
+            tenant: 0,
+            depth: 1,
+        },
+    );
+    sink.record(0.2, RunEvent::RequestAdmitted { tenant: 1, id: 1 });
+    sink.record(
+        0.2,
+        RunEvent::QueueDepth {
+            tenant: 1,
+            depth: 1,
+        },
+    );
+    sink.record(0.2, RunEvent::RequestShedOverflow { tenant: 1, id: 2 });
+    sink.record(
+        0.3,
+        RunEvent::RequestDispatched {
+            tenant: 0,
+            id: 0,
+            arrival_seconds: 0.1,
+        },
+    );
+    sink.record(0.3, RunEvent::RequestShedDeadline { tenant: 1, id: 1 });
+    sink.record(
+        0.3,
+        RunEvent::DepthChanged {
+            round: 0,
+            from: 2,
+            to: 3,
+        },
+    );
+    sink.record(
+        0.3,
+        RunEvent::ServeCrash {
+            device: 0,
+            round: 0,
+        },
+    );
+    sink.record(0.3, RunEvent::ServeRecovery { seconds: 0.6 });
+    sink.record(
+        0.3,
+        RunEvent::ServeRound {
+            round: 0,
+            start_seconds: 0.3,
+            completion_seconds: 0.9,
+            size: 1,
+        },
+    );
+    sink.record(0.9, RunEvent::ServeEnded);
+    sink.record(
+        0.0,
+        RunEvent::BatchStarted {
+            devices: 2,
+            samples: 4,
+        },
+    );
+    sink.record(
+        1.0,
+        RunEvent::BatchEnded {
+            frames: 8,
+            bytes_on_wire: 1024,
+            simulated_seconds: 1.0,
+        },
+    );
+    sink
+}
+
+#[test]
+fn exposition_matches_golden() {
+    let text = fixture().expose();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &text).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("read golden");
+    assert_eq!(
+        text, golden,
+        "exposition drifted from the golden file; \
+         run with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn exposition_is_deterministic_across_identical_runs() {
+    assert_eq!(fixture().expose(), fixture().expose());
+}

@@ -122,16 +122,22 @@ impl HealthTracker {
     /// counter is indistinguishable from a replay and must not buy liveness.
     /// Heartbeats from a device already in a terminal state are ignored too —
     /// death is terminal within an identity-epoch.
-    pub fn observe_heartbeat(&mut self, device_id: usize, sequence: u64) {
+    ///
+    /// Returns whether the beacon was fresh (it advanced the sequence); a
+    /// `false` return is exactly one increment of the stale counter, which is
+    /// what lets the caller journal stale beacons without re-deriving the
+    /// tracker's freshness rule.
+    pub fn observe_heartbeat(&mut self, device_id: usize, sequence: u64) -> bool {
         self.register(device_id);
         self.heartbeats_seen += 1;
         if let Some(state) = self.devices.get_mut(&device_id) {
             if state.health.is_live() && sequence > state.last_sequence {
                 state.last_sequence = sequence;
-            } else {
-                self.stale_heartbeats += 1;
+                return true;
             }
+            self.stale_heartbeats += 1;
         }
+        false
     }
 
     /// Records a graceful leave: the device finished its work and said so.

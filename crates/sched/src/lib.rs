@@ -78,6 +78,10 @@ pub use health::{DeviceHealth, HealthTracker};
 pub use rounds::RoundLayout;
 pub use stream::{FailureInjection, ScheduleMode, StreamConfig, StreamReport, StreamScheduler};
 
+// Re-exported so instrumented callers can attach a sink without naming the
+// metrics crate themselves.
+pub use edvit_metrics::MetricsSink;
+
 // Re-exported so stream configurations can pick a wire codec and transport
 // backend without a direct `edvit-edge`/`edvit-net` dependency at the call
 // site.

@@ -84,6 +84,7 @@ use edvit_edge::{
     ControlDeduper, ControlKind, ControlMessage, FusionFn, LatencyModel, NetOptions, NetworkConfig,
     PayloadCodec, RoundTimings, SubModelFn, TransportKind, WireFrame,
 };
+use edvit_metrics::{MetricsSink, ReplanCause, RunEvent, StreamCounters};
 use edvit_net::{transport_for, FrameRx, FrameTx, LaneEvent, Transport};
 use edvit_partition::{DeviceSpec, PartitionError, SplitPlan};
 use edvit_tensor::Tensor;
@@ -176,6 +177,10 @@ pub struct StreamConfig {
     /// default of 0 disables degraded mode: an infeasible replan stays a
     /// hard [`SchedError::Partition`] error, exactly as before.
     pub max_missing_sub_models: usize,
+    /// Observability sink the run records into. Disabled (a no-op) by
+    /// default; [`edvit_metrics::MetricsSink::recording`] turns on the event
+    /// journal and metrics registry. All events carry virtual timestamps.
+    pub sink: MetricsSink,
 }
 
 impl Default for StreamConfig {
@@ -196,6 +201,7 @@ impl Default for StreamConfig {
             faults: FaultScript::new(),
             max_retries: 2,
             max_missing_sub_models: 0,
+            sink: MetricsSink::disabled(),
         }
     }
 }
@@ -268,6 +274,13 @@ impl StreamConfig {
     /// Allows degraded-mode fusion with up to this many unhosted sub-models.
     pub fn with_max_missing_sub_models(mut self, max_missing_sub_models: usize) -> Self {
         self.max_missing_sub_models = max_missing_sub_models;
+        self
+    }
+
+    /// Installs an observability sink; pass a recording sink to capture the
+    /// run's event journal and metrics.
+    pub fn with_sink(mut self, sink: MetricsSink) -> Self {
+        self.sink = sink;
         self
     }
 }
@@ -374,6 +387,42 @@ pub struct StreamReport {
 }
 
 impl StreamReport {
+    /// The report's accounting fields as [`StreamCounters`] — the shape the
+    /// journal replay reconstructs, for bitwise comparison against
+    /// [`edvit_metrics::RunJournal::replay_stream`].
+    pub fn counters(&self) -> StreamCounters {
+        StreamCounters {
+            rounds: self.rounds,
+            round_size: self.round_size,
+            epochs: self.epochs,
+            max_rounds_in_flight: self.max_rounds_in_flight,
+            heartbeats_seen: self.heartbeats_seen,
+            control_frames: self.control_frames,
+            data_frames: self.data_frames,
+            bytes_on_wire: self.bytes_on_wire,
+            per_device_wire_bytes: self.per_device_wire_bytes.clone(),
+            per_device_rounds: self.per_device_rounds.clone(),
+            devices_lost: self.devices_lost.clone(),
+            devices_joined: self.devices_joined.clone(),
+            rejoins: self.rejoins,
+            repartitions: self.repartitions,
+            samples_replayed: self.samples_replayed,
+            retries: self.retries,
+            retry_seconds: self.retry_seconds,
+            corrupt_frames: self.corrupt_frames,
+            duplicate_frames: self.duplicate_frames,
+            dropped_heartbeats: self.dropped_heartbeats,
+            stale_control_frames: self.stale_control_frames,
+            stale_heartbeats: self.stale_heartbeats,
+            degraded_rounds: self.degraded_rounds.clone(),
+            missing_sub_models: self.missing_sub_models.clone(),
+            recovery_seconds: self.recovery_seconds,
+            steady_state_samples_per_second: self.steady_state_samples_per_second,
+            effective_samples_per_second: self.effective_samples_per_second,
+            simulated_total_seconds: self.simulated_total_seconds,
+        }
+    }
+
     /// Argmax prediction per sample, for classification-style fusion outputs.
     ///
     /// # Errors
@@ -461,6 +510,11 @@ struct EpochParams<'a> {
     /// `(sub-model, feature width)` for every missing sub-model, zero-filled
     /// at fusion so the concat layout stays stable.
     missing_dims: Vec<(u32, usize)>,
+    /// Observability sink the epoch's events are recorded into.
+    sink: &'a MetricsSink,
+    /// Virtual time the epoch started at — the timestamp its events carry
+    /// (the clock only advances between epochs).
+    at: f64,
 }
 
 /// The streaming fault-tolerant scheduler.
@@ -640,23 +694,55 @@ impl StreamScheduler {
             final_plan: current_plan.clone(),
         };
 
+        let sink = &cfg.sink;
+        sink.record(
+            0.0,
+            RunEvent::StreamStarted {
+                rounds: total_rounds as u64,
+                round_size: round_size as u64,
+                samples: inputs.len() as u64,
+                devices: current_devices.len() as u64,
+            },
+        );
+
         loop {
             // ---- Scripted joins due before the next unfused round. ---------
             let next_round = pending.first().copied().unwrap_or(0);
             let mut admitted = false;
             while join_queue.first().is_some_and(|j| j.at_round <= next_round) {
                 let injection = join_queue.remove(0);
-                admit_join(&injection, &mut current_devices, &mut tracker, &mut report)?;
+                admit_join(
+                    &injection,
+                    &mut current_devices,
+                    &mut tracker,
+                    &mut report,
+                    sink,
+                    clock.now(),
+                )?;
                 admitted = true;
             }
             if admitted {
                 self.replan(&mut current_plan, &current_devices, &mut missing, "join")?;
                 report.repartitions += 1;
+                sink.record(
+                    clock.now(),
+                    RunEvent::Replan {
+                        cause: ReplanCause::Join,
+                        missing: missing.iter().map(|&m| m as u64).collect(),
+                    },
+                );
                 clock.advance(cfg.replan_seconds);
             }
 
             report.epochs += 1;
             tracker.begin_epoch();
+            let epoch_at = clock.now();
+            sink.record(
+                epoch_at,
+                RunEvent::EpochStarted {
+                    epoch: report.epochs as u64,
+                },
+            );
             let mut round_timings = self.round_timings(&current_plan, &current_devices);
             // Nominal-size timing: the heartbeat deadline, retry backoff and
             // failure-detection windows stay round-denominated in the
@@ -688,6 +774,8 @@ impl StreamScheduler {
                 max_retries: cfg.max_retries,
                 join_barrier: join_queue.first().map(|j| j.at_round),
                 missing_dims,
+                sink,
+                at: epoch_at,
             };
             let outcome = run_epoch(
                 &current_plan,
@@ -730,6 +818,17 @@ impl StreamScheduler {
                 .sum();
             report.retries += outcome.retry_attempts.len() as u64;
             report.retry_seconds += retry_seconds;
+            // One pre-summed event per epoch keeps the replayed accumulation
+            // bitwise-identical to the live `+=` above; zero-retry epochs add
+            // an exact +0.0 and need no event at all.
+            if !outcome.retry_attempts.is_empty() {
+                sink.record(
+                    epoch_at,
+                    RunEvent::RetryCost {
+                        seconds: retry_seconds,
+                    },
+                );
+            }
             // Price the epoch round by round at each round's actual sample
             // count: a partial round (under-filled tail or continuous batch)
             // costs what it carried, not the nominal `round_size`.
@@ -738,6 +837,13 @@ impl StreamScheduler {
                 .map(|&round| layout.len_of(round))
                 .collect();
             clock.advance(round_timings.seconds_for_rounds(&fused_sizes)? + retry_seconds);
+            sink.record(
+                clock.now(),
+                RunEvent::EpochEnded {
+                    epoch: report.epochs as u64,
+                    max_in_flight: outcome.max_in_flight as u64,
+                },
+            );
 
             pending.retain(|&round| round_unfused(&fused, round, layout));
 
@@ -772,11 +878,26 @@ impl StreamScheduler {
             }
             self.replan(&mut current_plan, &current_devices, &mut missing, "death")?;
             report.repartitions += 1;
-            report.samples_replayed += outcome
+            sink.record(
+                clock.now(),
+                RunEvent::Replan {
+                    cause: ReplanCause::Death,
+                    missing: missing.iter().map(|&m| m as u64).collect(),
+                },
+            );
+            let replayed: usize = outcome
                 .partial_rounds
                 .iter()
                 .map(|&r| layout.len_of(r))
-                .sum::<usize>();
+                .sum();
+            report.samples_replayed += replayed;
+            sink.record(
+                clock.now(),
+                RunEvent::RoundsReplayed {
+                    rounds: outcome.partial_rounds.len() as u64,
+                    samples: replayed as u64,
+                },
+            );
 
             // Detection costs one round interval for the missed heartbeat to
             // fall due plus `grace_rounds` intervals of deadline; then the
@@ -794,10 +915,22 @@ impl StreamScheduler {
                     .round_interval_seconds;
             }
             report.recovery_seconds += detection_seconds + cfg.replan_seconds + replay_seconds;
+            sink.record(
+                clock.now(),
+                RunEvent::Recovery {
+                    seconds: detection_seconds + cfg.replan_seconds + replay_seconds,
+                },
+            );
             clock.advance(detection_seconds + cfg.replan_seconds);
         }
 
         report.simulated_total_seconds = clock.now();
+        sink.record(
+            clock.now(),
+            RunEvent::StreamEnded {
+                steady_state_samples_per_second: report.steady_state_samples_per_second,
+            },
+        );
         report.effective_samples_per_second = if clock.now() > 0.0 {
             inputs.len() as f64 / clock.now()
         } else {
@@ -898,6 +1031,8 @@ fn admit_join(
     current_devices: &mut Vec<DeviceSpec>,
     tracker: &mut HealthTracker,
     report: &mut StreamReport,
+    sink: &MetricsSink,
+    at: f64,
 ) -> Result<()> {
     let device_id = injection.device.id;
     if current_devices.iter().any(|d| d.id == device_id) {
@@ -907,6 +1042,19 @@ fn admit_join(
     report.control_frames += 1;
     report.bytes_on_wire += frame.len() as u64;
     *report.per_device_wire_bytes.entry(device_id).or_insert(0) += frame.len() as u64;
+    sink.record(
+        at,
+        RunEvent::Delivery {
+            device: device_id as u64,
+            bytes: frame.len() as u64,
+        },
+    );
+    sink.record(
+        at,
+        RunEvent::ControlFrame {
+            device: device_id as u64,
+        },
+    );
     let decoded = WireFrame::decode(frame).map_err(SchedError::Edge)?;
     let WireFrame::Control(control) = decoded else {
         return Err(SchedError::Runtime {
@@ -924,6 +1072,13 @@ fn admit_join(
         tracker.observe_join(device_id, control.capacity_flops_per_second);
     }
     report.devices_joined.push(device_id);
+    sink.record(
+        at,
+        RunEvent::DeviceJoined {
+            device: device_id as u64,
+            rejoin: was_terminal,
+        },
+    );
     current_devices.push(injection.device.clone());
     Ok(())
 }
@@ -1158,6 +1313,9 @@ struct Collector<'a> {
     /// samples in input order.
     partial: BTreeMap<u64, BTreeMap<usize, BTreeMap<u32, Tensor>>>,
     outcome: EpochOutcome,
+    sink: &'a MetricsSink,
+    /// Virtual epoch-start time every collector event is stamped with.
+    at: f64,
 }
 
 impl Collector<'_> {
@@ -1188,6 +1346,27 @@ impl Collector<'_> {
         Some((self.epoch_rounds[round_pos], slot))
     }
 
+    /// Charges one delivery's bytes to the wire totals and its sender. Every
+    /// frame that travelled is charged here — including mutated copies, eaten
+    /// data frames and lost beacons — which is what keeps
+    /// `bytes_on_wire == Σ per_device_wire_bytes` an invariant instead of a
+    /// coincidence.
+    fn account(&mut self, device: usize, bytes: u64) {
+        self.outcome.bytes_on_wire += bytes;
+        *self
+            .outcome
+            .per_device_wire_bytes
+            .entry(device)
+            .or_insert(0) += bytes;
+        self.sink.record(
+            self.at,
+            RunEvent::Delivery {
+                device: device as u64,
+                bytes,
+            },
+        );
+    }
+
     /// Runs one delivery through the fault script: clean frames ingest
     /// directly; duplicates ingest twice (the copy hits the dedupers); a
     /// lost heartbeat is a lost beacon; corrupt, truncated or lost data
@@ -1208,9 +1387,18 @@ impl Collector<'_> {
                     return Ok(Processed::Seen(seen));
                 }
                 Some(FrameFault::Drop) if matches!(key, Some((_, FrameSlot::Heartbeat))) => {
-                    // The link ate a beacon. Beacons are not re-requested:
-                    // the next fresh beacon (or the leave) closes the round.
+                    // The link ate a beacon — after it travelled, so its
+                    // bytes are still charged to the sender. Beacons are not
+                    // re-requested: the next fresh beacon (or the leave)
+                    // closes the round.
+                    self.account(device, pristine.len() as u64);
                     self.outcome.dropped_heartbeats += 1;
+                    self.sink.record(
+                        self.at,
+                        RunEvent::DroppedHeartbeat {
+                            device: device as u64,
+                        },
+                    );
                     return Ok(Processed::Seen(Seen::Other));
                 }
                 Some(fault) => {
@@ -1222,6 +1410,12 @@ impl Collector<'_> {
                                 // or decode failure): a failed delivery.
                                 Err(SchedError::Edge(_)) => {
                                     self.outcome.corrupt_frames += 1;
+                                    self.sink.record(
+                                        self.at,
+                                        RunEvent::CorruptFrame {
+                                            device: device as u64,
+                                        },
+                                    );
                                 }
                                 // A mutation the codec happened to survive
                                 // delivers as-is.
@@ -1230,7 +1424,16 @@ impl Collector<'_> {
                             }
                         }
                         FaultedDelivery::Dropped => {
+                            // An eaten data frame travelled to the drop
+                            // point: charge its bytes before re-requesting.
+                            self.account(device, pristine.len() as u64);
                             self.outcome.corrupt_frames += 1;
+                            self.sink.record(
+                                self.at,
+                                RunEvent::CorruptFrame {
+                                    device: device as u64,
+                                },
+                            );
                         }
                     }
                     attempt += 1;
@@ -1238,24 +1441,44 @@ impl Collector<'_> {
                         return Ok(Processed::Escalate);
                     }
                     self.outcome.retry_attempts.push(attempt);
+                    self.sink.record(
+                        self.at,
+                        RunEvent::Retry {
+                            device: device as u64,
+                            attempt: u64::from(attempt),
+                        },
+                    );
                 }
             }
         }
+    }
+
+    /// Counts and journals a control frame the deduper rejected as a replay
+    /// or stale reordering.
+    fn stale_control(&mut self, device: usize) {
+        self.outcome.stale_control_frames += 1;
+        self.sink.record(
+            self.at,
+            RunEvent::StaleControlFrame {
+                device: device as u64,
+            },
+        );
     }
 
     /// Decodes and accounts one delivered frame: control frames pass the
     /// sequence deduper and update the health tracker, data frames are
     /// stashed for fusion first-delivery-wins.
     fn ingest(&mut self, encoded: Bytes, device: usize) -> Result<Seen> {
-        self.outcome.bytes_on_wire += encoded.len() as u64;
-        *self
-            .outcome
-            .per_device_wire_bytes
-            .entry(device)
-            .or_insert(0) += encoded.len() as u64;
+        self.account(device, encoded.len() as u64);
         match WireFrame::decode(encoded).map_err(SchedError::Edge)? {
             WireFrame::Control(control) => {
                 self.outcome.control_frames += 1;
+                self.sink.record(
+                    self.at,
+                    RunEvent::ControlFrame {
+                        device: device as u64,
+                    },
+                );
                 let fresh = self
                     .deduper
                     .admit(control.device_id, control.kind, control.sequence);
@@ -1266,19 +1489,33 @@ impl Collector<'_> {
                             self.tracker
                                 .observe_join(device_id, control.capacity_flops_per_second);
                         } else {
-                            self.outcome.stale_control_frames += 1;
+                            self.stale_control(device);
                         }
                         Ok(Seen::Other)
                     }
                     ControlKind::Heartbeat => {
                         self.outcome.heartbeats += 1;
+                        self.sink.record(
+                            self.at,
+                            RunEvent::Heartbeat {
+                                device: device_id as u64,
+                                sequence: control.sequence,
+                            },
+                        );
                         // The tracker sees every beacon (it counts stale ones
                         // itself); only a deduper-fresh beacon closes rounds.
-                        self.tracker.observe_heartbeat(device_id, control.sequence);
+                        if !self.tracker.observe_heartbeat(device_id, control.sequence) {
+                            self.sink.record(
+                                self.at,
+                                RunEvent::StaleHeartbeat {
+                                    device: device_id as u64,
+                                },
+                            );
+                        }
                         if fresh {
                             Ok(Seen::Beacon(control.sequence))
                         } else {
-                            self.outcome.stale_control_frames += 1;
+                            self.stale_control(device);
                             Ok(Seen::Other)
                         }
                     }
@@ -1287,7 +1524,7 @@ impl Collector<'_> {
                             self.tracker.observe_leave(device_id, control.sequence);
                             Ok(Seen::Leave(control.sequence))
                         } else {
-                            self.outcome.stale_control_frames += 1;
+                            self.stale_control(device);
                             Ok(Seen::Other)
                         }
                     }
@@ -1295,6 +1532,12 @@ impl Collector<'_> {
             }
             WireFrame::FeatureBatch(batch) => {
                 self.outcome.data_frames += 1;
+                self.sink.record(
+                    self.at,
+                    RunEvent::DataFrame {
+                        device: device as u64,
+                    },
+                );
                 let sub_model = batch.sub_model;
                 let mut duplicated = false;
                 for single in batch.into_messages() {
@@ -1326,6 +1569,12 @@ impl Collector<'_> {
                 }
                 if duplicated {
                     self.outcome.duplicate_frames += 1;
+                    self.sink.record(
+                        self.at,
+                        RunEvent::DuplicateFrame {
+                            device: device as u64,
+                        },
+                    );
                 }
                 Ok(Seen::Other)
             }
@@ -1384,6 +1633,14 @@ impl Collector<'_> {
         if !self.missing_dims.is_empty() {
             self.outcome.degraded_rounds.push(round);
         }
+        self.sink.record(
+            self.at,
+            RunEvent::RoundFused {
+                round,
+                samples: span.len() as u64,
+                degraded: !self.missing_dims.is_empty(),
+            },
+        );
         Ok(())
     }
 }
@@ -1421,6 +1678,8 @@ fn collect_epoch(
         cursor: BTreeMap::new(),
         partial: BTreeMap::new(),
         outcome: EpochOutcome::new(),
+        sink: params.sink,
+        at: params.at,
     };
 
     'rounds: for (position, &round) in epoch_rounds.iter().enumerate() {
@@ -1444,6 +1703,12 @@ fn collect_epoch(
                             // dead — same terminal path as a crash.
                             collector.tracker.declare_dead(device);
                             collector.outcome.newly_dead.push(device);
+                            collector.sink.record(
+                                collector.at,
+                                RunEvent::DeviceDead {
+                                    device: device as u64,
+                                },
+                            );
                             break 'rounds;
                         }
                     },
@@ -1457,6 +1722,12 @@ fn collect_epoch(
                         // heartbeat: its deadline passed. Terminal.
                         collector.tracker.declare_dead(device);
                         collector.outcome.newly_dead.push(device);
+                        collector.sink.record(
+                            collector.at,
+                            RunEvent::DeviceDead {
+                                device: device as u64,
+                            },
+                        );
                         break 'rounds;
                     }
                 }
@@ -1507,6 +1778,13 @@ fn collect_epoch(
     for &device in receivers.keys() {
         let rounds = collector.tracker.sequence_of(device);
         collector.outcome.per_device_rounds.insert(device, rounds);
+        collector.sink.record(
+            collector.at,
+            RunEvent::DeviceRounds {
+                device: device as u64,
+                rounds,
+            },
+        );
     }
     Ok(collector.outcome)
 }

@@ -1,0 +1,269 @@
+//! Observability invariants at the scheduler layer: the wire-byte accounting
+//! must balance per device, and a recording [`MetricsSink`]'s journal must
+//! replay — offline, from the event text alone — to counters bitwise equal
+//! to the live [`StreamReport`].
+
+use edvit_edge::{FusionFn, SubModelFn};
+use edvit_metrics::{MetricsSink, RunJournal, StreamCounters};
+use edvit_partition::{DeviceSpec, PlannerConfig, SplitPlan, SplitPlanner};
+use edvit_sched::{
+    FaultScript, FrameFault, FrameSlot, StreamConfig, StreamReport, StreamScheduler,
+};
+use edvit_tensor::Tensor;
+use edvit_vit::ViTConfig;
+
+fn plan_for(devices: &[DeviceSpec]) -> SplitPlan {
+    SplitPlanner::new(PlannerConfig::default())
+        .plan(&ViTConfig::vit_base(10), devices, 7)
+        .unwrap()
+}
+
+fn executors_for(plan: &SplitPlan) -> Vec<SubModelFn> {
+    (0..plan.sub_models.len())
+        .map(|i| -> SubModelFn {
+            Box::new(move |sample: &Tensor| {
+                Ok(Tensor::from_vec(vec![sample.sum() + i as f32, i as f32], &[2]).unwrap())
+            })
+        })
+        .collect()
+}
+
+fn concat_fusion() -> FusionFn {
+    Box::new(|concat: &Tensor| Ok(concat.clone()))
+}
+
+fn inputs(n: usize) -> Vec<Tensor> {
+    (0..n).map(|i| Tensor::full(&[3], i as f32)).collect()
+}
+
+/// Runs the scheduler with a recording sink attached and returns the live
+/// report together with the journal the run produced.
+fn run_recorded(
+    devices: &[DeviceSpec],
+    config: StreamConfig,
+    samples: usize,
+) -> (StreamReport, RunJournal) {
+    let plan = plan_for(devices);
+    let sink = MetricsSink::recording();
+    let report = StreamScheduler::new(
+        plan.clone(),
+        devices.to_vec(),
+        config.with_sink(sink.clone()),
+    )
+    .unwrap()
+    .run(&inputs(samples), executors_for(&plan), concat_fusion())
+    .unwrap();
+    (report, sink.journal())
+}
+
+/// Satellite-1 invariant plus the bitwise replay check, applied to one run:
+/// wire bytes balance per device, the journal survives a text round-trip,
+/// and the offline replay reconstructs the live counters exactly.
+fn assert_observable(report: &StreamReport, journal: &RunJournal, label: &str) {
+    assert_eq!(
+        report.bytes_on_wire,
+        report.per_device_wire_bytes.values().sum::<u64>(),
+        "{label}: bytes_on_wire must equal the per-device sum"
+    );
+    assert!(!journal.is_empty(), "{label}: recording sink saw no events");
+
+    // The journal is plain text; parsing it back must lose nothing.
+    let text = journal.to_text();
+    let reparsed = RunJournal::from_text(&text).unwrap();
+    assert_eq!(
+        reparsed.len(),
+        journal.len(),
+        "{label}: round-trip dropped events"
+    );
+
+    let live: StreamCounters = report.counters();
+    let replayed = reparsed.replay_stream().unwrap();
+    assert!(
+        replayed.bitwise_eq(&live),
+        "{label}: replay diverged on {:?}",
+        replayed.diff(&live)
+    );
+}
+
+#[test]
+fn healthy_pipelined_run_replays_bitwise() {
+    let devices = DeviceSpec::raspberry_pi_cluster(4);
+    let (report, journal) = run_recorded(&devices, StreamConfig::default(), 32);
+    assert_eq!(report.outputs.len(), 32);
+    assert_observable(&report, &journal, "healthy");
+}
+
+#[test]
+fn failover_run_replays_bitwise_including_recovery_costs() {
+    let devices = DeviceSpec::raspberry_pi_cluster(4);
+    let (report, journal) = run_recorded(&devices, StreamConfig::default().with_failure(2, 3), 40);
+    assert_eq!(report.devices_lost, vec![2]);
+    assert!(report.recovery_seconds > 0.0);
+    assert!(report.samples_replayed > 0);
+    assert_observable(&report, &journal, "failover");
+}
+
+#[test]
+fn elastic_join_run_replays_bitwise() {
+    let roomy = DeviceSpec::raspberry_pi_cluster(4);
+    let devices = roomy[..3].to_vec();
+    let joiner = roomy[3].clone();
+    let (report, journal) =
+        run_recorded(&devices, StreamConfig::default().with_join(joiner, 4), 32);
+    assert_eq!(report.devices_joined, vec![3]);
+    assert!(report.repartitions >= 1);
+    // The joiner's join control frame is wire traffic and must be accounted
+    // to the joining device.
+    assert!(report.per_device_wire_bytes.contains_key(&3));
+    assert_observable(&report, &journal, "join");
+}
+
+/// Every frame-fault kind in one stream: corrupt (retry), dropped data frame
+/// (retry), duplicated data frame (dedupe), dropped and duplicated
+/// heartbeats (stale-beacon path). The dropped and corrupted deliveries
+/// still crossed the wire, so they must appear in both the total and the
+/// per-device byte accounting — the drift this PR fixes.
+#[test]
+fn faulted_deliveries_keep_the_wire_accounting_balanced() {
+    let devices = DeviceSpec::raspberry_pi_cluster(4);
+    let plan = plan_for(&devices);
+    let hosting: Vec<usize> = devices
+        .iter()
+        .map(|d| d.id)
+        .filter(|&id| !plan.assignment.sub_models_on(id).is_empty())
+        .collect();
+    assert!(
+        hosting.len() >= 2,
+        "need two hosting devices for the script"
+    );
+
+    let mut faults = FaultScript::new();
+    faults.push(
+        hosting[0],
+        1,
+        FrameSlot::Data(0),
+        FrameFault::CorruptBit { bit: 9 },
+    );
+    faults.push(hosting[1], 2, FrameSlot::Data(0), FrameFault::Drop);
+    faults.push(hosting[0], 3, FrameSlot::Data(0), FrameFault::Duplicate);
+    faults.push(hosting[1], 4, FrameSlot::Heartbeat, FrameFault::Drop);
+    faults.push(hosting[0], 5, FrameSlot::Heartbeat, FrameFault::Duplicate);
+
+    let (report, journal) = run_recorded(&devices, StreamConfig::default().with_faults(faults), 32);
+    assert_eq!(report.outputs.len(), 32);
+    assert_eq!(
+        report.corrupt_frames, 2,
+        "one corrupt + one dropped data frame"
+    );
+    assert_eq!(report.retries, 2);
+    assert!(report.retry_seconds > 0.0);
+    assert_eq!(report.duplicate_frames, 1);
+    assert_eq!(report.dropped_heartbeats, 1);
+    assert!(
+        report.stale_heartbeats >= 1,
+        "duplicated heartbeat must read stale"
+    );
+    assert_observable(&report, &journal, "faulted");
+
+    // Cross-check the totals against a clean run of the same workload: the
+    // faulted stream shipped strictly more bytes (retries and duplicates),
+    // never fewer — dropped frames still burned their wire budget.
+    let (clean, _) = run_recorded(&devices, StreamConfig::default(), 32);
+    assert!(
+        report.bytes_on_wire > clean.bytes_on_wire,
+        "faulted {} !> clean {}",
+        report.bytes_on_wire,
+        clean.bytes_on_wire
+    );
+    for (device, bytes) in &clean.per_device_wire_bytes {
+        assert!(
+            report.per_device_wire_bytes[device] >= *bytes,
+            "device {device} lost wire bytes under faults"
+        );
+    }
+}
+
+/// Seeded sweep in the chaos-matrix style: different plans, a
+/// seed-dependent victim and fault, and one mid-stream death — every
+/// combination must balance its bytes and replay bitwise.
+#[test]
+fn seeded_fault_matrix_replays_bitwise_at_seeds_0_through_3() {
+    for seed in 0u64..4 {
+        let devices = DeviceSpec::raspberry_pi_cluster(4);
+        let plan = SplitPlanner::new(PlannerConfig::default())
+            .plan(&ViTConfig::vit_base(10), &devices, seed)
+            .unwrap();
+        let hosting: Vec<usize> = devices
+            .iter()
+            .map(|d| d.id)
+            .filter(|&id| !plan.assignment.sub_models_on(id).is_empty())
+            .collect();
+        let faulty = hosting[seed as usize % hosting.len()];
+        let victim = hosting[(seed as usize + 1) % hosting.len()];
+
+        let mut faults = FaultScript::new();
+        let fault = match seed % 4 {
+            0 => FrameFault::CorruptBit { bit: 17 },
+            1 => FrameFault::Drop,
+            2 => FrameFault::Duplicate,
+            _ => FrameFault::Truncate { keep: 5 },
+        };
+        faults.push(faulty, 1 + seed % 3, FrameSlot::Data(0), fault);
+
+        let config = StreamConfig::default()
+            .with_faults(faults)
+            .with_failure(victim, 5);
+        let sink = MetricsSink::recording();
+        let report = StreamScheduler::new(
+            plan.clone(),
+            devices.clone(),
+            config.with_sink(sink.clone()),
+        )
+        .unwrap()
+        .run(&inputs(32), executors_for(&plan), concat_fusion())
+        .unwrap();
+
+        assert_eq!(report.devices_lost, vec![victim], "seed {seed}");
+        assert_observable(&report, &sink.journal(), &format!("seed {seed}"));
+    }
+}
+
+/// The default (disabled) sink records nothing, and attaching it does not
+/// perturb the run: reports from a disabled-sink run and a recording-sink
+/// run of the same workload carry identical counters.
+#[test]
+fn disabled_sink_is_a_true_no_op() {
+    let devices = DeviceSpec::raspberry_pi_cluster(3);
+    let plan = plan_for(&devices);
+    let off = MetricsSink::disabled();
+    assert!(!off.is_enabled());
+
+    let quiet = StreamScheduler::new(
+        plan.clone(),
+        devices.clone(),
+        StreamConfig::default()
+            .with_failure(1, 2)
+            .with_sink(off.clone()),
+    )
+    .unwrap()
+    .run(&inputs(24), executors_for(&plan), concat_fusion())
+    .unwrap();
+    assert!(off.journal().is_empty());
+    assert!(off.expose().is_empty());
+
+    let (recorded, journal) =
+        run_recorded(&devices, StreamConfig::default().with_failure(1, 2), 24);
+    assert!(!journal.is_empty());
+    // `max_rounds_in_flight` observes a real producer/consumer race and may
+    // differ between any two runs; every deterministic counter must match.
+    let divergent: Vec<&str> = quiet
+        .counters()
+        .diff(&recorded.counters())
+        .into_iter()
+        .filter(|&field| field != "max_rounds_in_flight")
+        .collect();
+    assert!(
+        divergent.is_empty(),
+        "attaching a sink changed the run: {divergent:?}"
+    );
+}

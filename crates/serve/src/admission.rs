@@ -19,6 +19,7 @@
 
 use std::collections::VecDeque;
 
+use edvit_metrics::{MetricsSink, RunEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::request::{Request, TenantSpec};
@@ -64,6 +65,9 @@ pub struct AdmissionQueue {
     /// Next tenant the round-robin drain visits; persists across rounds so a
     /// busy tenant cannot starve a quiet one.
     cursor: usize,
+    /// Observability sink admission decisions are journaled into. Disabled
+    /// (a no-op) unless [`AdmissionQueue::attach_sink`] hands in a recorder.
+    sink: MetricsSink,
 }
 
 impl AdmissionQueue {
@@ -84,7 +88,15 @@ impl AdmissionQueue {
             queues: vec![VecDeque::new(); n],
             counters: vec![TenantCounters::default(); n],
             cursor: 0,
+            sink: MetricsSink::disabled(),
         })
+    }
+
+    /// Attaches the observability sink admission events are recorded into.
+    /// Events mirror the counters one-for-one, so an offline replay of the
+    /// journal reconstructs every [`TenantCounters`] field exactly.
+    pub fn attach_sink(&mut self, sink: MetricsSink) {
+        self.sink = sink;
     }
 
     /// The tenant specifications, in index order.
@@ -111,13 +123,35 @@ impl AdmissionQueue {
             });
         }
         self.counters[t].admitted += 1;
+        let at = request.arrival_seconds;
+        self.sink.record(
+            at,
+            RunEvent::RequestAdmitted {
+                tenant: t as u64,
+                id: request.id,
+            },
+        );
         if self.queues[t].len() >= self.tenants[t].max_queue {
             self.counters[t].shed_overflow += 1;
+            self.sink.record(
+                at,
+                RunEvent::RequestShedOverflow {
+                    tenant: t as u64,
+                    id: request.id,
+                },
+            );
             return Ok(AdmissionVerdict::ShedOverflow);
         }
         self.queues[t].push_back(request);
         self.counters[t].max_queue_depth =
             self.counters[t].max_queue_depth.max(self.queues[t].len());
+        self.sink.record(
+            at,
+            RunEvent::QueueDepth {
+                tenant: t as u64,
+                depth: self.queues[t].len() as u64,
+            },
+        );
         Ok(AdmissionVerdict::Queued)
     }
 
@@ -138,8 +172,17 @@ impl AdmissionQueue {
             // arrival order); shed them before dispatching the head.
             while let Some(front) = self.queues[t].front() {
                 if deadline > 0.0 && front.arrival_seconds + deadline < now {
-                    self.queues[t].pop_front();
+                    let expired = self.queues[t].pop_front();
                     self.counters[t].shed_deadline += 1;
+                    if let Some(expired) = expired {
+                        self.sink.record(
+                            now,
+                            RunEvent::RequestShedDeadline {
+                                tenant: t as u64,
+                                id: expired.id,
+                            },
+                        );
+                    }
                 } else {
                     break;
                 }
@@ -147,6 +190,14 @@ impl AdmissionQueue {
             match self.queues[t].pop_front() {
                 Some(request) => {
                     self.counters[t].dispatched += 1;
+                    self.sink.record(
+                        now,
+                        RunEvent::RequestDispatched {
+                            tenant: t as u64,
+                            id: request.id,
+                            arrival_seconds: request.arrival_seconds,
+                        },
+                    );
                     batch.push(request);
                     empty_streak = 0;
                 }

@@ -47,6 +47,7 @@ pub use server::{AdmissionMode, DrillOutcome, PlannedRound, ServeConfig, ServeSc
 
 // Re-export the pieces callers configure a server with, so downstream code
 // does not need to depend on the scheduler crates directly.
+pub use edvit_metrics::{MetricsSink, RunJournal, ServeCounters};
 pub use edvit_sched::{DepthChange, DepthController, RoundLayout, StreamConfig, StreamReport};
 
 /// Convenience alias for results carrying a [`ServeError`].

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use edvit_metrics::{DepthStep, ServeCounters, TenantRow};
 use edvit_sched::{DepthChange, StreamReport};
 use edvit_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -61,6 +62,10 @@ pub struct ServeReport {
     pub partial_rounds: usize,
     /// Every adaptive pipeline-depth transition, in round order.
     pub depth_changes: Vec<DepthChange>,
+    /// Pipeline depth the drill started at (post-clamp). The transition
+    /// chain is anchored here: the first `depth_changes` entry, when any,
+    /// departs *from* this value.
+    pub initial_depth: usize,
     /// Pipeline depth after the last round.
     pub final_depth: usize,
     /// Median round-trip latency over all completed requests.
@@ -90,6 +95,51 @@ impl ServeReport {
     /// i.e. none silently vanished.
     pub fn no_lost_requests(&self) -> bool {
         self.admitted == self.completed + self.shed && self.outputs.len() as u64 == self.completed
+    }
+
+    /// The accounting projection of this report, in the shape an offline
+    /// [`edvit_metrics::RunJournal::replay_serve`] reconstructs — the two
+    /// must match bitwise for a journaled run.
+    pub fn counters(&self) -> ServeCounters {
+        ServeCounters {
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantRow {
+                    name: t.name.clone(),
+                    admitted: t.admitted,
+                    completed: t.completed,
+                    shed_overflow: t.shed_overflow,
+                    shed_deadline: t.shed_deadline,
+                    max_queue_depth: t.max_queue_depth,
+                    p50_latency_seconds: t.p50_latency_seconds,
+                    p99_latency_seconds: t.p99_latency_seconds,
+                })
+                .collect(),
+            admitted: self.admitted,
+            completed: self.completed,
+            shed: self.shed,
+            rounds_formed: self.rounds_formed,
+            partial_rounds: self.partial_rounds,
+            depth_changes: self
+                .depth_changes
+                .iter()
+                .map(|d| DepthStep {
+                    round: d.round,
+                    from: d.from,
+                    to: d.to,
+                })
+                .collect(),
+            initial_depth: self.initial_depth,
+            final_depth: self.final_depth,
+            p50_latency_seconds: self.p50_latency_seconds,
+            p99_latency_seconds: self.p99_latency_seconds,
+            offered_rate_per_second: self.offered_rate_per_second,
+            served_samples_per_second: self.served_samples_per_second,
+            simulated_total_seconds: self.simulated_total_seconds,
+            recovery_seconds: self.recovery_seconds,
+            devices_lost: self.devices_lost.clone(),
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 
 use edvit_edge::{FusionFn, LatencyModel, RoundTimings, SubModelFn};
+use edvit_metrics::{MetricsSink, RunEvent};
 use edvit_partition::{DeviceSpec, SplitPlan};
 use edvit_sched::{
     DepthChange, DepthController, RoundLayout, ScheduleMode, StreamConfig, StreamScheduler,
@@ -74,6 +75,16 @@ impl ServeConfig {
         self.mode = AdmissionMode::BarrierPerRequest;
         self
     }
+
+    /// Attaches an observability sink. The drill journals admission,
+    /// depth, crash and round events into it, and the embedded streaming
+    /// scheduler (which shares the stream configuration) records its wire
+    /// events into the same journal.
+    #[must_use]
+    pub fn with_sink(mut self, sink: MetricsSink) -> Self {
+        self.stream.sink = sink;
+        self
+    }
 }
 
 /// One round the drill formed: which requests, dispatched when, fused when.
@@ -98,6 +109,10 @@ pub struct DrillOutcome {
     pub counters: Vec<TenantCounters>,
     /// Every adaptive-depth transition, in round order.
     pub depth_changes: Vec<DepthChange>,
+    /// Pipeline depth the drill started at (after clamping the configured
+    /// depth into the controller's band). The first entry of
+    /// `depth_changes`, when any, transitions *from* this value.
+    pub initial_depth: usize,
     /// Pipeline depth after the last round.
     pub final_depth: usize,
     /// Deepest the pipeline ever ran; the execution pass sizes its lanes to
@@ -214,7 +229,9 @@ impl ServeScheduler {
         let stream_cfg = &self.config.stream;
         let ctl = self.config.depth;
 
+        let sink = stream_cfg.sink.clone();
         let mut queue = AdmissionQueue::new(self.config.tenants.clone())?;
+        queue.attach_sink(sink.clone());
         let mut devices = self.devices.clone();
         let mut plan = self.plan.clone();
         let mut failures = stream_cfg.failures.clone();
@@ -229,8 +246,28 @@ impl ServeScheduler {
         } else {
             1
         };
+        let initial_depth = depth;
         let mut max_depth_used = depth;
         let mut depth_changes: Vec<DepthChange> = Vec::new();
+
+        sink.record(
+            0.0,
+            RunEvent::ServeStarted {
+                tenants: self.config.tenants.len() as u64,
+                capacity: cap as u64,
+                initial_depth: initial_depth as u64,
+                offered_rate_per_second: self.config.arrivals.rate_per_second,
+            },
+        );
+        for (index, tenant) in self.config.tenants.iter().enumerate() {
+            sink.record(
+                0.0,
+                RunEvent::TenantRegistered {
+                    tenant: index as u64,
+                    name: tenant.name.clone(),
+                },
+            );
+        }
 
         let mut next_arrival = 0usize;
         let mut now = 0.0f64;
@@ -264,6 +301,14 @@ impl ServeScheduler {
                         from: depth,
                         to: next_depth,
                     });
+                    sink.record(
+                        now,
+                        RunEvent::DepthChanged {
+                            round: k as u64,
+                            from: depth as u64,
+                            to: next_depth as u64,
+                        },
+                    );
                     depth = next_depth;
                     max_depth_used = max_depth_used.max(depth);
                 }
@@ -323,16 +368,36 @@ impl ServeScheduler {
                 let t = timings.timing_for(batch.len())?;
                 let stall = detection + stream_cfg.replan_seconds;
                 completion = start + stall + t.device_round_seconds + t.fusion_round_seconds;
-                recovery_seconds += stall + t.round_interval_seconds;
+                // One pre-summed charge per crash, so an offline replay of
+                // the journal re-adds the exact f64 the live drill added.
+                let charge = stall + t.round_interval_seconds;
+                recovery_seconds += charge;
+                sink.record(
+                    start,
+                    RunEvent::ServeCrash {
+                        device: dead as u64,
+                        round: k as u64,
+                    },
+                );
+                sink.record(start, RunEvent::ServeRecovery { seconds: charge });
                 // The pipe stalls through recovery: the next round cannot
                 // issue until the replayed round has cleared the new
                 // membership's bottleneck stage.
-                last_interval = stall + t.round_interval_seconds;
+                last_interval = charge;
             } else {
                 let t = timings.timing_for(batch.len())?;
                 completion = start + t.device_round_seconds + t.fusion_round_seconds;
                 last_interval = t.round_interval_seconds;
             }
+            sink.record(
+                start,
+                RunEvent::ServeRound {
+                    round: k as u64,
+                    start_seconds: start,
+                    completion_seconds: completion,
+                    size: batch.len() as u64,
+                },
+            );
             rounds.push(PlannedRound {
                 start_seconds: start,
                 completion_seconds: completion,
@@ -345,9 +410,11 @@ impl ServeScheduler {
             .iter()
             .map(|r| r.completion_seconds)
             .fold(0.0f64, f64::max);
+        sink.record(end_seconds, RunEvent::ServeEnded);
         Ok(DrillOutcome {
             counters: queue.counters().to_vec(),
             depth_changes,
+            initial_depth,
             final_depth: depth,
             max_depth_used,
             devices_lost,
@@ -458,6 +525,7 @@ impl ServeScheduler {
             rounds_formed: drill.rounds.len(),
             partial_rounds: sizes.iter().filter(|&&s| s < cap).count(),
             depth_changes: drill.depth_changes,
+            initial_depth: drill.initial_depth,
             final_depth: drill.final_depth,
             p50_latency_seconds: percentile(&all, 0.50),
             p99_latency_seconds: percentile(&all, 0.99),
